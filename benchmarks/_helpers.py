@@ -1,0 +1,147 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper: it runs
+the experiment on the scaled-down synthetic datasets, prints the same rows /
+series the paper reports next to the paper's own numbers, and asserts only
+the *shape* of the result (who wins, what improves) — absolute values differ
+because the substrate is a NumPy reimplementation on laptop-sized grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis import psnr, ssim
+from repro.core.mr_compressor import MultiResolutionCompressor
+from repro.datasets import get_dataset
+
+__all__ = [
+    "dataset",
+    "relative_error_bounds",
+    "sweep_hierarchy",
+    "sweep_uniform",
+    "psnr_at_cr",
+    "find_error_bound_for_cr",
+    "format_table",
+    "RDPoint",
+]
+
+#: Grid size used by the benchmarks ("small" = 64-class grids, seconds per sweep).
+BENCH_SIZE = "small"
+
+
+@lru_cache(maxsize=None)
+def dataset(name: str, size: str = BENCH_SIZE):
+    """Cached dataset access so independent benchmarks do not regenerate fields."""
+    return get_dataset(name, size=size)
+
+
+def relative_error_bounds(field: np.ndarray, fractions: Sequence[float]) -> List[float]:
+    """Convert value-range-relative bounds to absolute ones for ``field``."""
+    value_range = float(np.max(field) - np.min(field))
+    return [float(f) * value_range for f in fractions]
+
+
+@dataclass
+class RDPoint:
+    """One rate-distortion sample."""
+
+    error_bound: float
+    compression_ratio: float
+    psnr: float
+    ssim: float = float("nan")
+
+
+def sweep_hierarchy(
+    compressor: MultiResolutionCompressor,
+    hierarchy,
+    reference: np.ndarray,
+    error_bounds: Sequence[float],
+    with_ssim: bool = False,
+) -> List[RDPoint]:
+    """Rate-distortion sweep of a multi-resolution compressor over a hierarchy."""
+    points = []
+    for eb in error_bounds:
+        comp, deco = compressor.roundtrip_hierarchy(hierarchy, float(eb))
+        field = deco.to_uniform()
+        points.append(
+            RDPoint(
+                error_bound=float(eb),
+                compression_ratio=comp.compression_ratio,
+                psnr=psnr(reference, field),
+                ssim=ssim(reference, field) if with_ssim else float("nan"),
+            )
+        )
+    return points
+
+
+def sweep_uniform(
+    roundtrip: Callable[[np.ndarray, float], Tuple[float, np.ndarray]],
+    data: np.ndarray,
+    error_bounds: Sequence[float],
+    with_ssim: bool = False,
+) -> List[RDPoint]:
+    """Rate-distortion sweep for a plain-array compressor.
+
+    ``roundtrip(data, eb)`` must return ``(compression_ratio, reconstruction)``.
+    """
+    points = []
+    for eb in error_bounds:
+        ratio, recon = roundtrip(data, float(eb))
+        points.append(
+            RDPoint(
+                error_bound=float(eb),
+                compression_ratio=float(ratio),
+                psnr=psnr(data, recon),
+                ssim=ssim(data, recon) if with_ssim else float("nan"),
+            )
+        )
+    return points
+
+
+def psnr_at_cr(points: Sequence[RDPoint], target_cr: float) -> float:
+    """PSNR of a rate-distortion curve at a given compression ratio (log-interp)."""
+    crs = np.array([p.compression_ratio for p in points])
+    psnrs = np.array([p.psnr for p in points])
+    order = np.argsort(crs)
+    return float(np.interp(np.log(target_cr), np.log(crs[order]), psnrs[order]))
+
+
+def find_error_bound_for_cr(
+    roundtrip: Callable[[float], float],
+    target_cr: float,
+    lo: float,
+    hi: float,
+    iterations: int = 12,
+) -> float:
+    """Bisection search for the error bound that reaches a target compression ratio.
+
+    ``roundtrip(eb)`` returns the achieved compression ratio (monotone in eb).
+    """
+    for _ in range(iterations):
+        mid = float(np.sqrt(lo * hi))
+        achieved = roundtrip(mid)
+        if achieved < target_cr:
+            lo = mid
+        else:
+            hi = mid
+    return float(np.sqrt(lo * hi))
+
+
+def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render a fixed-width table (printed by every benchmark for EXPERIMENTS.md)."""
+    str_rows = [[f"{v:.3g}" if isinstance(v, float) else str(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in str_rows)) if str_rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [f"== {title} =="]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

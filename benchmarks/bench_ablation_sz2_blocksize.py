@@ -1,0 +1,77 @@
+"""Ablation — SZ2 block size on multi-resolution data (6^3 vs 4^3, §III-B).
+
+AMRIC found that SZ2 must shrink its block size from 6^3 to 4^3 to perform
+well on multi-resolution data (at the cost of more blocking artefacts, which
+is what motivates the post-processing).  The ablation compares both block
+sizes on the Nyx-T1 hierarchy and additionally reports how much the
+post-processing recovers for the 4^3 configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _helpers import dataset, format_table, psnr_at_cr, relative_error_bounds
+from repro.analysis import psnr
+from repro.core.mr_compressor import MultiResolutionCompressor
+from repro.core.postprocess import PostProcessor, bezier_boundary_smooth
+
+EB_FRACTIONS = (0.005, 0.01, 0.02, 0.04)
+
+
+def _run():
+    ds = dataset("nyx-t1")
+    hierarchy = ds.hierarchy
+    reference = hierarchy.to_uniform()
+    bounds = relative_error_bounds(ds.field, EB_FRACTIONS)
+
+    curves = {}
+    for block in (6, 4):
+        mrc = MultiResolutionCompressor(
+            compressor="sz2", arrangement="stack", compressor_options={"block_size": block}
+        )
+        points = []
+        for eb in bounds:
+            comp, deco = mrc.roundtrip_hierarchy(hierarchy, eb)
+            points.append((comp.compression_ratio, psnr(reference, deco.to_uniform())))
+        curves[f"SZ2 {block}^3"] = points
+
+    # post-processed 4^3 configuration
+    mrc = MultiResolutionCompressor(
+        compressor="sz2", arrangement="stack", compressor_options={"block_size": 4}
+    )
+    pp = PostProcessor("sz2")
+    points = []
+    for eb in bounds:
+        comp = mrc.compress_hierarchy(hierarchy, eb)
+        deco = mrc.decompress_hierarchy(comp, hierarchy)
+        processed_levels = []
+        for orig_level, deco_level in zip(hierarchy.levels, deco.levels):
+            plan = pp.plan(orig_level.data, mrc.codec, eb, block_size=4)
+            processed_levels.append(
+                bezier_boundary_smooth(
+                    deco_level.data, block_size=4, error_bound=eb, intensity=plan.intensities
+                )
+            )
+        processed = hierarchy.copy_with_data(processed_levels)
+        points.append((comp.compression_ratio, psnr(reference, processed.to_uniform())))
+    curves["SZ2 4^3 + post"] = points
+    return curves
+
+
+def test_ablation_sz2_block_size(benchmark, report):
+    curves = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = [
+        [name] + [f"({cr:.0f}, {p:.1f})" for cr, p in points] for name, points in curves.items()
+    ]
+    report(
+        format_table(
+            "Ablation — SZ2 block size on multi-resolution Nyx-T1 ((CR, PSNR))",
+            ["configuration"] + [f"eb={f:g}R" for f in EB_FRACTIONS],
+            rows,
+        )
+    )
+    # post-processing the 4^3 configuration must not hurt it
+    for (cr4, p4), (crp, pp_) in zip(curves["SZ2 4^3"], curves["SZ2 4^3 + post"]):
+        assert pp_ >= p4 - 1e-9

@@ -1,0 +1,64 @@
+"""Figure 4 — ROI extraction quality on the Nyx cosmology dataset.
+
+Paper: selecting only 15 % of the dataset with range-based ROI extraction
+keeps an SSIM of 0.99995 against the original visualization and captures
+almost all halos relevant for the Halo-finder analysis.
+
+Reproduced as: extract a 15 % ROI from the synthetic Nyx density field,
+rebuild the full-resolution field, and report (a) SSIM against the original
+and (b) the fraction of halos (threshold + connected components) recovered.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import dataset, format_table
+from repro.analysis import find_halos, match_halos, ssim
+from repro.core.roi import extract_roi, roi_preview_field
+
+
+def _run():
+    ds = dataset("nyx-t3")  # uniform Nyx field
+    field = ds.field
+    rows = []
+    for fraction in (0.15, 0.30, 0.50):
+        roi = extract_roi(field, roi_fraction=fraction, block_size=8)
+        preview = roi_preview_field(roi, order="linear")
+        # Track the massive halos (the Halo-finder analysis target); at 64^3 a
+        # halo occupies a much larger *fraction* of the domain than at the
+        # paper's 512^3, so a given ROI percentage covers fewer of them.
+        halos_orig = find_halos(field, overdensity=10.0, min_cells=16)
+        halos_roi = find_halos(preview, overdensity=10.0, min_cells=16)
+        rows.append(
+            {
+                "fraction": fraction,
+                "ssim": ssim(field, preview),
+                "halo_recovery": match_halos(halos_orig, halos_roi),
+                "storage_reduction": roi.storage_reduction,
+            }
+        )
+    return rows
+
+
+def test_fig4_roi_extraction_quality(benchmark, report):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(
+        format_table(
+            "Fig. 4 — ROI extraction on Nyx (paper: 15% ROI, SSIM 0.99995, halos captured)",
+            ["ROI fraction", "SSIM vs original", "halo recovery", "storage reduction"],
+            [[r["fraction"], r["ssim"], r["halo_recovery"], r["storage_reduction"]] for r in rows],
+        )
+    )
+    fifteen = rows[0]
+    # The paper reports SSIM 0.99995 and near-total halo capture with a 15%
+    # ROI on the real 512^3 Nyx field, where halos are tiny relative to the
+    # domain.  On the 64^3 synthetic stand-in each halo covers a much larger
+    # volume fraction, so the same ROI percentage captures fewer of them; the
+    # reproduced shape is: high SSIM at 15%, a majority of massive halos
+    # recovered, and both metrics rising monotonically to ~1 by a 50% ROI.
+    assert fifteen["ssim"] > 0.90
+    assert fifteen["halo_recovery"] > 0.5
+    assert rows[-1]["ssim"] >= rows[0]["ssim"] - 1e-6
+    assert rows[-1]["ssim"] > 0.97
+    assert rows[-1]["halo_recovery"] > 0.9

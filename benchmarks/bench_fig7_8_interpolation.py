@@ -1,0 +1,97 @@
+"""Figures 7 and 8 — interpolation extrapolation counts and the effect of padding.
+
+The method figures illustrate why ``2^n``-sized unit blocks force SZ3 into
+extrapolation (Fig. 7) and how one padded layer removes every sub-optimal
+prediction (Fig. 8).  The benchmark counts extrapolated points for the actual
+merged-array shapes used by the workflow and measures the prediction-accuracy
+gain of padding on a smooth merged array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _helpers import format_table
+from repro.compressors.interpolation import build_plan, count_extrapolated_points, predict_step
+from repro.core.padding import pad_small_dimensions, padding_overhead
+
+
+def _prediction_error(shape, pad: bool):
+    """Mean interpolation prediction error over the original (unpadded) points.
+
+    The padded layer's own prediction error is excluded: those samples are
+    cropped away after decompression, so only the predictions of real data
+    points matter (this is exactly what Figs. 7/8 illustrate).
+    """
+    coords = np.meshgrid(*[np.linspace(0, 1, s) for s in shape], indexing="ij")
+    field = np.sin(3 * coords[0] + 1) * np.cos(2 * coords[1]) * np.sin(4 * coords[2])
+    original = np.ones(shape, dtype=bool)
+    if pad:
+        field, _ = pad_small_dimensions(field, mode="linear")
+        original = np.zeros(field.shape, dtype=bool)
+        original[tuple(slice(0, s) for s in shape)] = True
+    plan = build_plan(field.shape)
+    total_err = 0.0
+    total_pts = 0
+    for step in plan.steps:
+        pred = predict_step(field, step, mode="cubic")
+        keep = original[step.target]
+        if keep.any():
+            total_err += float(np.abs(pred - field[step.target])[keep].sum())
+            total_pts += int(keep.sum())
+    return total_err / max(1, total_pts)
+
+
+def _run():
+    rows = []
+    for unit, n_blocks in ((8, 64), (16, 16)):
+        unpadded_shape = (unit, unit, unit * n_blocks)
+        padded_shape = (unit + 1, unit + 1, unit * n_blocks)
+        rows.append(
+            {
+                "unit": unit,
+                "extrap_unpadded": count_extrapolated_points(unpadded_shape),
+                "extrap_padded": count_extrapolated_points(padded_shape),
+                "overhead": padding_overhead(unit),
+                "pred_err_unpadded": _prediction_error(unpadded_shape, pad=False),
+                "pred_err_padded": _prediction_error(unpadded_shape, pad=True),
+            }
+        )
+    return rows
+
+
+def test_fig7_8_padding_removes_extrapolation(benchmark, report):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(
+        format_table(
+            "Figs. 7/8 — extrapolated points and prediction error, with vs without padding",
+            [
+                "unit block",
+                "extrapolated (no pad)",
+                "extrapolated (pad)",
+                "pad overhead",
+                "pred err (no pad)",
+                "pred err (pad)",
+            ],
+            [
+                [
+                    r["unit"],
+                    r["extrap_unpadded"],
+                    r["extrap_padded"],
+                    f"{100 * r['overhead']:.0f}%",
+                    r["pred_err_unpadded"],
+                    r["pred_err_padded"],
+                ]
+                for r in rows
+            ],
+        )
+    )
+    for r in rows:
+        # padding the two small dimensions removes their extrapolated points...
+        assert r["extrap_padded"] < r["extrap_unpadded"]
+        # ...and improves average prediction accuracy on smooth data
+        assert r["pred_err_padded"] <= r["pred_err_unpadded"] * 1.05
+    # the paper's overhead numbers: 56% for u=4, ~13% for u=16
+    assert padding_overhead(4) == pytest.approx(0.5625)
+    assert padding_overhead(16) == pytest.approx(0.129, abs=0.01)

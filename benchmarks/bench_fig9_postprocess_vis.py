@@ -1,0 +1,67 @@
+"""Figure 9 — post-processing visual comparison (WarpX + ZFP, Nyx + SZ2).
+
+Paper: at CR = 139 on WarpX "Ez", ZFP scores SSIM 0.72 / PSNR 75.5 and the
+post-processed output 0.79 / 78.1; at CR = 143 on Nyx "density", SZ2 scores
+0.76 / 116.0 and the post-processed output 0.85 / 118.1.  The reproduction
+drives each compressor to a high compression ratio on the corresponding
+synthetic dataset and verifies the post-processing improves both SSIM and
+PSNR of the reconstruction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _helpers import dataset, find_error_bound_for_cr, format_table
+from repro.analysis import psnr, ssim
+from repro.compressors import SZ2Compressor, ZFPCompressor
+from repro.core.postprocess import PostProcessor
+
+
+def _run_case(dataset_name, compressor, kind, target_cr):
+    ds = dataset(dataset_name)
+    field = ds.field
+    value_range = float(field.max() - field.min())
+
+    def ratio_for(eb):
+        return compressor.compress(field, eb).compression_ratio
+
+    eb = find_error_bound_for_cr(ratio_for, target_cr, 1e-4 * value_range, 0.3 * value_range)
+    result = compressor.roundtrip(field, eb)
+    pp = PostProcessor(kind)
+    plan = pp.plan(field, compressor, eb)
+    processed = pp.apply(result.decompressed, plan)
+    return {
+        "cr": result.compression_ratio,
+        "psnr_raw": psnr(field, result.decompressed),
+        "psnr_post": psnr(field, processed),
+        "ssim_raw": ssim(field, result.decompressed),
+        "ssim_post": ssim(field, processed),
+        "intensities": plan.intensities,
+    }
+
+
+def _run():
+    return {
+        "WarpX + ZFP": _run_case("warpx", ZFPCompressor(), "zfp", target_cr=60.0),
+        "Nyx + SZ2": _run_case("nyx-t3", SZ2Compressor(block_size=4), "sz2", target_cr=60.0),
+    }
+
+
+def test_fig9_postprocess_visual_comparison(benchmark, report):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    for name, r in results.items():
+        rows.append([name, r["cr"], r["ssim_raw"], r["ssim_post"], r["psnr_raw"], r["psnr_post"]])
+    report(
+        format_table(
+            "Fig. 9 — post-processing at high CR (paper: ZFP .72->.79 / 75.5->78.1, SZ2 .76->.85 / 116.0->118.1)",
+            ["case", "CR", "SSIM raw", "SSIM post", "PSNR raw", "PSNR post"],
+            rows,
+        )
+    )
+    for name, r in results.items():
+        assert r["psnr_post"] >= r["psnr_raw"], name
+        # the intensity search optimises L2 error, so SSIM may move by a hair
+        assert r["ssim_post"] >= r["ssim_raw"] - 0.01, name

@@ -1,0 +1,64 @@
+"""Table I — image filters vs error-bounded post-processing on ZFP output.
+
+Paper (WarpX + ZFP): decompressed data 80.5 dB; median filter 67.2 dB;
+Gaussian blur 71.6 dB; anisotropic diffusion 74.4 dB; ours 82.9 dB.  The key
+shape: every classic image filter *reduces* PSNR because it ignores the
+error-bounded nature of the data, while the paper's clamped Bezier processing
+improves it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import dataset, format_table, relative_error_bounds
+from repro.analysis import psnr
+from repro.compressors import ZFPCompressor
+from repro.core.postprocess import PostProcessor
+from repro.filters import anisotropic_diffusion, gaussian_blur, median_smooth
+
+PAPER_ROW = {"decompressed": 80.5, "median": 67.2, "gaussian": 71.6, "anisotropic": 74.4, "ours": 82.9}
+
+
+def _run():
+    ds = dataset("warpx")
+    field = ds.field
+    compressor = ZFPCompressor()
+    (eb,) = relative_error_bounds(field, (0.02,))
+    result = compressor.roundtrip(field, eb)
+    deco = result.decompressed
+
+    pp = PostProcessor("zfp")
+    plan = pp.plan(field, compressor, eb)
+    processed = pp.apply(deco, plan)
+
+    return {
+        "cr": result.compression_ratio,
+        "decompressed": psnr(field, deco),
+        "median": psnr(field, median_smooth(deco, 3)),
+        "gaussian": psnr(field, gaussian_blur(deco, 1.0)),
+        "anisotropic": psnr(field, anisotropic_diffusion(deco, n_iterations=5)),
+        "ours": psnr(field, processed),
+    }
+
+
+def test_table1_filters_vs_error_bounded_postprocess(benchmark, report):
+    r = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(
+        format_table(
+            f"Table I — PSNR of ZFP output and post-processing variants (CR={r['cr']:.0f})",
+            ["variant", "paper PSNR", "measured PSNR"],
+            [
+                ["Decompressed", PAPER_ROW["decompressed"], r["decompressed"]],
+                ["Median filter", PAPER_ROW["median"], r["median"]],
+                ["Gaussian blur", PAPER_ROW["gaussian"], r["gaussian"]],
+                ["Anisotropic diffusion", PAPER_ROW["anisotropic"], r["anisotropic"]],
+                ["Ours", PAPER_ROW["ours"], r["ours"]],
+            ],
+        )
+    )
+    # Shape: all three filters hurt, ours helps.
+    assert r["median"] < r["decompressed"]
+    assert r["gaussian"] < r["decompressed"]
+    assert r["anisotropic"] < r["decompressed"]
+    assert r["ours"] >= r["decompressed"]

@@ -1,0 +1,64 @@
+"""Table II — rate-distortion of SZ2 with and without post-processing on WarpX.
+
+Paper: across CR 273 down to 34 the post-processed PSNR exceeds the raw SZ2
+PSNR by ~0.5-2 dB, with the gain shrinking as the ratio decreases.  The
+reproduction sweeps error bounds on the synthetic WarpX field with SZ2 and
+reports both PSNR rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import dataset, format_table, relative_error_bounds
+from repro.analysis import psnr
+from repro.compressors import SZ2Compressor
+from repro.core.postprocess import PostProcessor
+
+EB_FRACTIONS = (0.08, 0.04, 0.02, 0.01, 0.005, 0.002, 0.001)
+
+PAPER = {
+    "cr": (273, 207, 153, 126, 104, 62, 34),
+    "sz2": (67.8, 72.8, 79.6, 84.8, 90.0, 101.9, 114.4),
+    "post": (69.8, 74.6, 81.1, 86.2, 91.2, 102.6, 114.9),
+}
+
+
+def _run():
+    ds = dataset("warpx")
+    field = ds.field
+    compressor = SZ2Compressor()  # uniform data: default 6^3 blocks
+    pp = PostProcessor("sz2")
+    rows = []
+    for eb in relative_error_bounds(field, EB_FRACTIONS):
+        result = compressor.roundtrip(field, eb)
+        plan = pp.plan(field, compressor, eb)
+        processed = pp.apply(result.decompressed, plan)
+        rows.append(
+            {
+                "cr": result.compression_ratio,
+                "sz2": psnr(field, result.decompressed),
+                "post": psnr(field, processed),
+            }
+        )
+    return rows
+
+
+def test_table2_warpx_sz2_postprocess(benchmark, report):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table_rows = [
+        [f"{r['cr']:.0f}", r["sz2"], r["post"], r["post"] - r["sz2"]] for r in rows
+    ]
+    report(
+        format_table(
+            "Table II — WarpX + SZ2: PSNR without/with post-processing "
+            f"(paper gains ranged +0.5 to +2.0 dB over CR {PAPER['cr'][-1]}-{PAPER['cr'][0]})",
+            ["CR", "PSNR-SZ2", "PSNR-Proc'ed", "gain"],
+            table_rows,
+        )
+    )
+    # Shape: the post-processed row never loses, and the largest gains appear
+    # at the higher compression ratios.
+    gains = [r["post"] - r["sz2"] for r in rows]
+    assert all(g >= -1e-9 for g in gains)
+    assert max(gains[:3]) >= max(gains[-2:]) - 0.25

@@ -1,0 +1,79 @@
+"""Table IX — post-processing overhead relative to the compression workflow.
+
+Paper (S3D, 64 cores): sampling + modelling plus the Bezier pass add only
+~1.3 % to the serial-SZ2 workflow and ~3.5 % to the OpenMP-accelerated
+SZ2/ZFP workflows.  The reproduction times the same four phases (I/O,
+compress + decompress, sample + model, process) on the synthetic S3D field
+and checks the relative overhead stays small.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import dataset, format_table, relative_error_bounds
+from repro.compressors import SZ2Compressor, ZFPCompressor
+from repro.core.postprocess import PostProcessor
+from repro.insitu import write_compressed_array, read_compressed_array
+from repro.utils.timer import TimingBreakdown
+
+EB_LABELS = (("small", 0.002), ("mid", 0.01), ("large", 0.04))
+
+
+def _run(tmp_path):
+    ds = dataset("s3d")
+    field = ds.field
+    results = {}
+    for codec_name, compressor in (("zfp", ZFPCompressor()), ("sz2", SZ2Compressor())):
+        pp = PostProcessor(codec_name)
+        for label, fraction in EB_LABELS:
+            (eb,) = relative_error_bounds(field, (fraction,))
+            timings = TimingBreakdown()
+            with timings.phase("comp+decomp"):
+                compressed = compressor.compress(field, eb)
+                decompressed = compressor.decompress(compressed)
+            with timings.phase("io"):
+                path = tmp_path / f"{codec_name}_{label}.rpca"
+                write_compressed_array(path, compressed)
+                read_compressed_array(path)
+            with timings.phase("sample+model"):
+                plan = pp.plan(field, compressor, eb)
+            with timings.phase("process"):
+                pp.apply(decompressed, plan)
+            original = timings["io"] + timings["comp+decomp"]
+            extra = timings["sample+model"] + timings["process"]
+            results[(codec_name, label)] = {
+                "io": timings["io"],
+                "comp": timings["comp+decomp"],
+                "sample": timings["sample+model"],
+                "process": timings["process"],
+                "overhead": extra / original if original > 0 else 0.0,
+            }
+    return results
+
+
+def test_table9_postprocess_overhead(benchmark, report, tmp_path):
+    results = benchmark.pedantic(_run, args=(tmp_path,), rounds=1, iterations=1)
+    rows = []
+    for (codec, label), r in results.items():
+        rows.append(
+            [codec, label, r["io"], r["comp"], r["sample"], r["process"], f"{100 * r['overhead']:.1f}%"]
+        )
+    report(
+        format_table(
+            "Table IX — post-processing overhead on S3D (paper: 1.3% serial SZ2, ~3.5% OpenMP SZ2/ZFP)",
+            ["codec", "eb", "1. I/O [s]", "2. comp+decomp [s]", "3. sample+model [s]", "4. process [s]", "overhead"],
+            rows,
+        )
+    )
+    # Shape: the post-processing stages stay cheap.  At 64^3 the baseline
+    # workflow itself only takes tens of milliseconds, so the *ratio* is noisy
+    # (the paper's 1.3-3.5 % figures are measured against a 512^3 workflow);
+    # we therefore check the absolute extra cost is negligible and that the
+    # typical relative overhead stays small.
+    import numpy as np
+
+    extras = [r["sample"] + r["process"] for r in results.values()]
+    overheads = [r["overhead"] for r in results.values()]
+    assert all(extra < 0.5 for extra in extras)
+    assert float(np.median(overheads)) < 0.35

@@ -1,0 +1,21 @@
+"""Pytest configuration for the benchmark harness.
+
+The benchmarks print the reproduced tables/figures to stdout (captured into
+``bench_output.txt`` by the top-level run command); ``--benchmark-only``
+selects them without running the unit-test suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a reproduced table so it survives pytest's output capture."""
+
+    def _print(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+
+    return _print

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Adaptive-data compression of a WarpX-like uniform field via ROI extraction.
+
+WarpX does not fully support AMR, so the paper converts its uniform grids to
+adaptive (two-level) data with range-based ROI extraction before compressing.
+This example reproduces that path end to end and sweeps the error bound to
+produce a small rate-distortion table comparing the original SZ3 baseline and
+SZ3MR (the Fig. 17-left scenario).
+
+Run with:  python examples/warpx_adaptive_roi.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import psnr, ssim
+from repro.core.mr_compressor import MultiResolutionCompressor
+from repro.core.roi import extract_roi
+from repro.core.sz3mr import SZ3MRCompressor
+from repro.datasets import warpx_ez_field
+
+
+def main() -> None:
+    field = warpx_ez_field(shape=(32, 32, 256), seed="warpx-example")
+    value_range = float(field.max() - field.min())
+
+    # Uniform -> adaptive: keep the 50% most important blocks at full resolution.
+    roi = extract_roi(field, roi_fraction=0.5, block_size=8)
+    print(f"ROI extraction: fine level density {roi.hierarchy.levels[0].density:.0%}, "
+          f"storage reduction {roi.storage_reduction:.2f}x before compression")
+
+    variants = {
+        "Baseline-SZ3": MultiResolutionCompressor(
+            compressor="sz3", arrangement="linear", padding=False, adaptive_eb=False
+        ),
+        "SZ3MR (pad+eb)": SZ3MRCompressor(),
+    }
+
+    print(f"\n{'eb (rel)':>10} {'variant':>16} {'CR':>8} {'PSNR':>8} {'SSIM':>8}")
+    for fraction in (0.005, 0.01, 0.02, 0.04):
+        eb = fraction * value_range
+        for name, compressor in variants.items():
+            compressed, decompressed = compressor.roundtrip_hierarchy(roi.hierarchy, eb)
+            reconstruction = decompressed.to_uniform()
+            print(
+                f"{fraction:>10.3f} {name:>16} "
+                f"{compressed.compression_ratio:>8.1f} "
+                f"{psnr(field, reconstruction):>8.2f} "
+                f"{ssim(field, reconstruction):>8.4f}"
+            )
+
+
+if __name__ == "__main__":
+    main()

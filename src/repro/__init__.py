@@ -1,0 +1,20 @@
+"""Reproduction of the SC'24 paper.
+
+"A High-Quality Workflow for Multi-Resolution Scientific Data Reduction and
+Visualization" (Wang et al., SC 2024).
+
+The package is organised as a set of substrates (error-bounded lossy
+compressors, an AMR data model, synthetic dataset generators, analysis
+metrics, an in-situ pipeline) plus the paper's contributions layered on top
+(ROI-based uniform-to-adaptive conversion, SZ3MR, error-bounded Bezier
+post-processing, and compression-uncertainty modelling for probabilistic
+isosurface visualization).
+
+Most users only need :mod:`repro.core.workflow`, which exposes the
+end-to-end :class:`~repro.core.workflow.MultiResolutionWorkflow` facade, and
+:mod:`repro.datasets` for synthetic stand-ins of the paper's datasets.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,42 @@
+"""AMR (adaptive mesh refinement) data model and toy simulations.
+
+The paper's workflow consumes *multi-resolution* data: either native AMR
+output (Nyx, IAMR/Rayleigh-Taylor) or "adaptive" data derived from uniform
+grids via ROI extraction (WarpX, Hurricane).  This subpackage provides the
+hierarchy data structure shared by both, refinement criteria, restriction /
+prolongation operators, and small time-stepping simulations used for the
+in-situ experiments.
+"""
+
+from repro.amr.grid import AMRHierarchy, AMRLevel
+from repro.amr.refinement import (
+    GradientCriterion,
+    MeanValueCriterion,
+    RefinementCriterion,
+    ValueRangeCriterion,
+    assign_block_levels,
+    build_hierarchy_from_uniform,
+)
+from repro.amr.reconstruct import flatten_hierarchy, prolong, restrict
+from repro.amr.simulation import (
+    CollapsingDensitySimulation,
+    SimulationSnapshot,
+    TravelingPulseSimulation,
+)
+
+__all__ = [
+    "AMRHierarchy",
+    "AMRLevel",
+    "RefinementCriterion",
+    "ValueRangeCriterion",
+    "MeanValueCriterion",
+    "GradientCriterion",
+    "assign_block_levels",
+    "build_hierarchy_from_uniform",
+    "flatten_hierarchy",
+    "restrict",
+    "prolong",
+    "CollapsingDensitySimulation",
+    "TravelingPulseSimulation",
+    "SimulationSnapshot",
+]

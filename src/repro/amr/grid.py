@@ -1,0 +1,208 @@
+"""Multi-resolution hierarchy data structures.
+
+A :class:`AMRHierarchy` is a list of :class:`AMRLevel` objects ordered fine to
+coarse (level index 0 is the finest), matching how the paper's Table III lists
+its datasets.  Each level stores a full-domain array at that level's
+resolution together with a boolean mask of the cells *owned* by the level; the
+masks of all levels partition the domain (every finest-resolution cell is
+owned by exactly one level), which is the invariant the property-based tests
+check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["AMRLevel", "AMRHierarchy"]
+
+
+@dataclass
+class AMRLevel:
+    """One resolution level of a multi-resolution dataset.
+
+    Attributes
+    ----------
+    level:
+        Refinement level index; ``0`` is the finest level, larger indices are
+        coarser by a factor ``refinement_ratio`` per axis per level.
+    data:
+        Full-domain array at this level's resolution.  Only cells where
+        ``mask`` is ``True`` are owned by (and meaningful at) this level, but
+        keeping the full array makes restriction/prolongation trivial.
+    mask:
+        Boolean ownership mask, same shape as ``data``.
+    """
+
+    level: int
+    data: np.ndarray
+    mask: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data, dtype=np.float64)
+        self.mask = np.asarray(self.mask, dtype=bool)
+        if self.data.shape != self.mask.shape:
+            raise ValueError(
+                f"data shape {self.data.shape} != mask shape {self.mask.shape}"
+            )
+        if self.level < 0:
+            raise ValueError("level index must be non-negative")
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def density(self) -> float:
+        """Fraction of the domain owned by this level (Table III's 'density')."""
+        return float(self.mask.mean())
+
+    @property
+    def n_owned(self) -> int:
+        """Number of cells owned by this level."""
+        return int(self.mask.sum())
+
+    def owned_values(self) -> np.ndarray:
+        """Values of the owned cells (1-D array)."""
+        return self.data[self.mask]
+
+
+class AMRHierarchy:
+    """A multi-resolution dataset: levels ordered fine to coarse.
+
+    Parameters
+    ----------
+    levels:
+        :class:`AMRLevel` instances ordered from finest (index 0) to coarsest.
+    refinement_ratio:
+        Per-axis resolution ratio between consecutive levels (2 in every
+        application the paper studies).
+    metadata:
+        Free-form provenance (dataset name, timestep, field name ...).
+    """
+
+    def __init__(
+        self,
+        levels: Sequence[AMRLevel],
+        refinement_ratio: int = 2,
+        metadata: Dict | None = None,
+    ) -> None:
+        if not levels:
+            raise ValueError("a hierarchy needs at least one level")
+        self.levels: List[AMRLevel] = list(levels)
+        self.refinement_ratio = int(refinement_ratio)
+        if self.refinement_ratio < 2:
+            raise ValueError("refinement_ratio must be at least 2")
+        self.metadata: Dict = dict(metadata or {})
+        self._validate_shapes()
+
+    # -- construction helpers -------------------------------------------------
+    def _validate_shapes(self) -> None:
+        finest = self.levels[0].shape
+        r = self.refinement_ratio
+        for idx, lvl in enumerate(self.levels):
+            if lvl.level != idx:
+                raise ValueError("levels must be ordered fine to coarse with level == index")
+            expected = tuple(s // (r**lvl.level) for s in finest)
+            if lvl.shape != expected:
+                raise ValueError(
+                    f"level {lvl.level} has shape {lvl.shape}, expected {expected} "
+                    f"(finest {finest} / ratio {r}^{lvl.level})"
+                )
+        for s in finest:
+            if s % (r ** (len(self.levels) - 1)):
+                raise ValueError(
+                    f"finest shape {finest} is not divisible by "
+                    f"{r ** (len(self.levels) - 1)} (needed for {len(self.levels)} levels)"
+                )
+
+    # -- basic properties ------------------------------------------------------
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def finest_shape(self) -> Tuple[int, ...]:
+        return self.levels[0].shape
+
+    @property
+    def ndim(self) -> int:
+        return self.levels[0].data.ndim
+
+    def level_densities(self) -> List[float]:
+        """Domain fraction owned by each level, fine to coarse."""
+        return [lvl.density for lvl in self.levels]
+
+    def total_stored_points(self) -> int:
+        """Number of cell values a multi-resolution storage scheme keeps."""
+        return int(sum(lvl.n_owned for lvl in self.levels))
+
+    def uniform_points(self) -> int:
+        """Number of cells a uniform-resolution representation would store."""
+        return int(np.prod(self.finest_shape))
+
+    def storage_reduction(self) -> float:
+        """Uniform point count divided by multi-resolution point count."""
+        stored = self.total_stored_points()
+        return self.uniform_points() / max(1, stored)
+
+    # -- invariants -------------------------------------------------------------
+    def coverage_map(self) -> np.ndarray:
+        """How many levels claim each finest-resolution cell (should be exactly 1)."""
+        from repro.utils.blocks import upsample_nearest
+
+        r = self.refinement_ratio
+        total = np.zeros(self.finest_shape, dtype=np.int64)
+        for lvl in self.levels:
+            factor = r**lvl.level
+            up = lvl.mask.astype(np.int64)
+            if factor > 1:
+                up = upsample_nearest(up, factor)
+            total += up
+        return total
+
+    def is_valid_partition(self) -> bool:
+        """True when the level masks partition the domain exactly."""
+        return bool((self.coverage_map() == 1).all())
+
+    # -- conversions -----------------------------------------------------------
+    def to_uniform(self, order: str = "nearest") -> np.ndarray:
+        """Reconstruct a finest-resolution array from all levels.
+
+        ``order`` selects the prolongation used for coarse cells:
+        ``"nearest"`` (piecewise constant, what a visualisation of raw AMR
+        data shows) or ``"linear"`` (smoother reconstruction).
+        """
+        from repro.amr.reconstruct import flatten_hierarchy
+
+        return flatten_hierarchy(self, order=order)
+
+    def copy_with_data(self, new_level_data: Sequence[np.ndarray]) -> "AMRHierarchy":
+        """Clone the hierarchy with replaced per-level data (same masks).
+
+        Used to rebuild a hierarchy from decompressed level payloads.
+        """
+        if len(new_level_data) != self.n_levels:
+            raise ValueError("need one data array per level")
+        levels = []
+        for lvl, data in zip(self.levels, new_level_data):
+            data = np.asarray(data, dtype=np.float64)
+            if data.shape != lvl.shape:
+                raise ValueError(
+                    f"level {lvl.level} replacement has shape {data.shape}, expected {lvl.shape}"
+                )
+            levels.append(AMRLevel(level=lvl.level, data=data, mask=lvl.mask.copy()))
+        return AMRHierarchy(levels, refinement_ratio=self.refinement_ratio, metadata=dict(self.metadata))
+
+    def summary(self) -> str:
+        """One line per level in the style of the paper's Table III."""
+        rows = []
+        for lvl in self.levels:
+            shape = "x".join(str(s) for s in lvl.shape)
+            rows.append(f"level {lvl.level}: ({shape}, {100 * lvl.density:.0f}%)")
+        return "; ".join(rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"AMRHierarchy({self.summary()})"

@@ -1,0 +1,78 @@
+"""Restriction / prolongation operators and hierarchy flattening.
+
+These are the standard AMR transfer operators: *restriction* averages fine
+cells onto a coarser grid, *prolongation* injects coarse values back onto a
+finer grid.  :func:`flatten_hierarchy` composes them to rebuild a uniform
+finest-resolution field from a multi-resolution hierarchy — the operation the
+paper performs before computing visualization/quality metrics on
+multi-resolution data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.blocks import downsample_mean, upsample_nearest, upsample_trilinear
+
+__all__ = ["restrict", "prolong", "flatten_hierarchy", "level_footprint"]
+
+
+def restrict(data: np.ndarray, factor: int = 2) -> np.ndarray:
+    """Average ``factor``-sized cells to produce a coarser representation."""
+    if factor == 1:
+        return np.asarray(data, dtype=np.float64).copy()
+    return downsample_mean(np.asarray(data, dtype=np.float64), factor)
+
+
+def prolong(
+    data: np.ndarray, factor: int = 2, order: str = "nearest", out_shape=None
+) -> np.ndarray:
+    """Up-sample a coarse array onto a finer grid.
+
+    ``order`` is ``"nearest"`` (piecewise-constant injection) or ``"linear"``
+    (separable linear interpolation).
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if factor == 1:
+        out = data.copy()
+    elif order == "nearest":
+        out = upsample_nearest(data, factor)
+    elif order == "linear":
+        out = upsample_trilinear(data, factor, out_shape=out_shape)
+    else:
+        raise ValueError("order must be 'nearest' or 'linear'")
+    if out_shape is not None:
+        slices = tuple(slice(0, int(s)) for s in out_shape)
+        out = out[slices]
+        pads = [(0, int(s) - o) for s, o in zip(out_shape, out.shape)]
+        if any(p[1] for p in pads):
+            out = np.pad(out, pads, mode="edge")
+    return out
+
+
+def level_footprint(hierarchy, level_index: int) -> np.ndarray:
+    """Boolean mask, at finest resolution, of cells owned by ``level_index``."""
+    lvl = hierarchy.levels[level_index]
+    factor = hierarchy.refinement_ratio**lvl.level
+    mask = lvl.mask
+    if factor > 1:
+        mask = upsample_nearest(mask.astype(np.uint8), factor).astype(bool)
+    return mask
+
+
+def flatten_hierarchy(hierarchy, order: str = "nearest") -> np.ndarray:
+    """Reconstruct the finest-resolution field from every level of a hierarchy.
+
+    Coarse levels are prolonged to the finest resolution and then overwritten
+    by finer levels wherever the finer level owns the cells, so the result
+    honours the ownership masks exactly.
+    """
+    finest_shape = hierarchy.finest_shape
+    out = np.zeros(finest_shape, dtype=np.float64)
+    # Paint coarse to fine so finer data wins where owned.
+    for lvl in reversed(hierarchy.levels):
+        factor = hierarchy.refinement_ratio**lvl.level
+        up = prolong(lvl.data, factor, order=order, out_shape=finest_shape)
+        footprint = level_footprint(hierarchy, lvl.level)
+        out[footprint] = up[footprint]
+    return out

@@ -1,0 +1,176 @@
+"""Refinement criteria and uniform-to-hierarchy construction.
+
+AMR applications refine blocks "based on specific criteria, such as when the
+average value of a block exceeds predefined thresholds" (§II-B); the paper's
+ROI extraction uses the *value range* of each block and keeps the top-x%
+blocks at full resolution (§III).  Both are expressed here as
+:class:`RefinementCriterion` strategies that score blocks; blocks are then
+assigned to levels either by score thresholds or by target fractions, and a
+full :class:`~repro.amr.grid.AMRHierarchy` is assembled.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.amr.grid import AMRHierarchy, AMRLevel
+from repro.amr.reconstruct import restrict
+from repro.utils.blocks import (
+    block_reduce_mean,
+    block_reduce_range,
+    block_view,
+    pad_to_multiple,
+    upsample_nearest,
+)
+from repro.utils.validation import ensure_array, ensure_power_of_two
+
+__all__ = [
+    "RefinementCriterion",
+    "ValueRangeCriterion",
+    "MeanValueCriterion",
+    "GradientCriterion",
+    "assign_block_levels",
+    "build_hierarchy_from_uniform",
+]
+
+
+class RefinementCriterion(ABC):
+    """Scores each block of a uniform field; higher scores refine first."""
+
+    @abstractmethod
+    def block_scores(self, data: np.ndarray, block_size: int) -> np.ndarray:
+        """Return one score per block (shape = blocks-per-axis grid)."""
+
+
+class ValueRangeCriterion(RefinementCriterion):
+    """Paper default: importance of a block is its value range (max - min)."""
+
+    def block_scores(self, data: np.ndarray, block_size: int) -> np.ndarray:
+        return block_reduce_range(data, block_size)
+
+
+class MeanValueCriterion(RefinementCriterion):
+    """Refine blocks whose mean value is large (AMR-style over-density criterion)."""
+
+    def block_scores(self, data: np.ndarray, block_size: int) -> np.ndarray:
+        return block_reduce_mean(data, block_size)
+
+
+class GradientCriterion(RefinementCriterion):
+    """Refine blocks containing steep gradients (finite-difference magnitude)."""
+
+    def block_scores(self, data: np.ndarray, block_size: int) -> np.ndarray:
+        grads = np.gradient(np.asarray(data, dtype=np.float64))
+        magnitude = np.sqrt(sum(g**2 for g in grads))
+        return block_reduce_mean(magnitude, block_size)
+
+
+def assign_block_levels(
+    scores: np.ndarray,
+    fractions: Sequence[float],
+) -> np.ndarray:
+    """Assign every block to a refinement level from its importance score.
+
+    ``fractions`` lists, fine to coarse, the fraction of blocks each level
+    should own; they must sum to 1 (the last entry may be given as the
+    remainder).  The top ``fractions[0]`` scoring blocks go to level 0
+    (finest), the next ``fractions[1]`` to level 1, and so on — this is the
+    paper's "top x percent of the blocks as the ROIs" rule generalised to any
+    number of levels.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    fractions = [float(f) for f in fractions]
+    if any(f < 0 for f in fractions):
+        raise ValueError("fractions must be non-negative")
+    total = sum(fractions)
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise ValueError(f"level fractions must sum to 1, got {total}")
+
+    flat = scores.ravel()
+    n = flat.size
+    order = np.argsort(flat, kind="stable")[::-1]  # descending importance
+    levels = np.empty(n, dtype=np.int64)
+    start = 0
+    for level, frac in enumerate(fractions):
+        if level == len(fractions) - 1:
+            count = n - start
+        else:
+            count = int(round(frac * n))
+            count = min(count, n - start)
+        levels[order[start : start + count]] = level
+        start += count
+    return levels.reshape(scores.shape)
+
+
+def build_hierarchy_from_uniform(
+    data: np.ndarray,
+    n_levels: int = 2,
+    block_size: int = 8,
+    fractions: Optional[Sequence[float]] = None,
+    criterion: Optional[RefinementCriterion] = None,
+    refinement_ratio: int = 2,
+    metadata: Optional[dict] = None,
+) -> AMRHierarchy:
+    """Convert a uniform field into an ``n_levels`` multi-resolution hierarchy.
+
+    Parameters
+    ----------
+    data:
+        Uniform finest-resolution field; every axis must be divisible by
+        ``block_size``, and ``block_size`` must be divisible by
+        ``refinement_ratio**(n_levels-1)`` so each block lives entirely on one
+        level.
+    fractions:
+        Fraction of blocks owned by each level, fine to coarse.  Defaults to
+        an even split (e.g. the paper's 50 %/50 % WarpX configuration for two
+        levels).
+    criterion:
+        Block scoring strategy; the paper's range thresholding by default.
+    """
+    data = ensure_array(data, ndim=(2, 3), name="data")
+    n_levels = int(n_levels)
+    if n_levels < 1:
+        raise ValueError("n_levels must be >= 1")
+    block_size = ensure_power_of_two(block_size, "block_size", minimum=2)
+    min_block = refinement_ratio ** (n_levels - 1)
+    if block_size % min_block:
+        raise ValueError(
+            f"block_size {block_size} must be divisible by refinement_ratio^(n_levels-1) = {min_block}"
+        )
+    for s in data.shape:
+        if s % block_size:
+            raise ValueError(
+                f"every axis of data {data.shape} must be divisible by block_size {block_size}"
+            )
+    if fractions is None:
+        fractions = [1.0 / n_levels] * n_levels
+    if len(fractions) != n_levels:
+        raise ValueError("need one fraction per level")
+    criterion = criterion or ValueRangeCriterion()
+
+    scores = criterion.block_scores(data, block_size)
+    block_levels = assign_block_levels(scores, fractions)
+
+    levels: List[AMRLevel] = []
+    for level in range(n_levels):
+        factor = refinement_ratio**level
+        level_data = restrict(data, factor)
+        # Ownership mask at this level's resolution: each block footprint is
+        # block_size/factor cells per axis.
+        owned_blocks = (block_levels == level).astype(np.uint8)
+        cells_per_block = block_size // factor
+        mask = upsample_nearest(owned_blocks, cells_per_block).astype(bool)
+        if mask.shape != level_data.shape:
+            raise RuntimeError(
+                f"internal error: mask shape {mask.shape} != data shape {level_data.shape}"
+            )
+        levels.append(AMRLevel(level=level, data=level_data, mask=mask))
+
+    meta = dict(metadata or {})
+    meta.setdefault("block_size", block_size)
+    meta.setdefault("fractions", list(float(f) for f in fractions))
+    meta.setdefault("criterion", type(criterion).__name__)
+    return AMRHierarchy(levels, refinement_ratio=refinement_ratio, metadata=meta)

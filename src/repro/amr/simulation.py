@@ -1,0 +1,210 @@
+"""Toy time-stepping simulations for the in-situ experiments.
+
+The paper evaluates in-situ compression inside two real codes: the Nyx AMR
+cosmology simulation and the WarpX electromagnetic (uniform grid) simulation.
+Neither is available offline, so this module provides small stand-ins that
+produce a stream of per-timestep snapshots with the same structural features:
+
+* :class:`CollapsingDensitySimulation` — a density field whose contrast grows
+  over time (a proxy for gravitational collapse), re-gridded into a 2-level
+  AMR hierarchy each step with the paper's Nyx-T1 densities (18 % fine /
+  82 % coarse by default).
+* :class:`TravelingPulseSimulation` — a WarpX-like oscillating pulse
+  travelling along the long axis of a uniform grid; the in-situ pipeline
+  converts it to adaptive data via ROI extraction.
+
+Both expose ``run(n_steps)`` yielding :class:`SimulationSnapshot` objects so
+the in-situ pipeline can be written against a single interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Tuple, Union
+
+import numpy as np
+from scipy.ndimage import gaussian_filter
+
+from repro.amr.grid import AMRHierarchy
+from repro.amr.refinement import ValueRangeCriterion, build_hierarchy_from_uniform
+from repro.utils.rng import default_rng
+
+__all__ = [
+    "SimulationSnapshot",
+    "CollapsingDensitySimulation",
+    "TravelingPulseSimulation",
+]
+
+
+@dataclass
+class SimulationSnapshot:
+    """One timestep of a simulation as handed to the in-situ pipeline."""
+
+    step: int
+    time: float
+    field_name: str
+    #: Uniform field for uniform-grid codes, or an AMR hierarchy for AMR codes.
+    data: Union[np.ndarray, AMRHierarchy]
+
+    @property
+    def is_amr(self) -> bool:
+        return isinstance(self.data, AMRHierarchy)
+
+
+class CollapsingDensitySimulation:
+    """Nyx-like AMR simulation: density contrast deepens over time.
+
+    The initial condition is a smoothed log-normal random field; each step the
+    field is raised to a power slightly above one (sharpening over-densities,
+    the qualitative effect of gravitational collapse), renormalised to
+    constant mean and lightly diffused.  Every step the field is re-gridded
+    into an AMR hierarchy with the requested per-level fractions.
+    """
+
+    def __init__(
+        self,
+        shape: Tuple[int, int, int] = (64, 64, 64),
+        n_levels: int = 2,
+        block_size: int = 8,
+        fractions: Optional[Sequence[float]] = None,
+        collapse_rate: float = 0.08,
+        diffusion_sigma: float = 0.4,
+        seed: Union[int, str, None] = "nyx-insitu",
+        field_name: str = "baryon_density",
+    ) -> None:
+        self.shape = tuple(int(s) for s in shape)
+        self.n_levels = int(n_levels)
+        self.block_size = int(block_size)
+        self.fractions = list(fractions) if fractions is not None else [0.18, 0.82][: self.n_levels]
+        if len(self.fractions) != self.n_levels:
+            # Fall back to an even split when a custom level count is used.
+            self.fractions = [1.0 / self.n_levels] * self.n_levels
+        total = sum(self.fractions)
+        self.fractions = [f / total for f in self.fractions]
+        self.collapse_rate = float(collapse_rate)
+        self.diffusion_sigma = float(diffusion_sigma)
+        self.field_name = field_name
+        self._rng = default_rng(seed)
+        self._field = self._initial_field()
+        self._step = 0
+
+    def _initial_field(self) -> np.ndarray:
+        noise = self._rng.standard_normal(self.shape)
+        smooth = gaussian_filter(noise, sigma=max(2.0, min(self.shape) / 16.0))
+        smooth = (smooth - smooth.mean()) / (smooth.std() + 1e-12)
+        density = np.exp(1.2 * smooth)
+        return density / density.mean()
+
+    @property
+    def current_field(self) -> np.ndarray:
+        return self._field.copy()
+
+    def advance(self) -> np.ndarray:
+        """Advance one step and return the new uniform density field."""
+        field = self._field
+        # Sharpen over-densities; keep values positive and mean-normalised.
+        field = np.power(field, 1.0 + self.collapse_rate)
+        if self.diffusion_sigma > 0:
+            field = gaussian_filter(field, sigma=self.diffusion_sigma)
+        field = np.clip(field, 1e-12, None)
+        field = field / field.mean()
+        self._field = field
+        self._step += 1
+        return field.copy()
+
+    def snapshot(self) -> SimulationSnapshot:
+        """Current state re-gridded into an AMR hierarchy."""
+        hierarchy = build_hierarchy_from_uniform(
+            self._field,
+            n_levels=self.n_levels,
+            block_size=self.block_size,
+            fractions=self.fractions,
+            criterion=ValueRangeCriterion(),
+            metadata={"simulation": "collapsing_density", "step": self._step},
+        )
+        return SimulationSnapshot(
+            step=self._step,
+            time=float(self._step),
+            field_name=self.field_name,
+            data=hierarchy,
+        )
+
+    def run(self, n_steps: int) -> Iterator[SimulationSnapshot]:
+        """Yield a snapshot after each of ``n_steps`` advances."""
+        for _ in range(int(n_steps)):
+            self.advance()
+            yield self.snapshot()
+
+
+class TravelingPulseSimulation:
+    """WarpX-like uniform-grid simulation of a travelling oscillating pulse.
+
+    The field mimics the longitudinal electric field ``Ez`` of a laser
+    wake-field stage: a Gaussian-envelope pulse oscillating along the long
+    axis, followed by a lower-amplitude wake, moving forward every step.
+    """
+
+    def __init__(
+        self,
+        shape: Tuple[int, int, int] = (32, 32, 256),
+        pulse_width: float = 0.06,
+        wavelength: float = 0.04,
+        wake_wavelength: float = 0.12,
+        speed: float = 0.01,
+        noise_level: float = 0.01,
+        seed: Union[int, str, None] = "warpx-insitu",
+        field_name: str = "Ez",
+    ) -> None:
+        self.shape = tuple(int(s) for s in shape)
+        self.pulse_width = float(pulse_width)
+        self.wavelength = float(wavelength)
+        self.wake_wavelength = float(wake_wavelength)
+        self.speed = float(speed)
+        self.noise_level = float(noise_level)
+        self.field_name = field_name
+        self._rng = default_rng(seed)
+        self._step = 0
+        self._pulse_position = 0.3  # normalised position along the long axis
+
+    def _field_at(self, position: float) -> np.ndarray:
+        nx, ny, nz = self.shape
+        x = np.linspace(-0.5, 0.5, nx)[:, None, None]
+        y = np.linspace(-0.5, 0.5, ny)[None, :, None]
+        z = np.linspace(0.0, 1.0, nz)[None, None, :]
+        transverse = np.exp(-(x**2 + y**2) / (2 * 0.12**2))
+        envelope = np.exp(-((z - position) ** 2) / (2 * self.pulse_width**2))
+        carrier = np.cos(2 * np.pi * (z - position) / self.wavelength)
+        pulse = envelope * carrier
+        behind = np.clip(position - z, 0.0, None)
+        wake = (
+            0.35
+            * np.exp(-behind / 0.25)
+            * np.sin(2 * np.pi * behind / self.wake_wavelength)
+            * (behind > 0)
+        )
+        field = transverse * (pulse + wake)
+        if self.noise_level > 0:
+            field = field + self.noise_level * self._rng.standard_normal(self.shape)
+        return field
+
+    @property
+    def current_field(self) -> np.ndarray:
+        return self._field_at(self._pulse_position)
+
+    def advance(self) -> np.ndarray:
+        self._pulse_position = min(0.95, self._pulse_position + self.speed)
+        self._step += 1
+        return self.current_field
+
+    def snapshot(self) -> SimulationSnapshot:
+        return SimulationSnapshot(
+            step=self._step,
+            time=float(self._step),
+            field_name=self.field_name,
+            data=self.current_field,
+        )
+
+    def run(self, n_steps: int) -> Iterator[SimulationSnapshot]:
+        for _ in range(int(n_steps)):
+            self.advance()
+            yield self.snapshot()

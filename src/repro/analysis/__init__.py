@@ -1,0 +1,36 @@
+"""Quality metrics and scientific post-analysis used in the evaluation.
+
+PSNR / SSIM drive most of the paper's tables; the radially binned FFT power
+spectrum (with the "max relative error for k < 10" acceptance criterion) and
+a halo finder reproduce the Nyx-specific analyses (Table VI and Fig. 4).
+"""
+
+from repro.analysis.halo import Halo, find_halos, halo_mass_function, match_halos
+from repro.analysis.metrics import (
+    compression_ratio,
+    max_abs_error,
+    mse,
+    nrmse,
+    psnr,
+    rate_distortion_curve,
+    RateDistortionPoint,
+)
+from repro.analysis.power_spectrum import power_spectrum, power_spectrum_error
+from repro.analysis.ssim import ssim
+
+__all__ = [
+    "psnr",
+    "mse",
+    "nrmse",
+    "max_abs_error",
+    "compression_ratio",
+    "rate_distortion_curve",
+    "RateDistortionPoint",
+    "ssim",
+    "power_spectrum",
+    "power_spectrum_error",
+    "Halo",
+    "find_halos",
+    "match_halos",
+    "halo_mass_function",
+]

@@ -1,0 +1,115 @@
+"""Point-wise data quality metrics and rate-distortion sweeps.
+
+The paper reports PSNR with the peak defined as the value range of the
+original field (the convention of the SZ/ZFP literature); the same convention
+is used here so paper and measured numbers are comparable in shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "mse",
+    "nrmse",
+    "max_abs_error",
+    "psnr",
+    "compression_ratio",
+    "RateDistortionPoint",
+    "rate_distortion_curve",
+]
+
+
+def _pair(original, reconstructed):
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(reconstructed, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return a, b
+
+
+def mse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Mean squared error."""
+    a, b = _pair(original, reconstructed)
+    return float(np.mean((a - b) ** 2))
+
+
+def max_abs_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Maximum point-wise absolute error (what an error bound constrains)."""
+    a, b = _pair(original, reconstructed)
+    return float(np.max(np.abs(a - b)))
+
+
+def nrmse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Root mean squared error normalised by the original value range."""
+    a, b = _pair(original, reconstructed)
+    value_range = float(a.max() - a.min())
+    if value_range == 0:
+        return 0.0 if mse(a, b) == 0 else float("inf")
+    return float(np.sqrt(mse(a, b)) / value_range)
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB with peak = original value range."""
+    a, b = _pair(original, reconstructed)
+    err = mse(a, b)
+    value_range = float(a.max() - a.min())
+    if err == 0:
+        return float("inf")
+    if value_range == 0:
+        return float("-inf")
+    return float(20.0 * np.log10(value_range) - 10.0 * np.log10(err))
+
+
+def compression_ratio(nbytes_original: int, nbytes_compressed: int) -> float:
+    """Original size divided by compressed size."""
+    if nbytes_compressed <= 0:
+        raise ValueError("compressed size must be positive")
+    return float(nbytes_original) / float(nbytes_compressed)
+
+
+@dataclass
+class RateDistortionPoint:
+    """One point of a rate-distortion curve."""
+
+    error_bound: float
+    compression_ratio: float
+    psnr: float
+    max_error: float
+    label: str = ""
+
+
+def rate_distortion_curve(
+    compress_fn,
+    original: np.ndarray,
+    error_bounds: Sequence[float],
+    label: str = "",
+) -> List[RateDistortionPoint]:
+    """Sweep error bounds and collect (compression ratio, PSNR) points.
+
+    ``compress_fn(data, error_bound)`` must return an object with
+    ``compression_ratio`` and ``decompressed`` attributes (both
+    :class:`repro.compressors.base.RoundTripResult` and the workflow results
+    satisfy this), or a ``(ratio, reconstruction)`` tuple.
+    """
+    original = np.asarray(original, dtype=np.float64)
+    points: List[RateDistortionPoint] = []
+    for eb in error_bounds:
+        result = compress_fn(original, float(eb))
+        if isinstance(result, tuple):
+            ratio, recon = result
+        else:
+            ratio, recon = result.compression_ratio, result.decompressed
+        points.append(
+            RateDistortionPoint(
+                error_bound=float(eb),
+                compression_ratio=float(ratio),
+                psnr=psnr(original, recon),
+                max_error=max_abs_error(original, recon),
+                label=label,
+            )
+        )
+    return points

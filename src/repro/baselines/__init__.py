@@ -1,0 +1,29 @@
+"""Baseline multi-resolution compression schemes the paper compares against.
+
+* :mod:`repro.baselines.amric` — AMRIC: in-situ stacking (cubic merge) of unit
+  blocks, SZ3 or SZ2 with 4^3 blocks.
+* :mod:`repro.baselines.tac` — TAC: adjacency-aware merging with per-segment
+  compression (offline only).
+* :mod:`repro.baselines.zmesh` — zMesh: z-order (Morton) linearisation of the
+  owned cells across levels into a 1-D stream compressed in 1-D.
+* :mod:`repro.baselines.hz_order` — the HZ-ordering storage scheme of Kumar et
+  al.: level-by-level Morton traversal, 1-D compression.
+
+AMRIC / TAC / the original SZ3 are exposed as configurations of
+:class:`repro.core.mr_compressor.MultiResolutionCompressor` (see
+:func:`repro.core.sz3mr.sz3mr_variants`); zMesh and HZ-order need their own
+compress/decompress paths because they abandon 3-D locality entirely.
+"""
+
+from repro.baselines.amric import amric_sz2_compressor, amric_sz3_compressor
+from repro.baselines.hz_order import HZOrderCompressor
+from repro.baselines.tac import tac_sz3_compressor
+from repro.baselines.zmesh import ZMeshCompressor
+
+__all__ = [
+    "amric_sz2_compressor",
+    "amric_sz3_compressor",
+    "tac_sz3_compressor",
+    "ZMeshCompressor",
+    "HZOrderCompressor",
+]

@@ -1,0 +1,45 @@
+"""AMRIC baseline (Wang et al., SC'23).
+
+AMRIC is the in-situ AMR compression framework the paper benchmarks against.
+Its two relevant design decisions are reproduced as configurations of the
+shared multi-resolution engine:
+
+* unit blocks are stacked into a near-cubic array before compression
+  ("stack merge", Fig. 6-2b), which balances the dimensions but places
+  non-neighbouring blocks next to each other;
+* when SZ2 is used on multi-resolution data, the block size is reduced from
+  6^3 to 4^3 (§III-B), which improves prediction but produces more blocking
+  artefacts — the starting point for the paper's post-processing study.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.mr_compressor import MultiResolutionCompressor
+
+__all__ = ["amric_sz3_compressor", "amric_sz2_compressor"]
+
+
+def amric_sz3_compressor(unit_size: int = 16, compressor_options: Optional[Dict] = None) -> MultiResolutionCompressor:
+    """AMRIC's SZ3 pipeline: cubic stacking + unmodified SZ3."""
+    return MultiResolutionCompressor(
+        compressor="sz3",
+        arrangement="stack",
+        padding=False,
+        adaptive_eb=False,
+        unit_size=unit_size,
+        compressor_options=compressor_options,
+    )
+
+
+def amric_sz2_compressor(unit_size: int = 16, block_size: int = 4) -> MultiResolutionCompressor:
+    """AMRIC's SZ2 pipeline: cubic stacking + SZ2 with 4^3 blocks."""
+    return MultiResolutionCompressor(
+        compressor="sz2",
+        arrangement="stack",
+        padding=False,
+        adaptive_eb=False,
+        unit_size=unit_size,
+        compressor_options={"block_size": int(block_size)},
+    )

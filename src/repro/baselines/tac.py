@@ -1,0 +1,29 @@
+"""TAC baseline (Wang et al., HPDC'22).
+
+TAC improves AMR compression by merging only unit blocks that are adjacent in
+the original domain, preserving data smoothness at the cost of producing
+several differently-shaped merged arrays that must be compressed separately
+(per-segment encoding overhead, which hurts on small levels — exactly what the
+paper observes on the RT dataset).  TAC has no in-situ variant, so the
+benchmarks only use it offline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.mr_compressor import MultiResolutionCompressor
+
+__all__ = ["tac_sz3_compressor"]
+
+
+def tac_sz3_compressor(unit_size: int = 16, compressor_options: Optional[Dict] = None) -> MultiResolutionCompressor:
+    """TAC's SZ3 pipeline: adjacency merge, per-segment compression."""
+    return MultiResolutionCompressor(
+        compressor="sz3",
+        arrangement="adjacency",
+        padding=False,
+        adaptive_eb=False,
+        unit_size=unit_size,
+        compressor_options=compressor_options,
+    )

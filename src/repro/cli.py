@@ -1,0 +1,187 @@
+"""Command-line interface.
+
+A small tool for working with single fields stored as ``.npy`` files, the
+way a downstream user would exercise the compressors without writing Python:
+
+* ``repro compress input.npy output.rpca --codec sz3 --error-bound 1e-3``
+* ``repro decompress output.rpca reconstruction.npy``
+* ``repro info output.rpca``
+* ``repro evaluate original.npy reconstruction.npy``
+
+``--postprocess`` stores the sampled Bezier post-processing plan inside the
+compressed container so ``decompress`` can apply it without access to the
+original data.  The multi-resolution workflow (ROI extraction, SZ3MR over AMR
+hierarchies) is exposed through the Python API; the CLI intentionally covers
+the single-array path only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro._version import __version__
+from repro.analysis import max_abs_error, psnr, ssim
+from repro.compressors import get_compressor
+from repro.compressors.base import CompressedArray
+from repro.core.postprocess import PostProcessor, bezier_boundary_smooth
+from repro.insitu.io import read_compressed_array, write_compressed_array
+
+__all__ = ["main", "build_parser"]
+
+_CODECS = ("sz3", "sz2", "zfp")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for documentation and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Error-bounded lossy compression for scientific fields (.npy in, .rpca out).",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    comp = sub.add_parser("compress", help="compress a .npy field into a .rpca container")
+    comp.add_argument("input", type=Path, help="input .npy file (1-3D float array)")
+    comp.add_argument("output", type=Path, help="output .rpca container")
+    comp.add_argument("--codec", choices=_CODECS, default="sz3", help="compressor to use")
+    comp.add_argument("--error-bound", type=float, required=True, help="point-wise error bound")
+    comp.add_argument(
+        "--relative",
+        action="store_true",
+        help="interpret the error bound as a fraction of the value range",
+    )
+    comp.add_argument(
+        "--block-size", type=int, default=None, help="SZ2 block size (ignored by other codecs)"
+    )
+    comp.add_argument(
+        "--postprocess",
+        action="store_true",
+        help="plan error-bounded Bezier post-processing and store it in the container",
+    )
+
+    deco = sub.add_parser("decompress", help="reconstruct a .npy field from a .rpca container")
+    deco.add_argument("input", type=Path, help="input .rpca container")
+    deco.add_argument("output", type=Path, help="output .npy file")
+    deco.add_argument(
+        "--no-postprocess",
+        action="store_true",
+        help="skip the stored post-processing plan even if present",
+    )
+
+    info = sub.add_parser("info", help="print metadata of a .rpca container")
+    info.add_argument("input", type=Path, help=".rpca container")
+
+    ev = sub.add_parser("evaluate", help="compare two .npy fields (PSNR, SSIM, max error)")
+    ev.add_argument("original", type=Path)
+    ev.add_argument("reconstruction", type=Path)
+    return parser
+
+
+def _load_field(path: Path) -> np.ndarray:
+    data = np.load(path)
+    if data.ndim not in (1, 2, 3):
+        raise SystemExit(f"error: {path} must hold a 1-3 dimensional array, got {data.ndim}D")
+    return np.asarray(data, dtype=np.float64)
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    field = _load_field(args.input)
+    options = {}
+    if args.codec == "sz2" and args.block_size:
+        options["block_size"] = int(args.block_size)
+    compressor = get_compressor(args.codec, **options)
+    compressed = compressor.compress(field, args.error_bound, relative=args.relative)
+
+    if args.postprocess:
+        if args.codec not in ("sz2", "zfp"):
+            print("note: --postprocess is designed for block-wise codecs (sz2/zfp)", file=sys.stderr)
+        plan = PostProcessor(args.codec if args.codec in ("sz2", "zfp", "sz3") else "sz2").plan(
+            field, compressor, compressed.error_bound
+        )
+        compressed.metadata["postprocess"] = {
+            "intensities": list(plan.intensities),
+            "block_size": plan.block_size,
+            "error_bound": plan.error_bound,
+        }
+
+    nbytes = write_compressed_array(args.output, compressed)
+    print(
+        f"compressed {args.input} ({compressed.nbytes_original} B) -> {args.output} ({nbytes} B), "
+        f"ratio {compressed.compression_ratio:.2f}x, codec {compressed.codec}, "
+        f"error bound {compressed.error_bound:.6g}"
+    )
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    compressed = read_compressed_array(args.input)
+    compressor = get_compressor(compressed.codec)
+    field = compressor.decompress(compressed)
+
+    plan = compressed.metadata.get("postprocess")
+    if plan and not args.no_postprocess:
+        field = bezier_boundary_smooth(
+            field,
+            block_size=int(plan["block_size"]),
+            error_bound=float(plan["error_bound"]),
+            intensity=[float(a) for a in plan["intensities"]][: field.ndim],
+        )
+        applied = " (post-processed)"
+    else:
+        applied = ""
+    np.save(args.output, field)
+    print(f"decompressed {args.input} -> {args.output}, shape {field.shape}{applied}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    compressed = read_compressed_array(args.input)
+    summary = {
+        "codec": compressed.codec,
+        "shape": list(compressed.shape),
+        "dtype": compressed.dtype,
+        "error_bound": compressed.error_bound,
+        "nbytes_original": compressed.nbytes_original,
+        "nbytes_compressed": compressed.nbytes_compressed,
+        "compression_ratio": round(compressed.compression_ratio, 3),
+        "metadata": compressed.metadata,
+    }
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    original = _load_field(args.original)
+    reconstruction = _load_field(args.reconstruction)
+    if original.shape != reconstruction.shape:
+        raise SystemExit(
+            f"error: shape mismatch {original.shape} vs {reconstruction.shape}"
+        )
+    print(f"PSNR      : {psnr(original, reconstruction):.3f} dB")
+    if original.ndim in (2, 3):
+        print(f"SSIM      : {ssim(original, reconstruction):.5f}")
+    print(f"max error : {max_abs_error(original, reconstruction):.6g}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "compress": _cmd_compress,
+        "decompress": _cmd_decompress,
+        "info": _cmd_info,
+        "evaluate": _cmd_evaluate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+"""Error-bounded lossy compressors and their coding substrates.
+
+The paper builds on three compressors: SZ2 (block-wise prediction), SZ3
+(global interpolation prediction), and ZFP (block-wise transform coding).
+None of their C implementations are available offline, so this subpackage
+reimplements the algorithmic cores in NumPy:
+
+* :class:`repro.compressors.sz3.SZ3Compressor` — level-by-level separable
+  interpolation prediction over the whole array, error-bounded quantization,
+  entropy-coded quantization indices.  Supports per-level error bounds, which
+  is the hook the paper's SZ3MR adaptive error bound uses.
+* :class:`repro.compressors.sz2.SZ2Compressor` — independent ``b^3`` blocks,
+  per-block mean / plane-regression / (optional) Lorenzo prediction.
+* :class:`repro.compressors.zfp.ZFPCompressor` — independent ``4^d`` blocks,
+  ZFP's decorrelating lifting transform, fixed-accuracy coefficient
+  quantization.
+
+All compressors share the :class:`repro.compressors.base.Compressor`
+interface and guarantee a strict point-wise absolute error bound.
+"""
+
+from repro.compressors.base import (
+    CompressedArray,
+    Compressor,
+    RoundTripResult,
+    get_compressor,
+    register_compressor,
+)
+from repro.compressors.errors import (
+    CompressionError,
+    DecompressionError,
+    ErrorBoundViolation,
+)
+from repro.compressors.sz2 import SZ2Compressor
+from repro.compressors.sz3 import SZ3Compressor
+from repro.compressors.zfp import ZFPCompressor
+
+__all__ = [
+    "CompressedArray",
+    "Compressor",
+    "RoundTripResult",
+    "get_compressor",
+    "register_compressor",
+    "CompressionError",
+    "DecompressionError",
+    "ErrorBoundViolation",
+    "SZ2Compressor",
+    "SZ3Compressor",
+    "ZFPCompressor",
+]

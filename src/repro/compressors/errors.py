@@ -1,0 +1,38 @@
+"""Exception hierarchy for the compression subsystem."""
+
+from __future__ import annotations
+
+__all__ = [
+    "CompressorError",
+    "CompressionError",
+    "DecompressionError",
+    "ErrorBoundViolation",
+    "UnknownCompressorError",
+]
+
+
+class CompressorError(Exception):
+    """Base class for all compressor-related errors."""
+
+
+class CompressionError(CompressorError):
+    """Raised when compression fails (bad input, invalid parameters)."""
+
+
+class DecompressionError(CompressorError):
+    """Raised when a compressed payload cannot be decoded (corruption, version skew)."""
+
+
+class ErrorBoundViolation(CompressorError):
+    """Raised by verification helpers when the reconstruction violates the error bound."""
+
+    def __init__(self, max_error: float, error_bound: float):
+        self.max_error = float(max_error)
+        self.error_bound = float(error_bound)
+        super().__init__(
+            f"max reconstruction error {max_error:.6g} exceeds the error bound {error_bound:.6g}"
+        )
+
+
+class UnknownCompressorError(CompressorError, KeyError):
+    """Raised when looking up a compressor name that was never registered."""

@@ -1,0 +1,182 @@
+"""Canonical Huffman coding for integer symbol streams.
+
+The SZ family entropy-codes quantization indices with a Huffman coder before
+handing the result to a general-purpose lossless backend.  This module
+implements a canonical Huffman codec over arbitrary integer alphabets:
+
+* building the code uses a standard heap-based algorithm over the symbol
+  histogram;
+* encoding is vectorised by mapping symbols to (code, length) pairs with NumPy
+  fancy indexing and packing bits with :func:`numpy.packbits`;
+* decoding walks the canonical code table with a small per-length lookup,
+  processing the bitstream in NumPy chunks.
+
+For very large streams the zlib backend alone is usually faster; the SZ2/SZ3
+compressors therefore expose Huffman as an optional stage
+(``entropy="huffman"``) which is exercised by the unit tests and available for
+experiments on coding efficiency.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.compressors.errors import DecompressionError
+
+__all__ = ["HuffmanCodec", "huffman_encode", "huffman_decode"]
+
+
+@dataclass
+class _CanonicalCode:
+    symbols: np.ndarray  # symbols sorted by (length, symbol)
+    lengths: np.ndarray  # code length per sorted symbol
+    codes: np.ndarray  # canonical code value per sorted symbol
+
+
+def _code_lengths(freqs: Dict[int, int]) -> Dict[int, int]:
+    """Huffman code length per symbol via the standard two-queue/heap algorithm."""
+    if not freqs:
+        return {}
+    if len(freqs) == 1:
+        return {next(iter(freqs)): 1}
+    heap: List[Tuple[int, int, Tuple]] = []
+    uid = 0
+    for sym, f in freqs.items():
+        heap.append((f, uid, ("leaf", sym)))
+        uid += 1
+    heapq.heapify(heap)
+    while len(heap) > 1:
+        f1, _, n1 = heapq.heappop(heap)
+        f2, _, n2 = heapq.heappop(heap)
+        heapq.heappush(heap, (f1 + f2, uid, ("node", n1, n2)))
+        uid += 1
+    _, _, root = heap[0]
+    lengths: Dict[int, int] = {}
+    stack = [(root, 0)]
+    while stack:
+        node, depth = stack.pop()
+        if node[0] == "leaf":
+            lengths[node[1]] = max(depth, 1)
+        else:
+            stack.append((node[1], depth + 1))
+            stack.append((node[2], depth + 1))
+    return lengths
+
+
+def _canonicalize(lengths: Dict[int, int]) -> _CanonicalCode:
+    items = sorted(lengths.items(), key=lambda kv: (kv[1], kv[0]))
+    symbols = np.array([s for s, _ in items], dtype=np.int64)
+    lens = np.array([l for _, l in items], dtype=np.int64)
+    codes = np.zeros(len(items), dtype=np.uint64)
+    code = 0
+    prev_len = lens[0] if len(items) else 0
+    for idx in range(len(items)):
+        code <<= int(lens[idx] - prev_len)
+        codes[idx] = code
+        prev_len = lens[idx]
+        code += 1
+    return _CanonicalCode(symbols=symbols, lengths=lens, codes=codes)
+
+
+class HuffmanCodec:
+    """Canonical Huffman codec over 64-bit integer symbols."""
+
+    def encode(self, symbols: np.ndarray) -> bytes:
+        symbols = np.asarray(symbols, dtype=np.int64).ravel()
+        n = symbols.size
+        if n == 0:
+            return struct.pack("<QI", 0, 0)
+        uniq, inverse, counts = np.unique(symbols, return_inverse=True, return_counts=True)
+        lengths = _code_lengths({int(s): int(c) for s, c in zip(uniq, counts)})
+        canon = _canonicalize(lengths)
+
+        # Map each input symbol to its canonical (code, length).
+        order = {int(s): i for i, s in enumerate(canon.symbols)}
+        remap = np.array([order[int(s)] for s in uniq], dtype=np.int64)
+        sym_idx = remap[inverse]
+        sym_codes = canon.codes[sym_idx]
+        sym_lens = canon.lengths[sym_idx]
+
+        # Expand every code into its bits (MSB first) and pack.
+        total_bits = int(sym_lens.sum())
+        bit_array = np.zeros(total_bits, dtype=np.uint8)
+        ends = np.cumsum(sym_lens)
+        starts = ends - sym_lens
+        maxlen = int(sym_lens.max())
+        for bitpos in range(maxlen):
+            # bit `bitpos` counted from the MSB of each code
+            active = sym_lens > bitpos
+            shifts = (sym_lens[active] - 1 - bitpos).astype(np.uint64)
+            bits = ((sym_codes[active] >> shifts) & np.uint64(1)).astype(np.uint8)
+            bit_array[starts[active] + bitpos] = bits
+        packed = np.packbits(bit_array)
+
+        # Header: n symbols, table (symbol, length) pairs.
+        header = [struct.pack("<QI", n, len(canon.symbols))]
+        header.append(canon.symbols.astype("<i8").tobytes())
+        header.append(canon.lengths.astype("<u1").tobytes())
+        header.append(struct.pack("<Q", total_bits))
+        return b"".join(header) + packed.tobytes()
+
+    def decode(self, blob: bytes) -> np.ndarray:
+        n, table_size = struct.unpack_from("<QI", blob, 0)
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        offset = struct.calcsize("<QI")
+        symbols = np.frombuffer(blob, dtype="<i8", count=table_size, offset=offset).astype(np.int64)
+        offset += table_size * 8
+        lengths = np.frombuffer(blob, dtype="<u1", count=table_size, offset=offset).astype(np.int64)
+        offset += table_size
+        (total_bits,) = struct.unpack_from("<Q", blob, offset)
+        offset += 8
+        packed = np.frombuffer(blob, dtype=np.uint8, offset=offset)
+        bits = np.unpackbits(packed)[:total_bits]
+
+        canon = _canonicalize({int(s): int(l) for s, l in zip(symbols, lengths)})
+        # first_code[l] / first_index[l]: canonical decoding tables per length
+        max_len = int(canon.lengths.max())
+        first_code = np.full(max_len + 2, -1, dtype=np.int64)
+        first_index = np.zeros(max_len + 2, dtype=np.int64)
+        counts_per_len = np.zeros(max_len + 2, dtype=np.int64)
+        for i, l in enumerate(canon.lengths):
+            if first_code[l] < 0:
+                first_code[l] = int(canon.codes[i])
+                first_index[l] = i
+            counts_per_len[l] += 1
+
+        out = np.empty(n, dtype=np.int64)
+        code = 0
+        length = 0
+        pos = 0
+        bits_list = bits.tolist()  # python ints are faster for the tight loop
+        for oi in range(n):
+            code = 0
+            length = 0
+            while True:
+                if pos >= total_bits:
+                    raise DecompressionError("Huffman bitstream exhausted prematurely")
+                code = (code << 1) | bits_list[pos]
+                pos += 1
+                length += 1
+                fc = first_code[length]
+                if fc >= 0 and fc <= code < fc + counts_per_len[length]:
+                    out[oi] = canon.symbols[first_index[length] + (code - fc)]
+                    break
+                if length > max_len:
+                    raise DecompressionError("invalid Huffman code in bitstream")
+        return out
+
+
+def huffman_encode(symbols: np.ndarray) -> bytes:
+    """Module-level convenience wrapper around :class:`HuffmanCodec.encode`."""
+    return HuffmanCodec().encode(symbols)
+
+
+def huffman_decode(blob: bytes) -> np.ndarray:
+    """Module-level convenience wrapper around :class:`HuffmanCodec.decode`."""
+    return HuffmanCodec().decode(blob)

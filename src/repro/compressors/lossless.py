@@ -1,0 +1,172 @@
+"""Lossless byte-stream backends and a tiny multi-stream container format.
+
+Error-bounded lossy compressors reduce floating-point data to a handful of
+integer/float streams (quantization indices, unpredictable values, predictor
+coefficients).  Those streams are serialised here with a named-stream
+container and compressed with a general-purpose lossless codec (zlib by
+default, matching the role zstd plays in the reference SZ implementations).
+"""
+
+from __future__ import annotations
+
+import bz2
+import lzma
+import struct
+import zlib
+from typing import Dict
+
+import numpy as np
+
+from repro.compressors.errors import DecompressionError
+
+__all__ = [
+    "lossless_compress",
+    "lossless_decompress",
+    "pack_streams",
+    "unpack_streams",
+    "encode_int_array",
+    "decode_int_array",
+    "encode_float_array",
+    "decode_float_array",
+    "LOSSLESS_BACKENDS",
+]
+
+_MAGIC = b"RPRS"  # "RePRoduction Streams"
+_VERSION = 1
+
+LOSSLESS_BACKENDS = ("zlib", "lzma", "bz2", "store")
+
+
+def lossless_compress(raw: bytes, backend: str = "zlib", level: int = 6) -> bytes:
+    """Compress a byte string with the chosen backend.
+
+    A one-byte backend tag is prepended so decompression is self-describing.
+    """
+    if backend == "zlib":
+        body = zlib.compress(raw, level)
+        tag = b"z"
+    elif backend == "lzma":
+        body = lzma.compress(raw, preset=min(level, 9))
+        tag = b"x"
+    elif backend == "bz2":
+        body = bz2.compress(raw, compresslevel=max(1, min(level, 9)))
+        tag = b"b"
+    elif backend == "store":
+        body = raw
+        tag = b"s"
+    else:
+        raise ValueError(f"unknown lossless backend {backend!r}; choose from {LOSSLESS_BACKENDS}")
+    return tag + body
+
+
+def lossless_decompress(blob: bytes) -> bytes:
+    """Invert :func:`lossless_compress`."""
+    if not blob:
+        raise DecompressionError("empty lossless payload")
+    tag, body = blob[:1], blob[1:]
+    try:
+        if tag == b"z":
+            return zlib.decompress(body)
+        if tag == b"x":
+            return lzma.decompress(body)
+        if tag == b"b":
+            return bz2.decompress(body)
+        if tag == b"s":
+            return body
+    except Exception as exc:  # pragma: no cover - corruption paths
+        raise DecompressionError(f"lossless payload is corrupt: {exc}") from exc
+    raise DecompressionError(f"unknown lossless backend tag {tag!r}")
+
+
+def pack_streams(streams: Dict[str, bytes]) -> bytes:
+    """Serialise named byte streams into a single self-describing blob."""
+    parts = [_MAGIC, struct.pack("<BI", _VERSION, len(streams))]
+    for name, data in streams.items():
+        name_b = name.encode("utf-8")
+        if len(name_b) > 255:
+            raise ValueError(f"stream name too long: {name!r}")
+        parts.append(struct.pack("<B", len(name_b)))
+        parts.append(name_b)
+        parts.append(struct.pack("<Q", len(data)))
+        parts.append(data)
+    return b"".join(parts)
+
+
+def unpack_streams(blob: bytes) -> Dict[str, bytes]:
+    """Invert :func:`pack_streams`."""
+    if blob[:4] != _MAGIC:
+        raise DecompressionError("bad container magic; payload is not a repro stream bundle")
+    version, count = struct.unpack_from("<BI", blob, 4)
+    if version != _VERSION:
+        raise DecompressionError(f"unsupported container version {version}")
+    offset = 4 + 5
+    streams: Dict[str, bytes] = {}
+    for _ in range(count):
+        (name_len,) = struct.unpack_from("<B", blob, offset)
+        offset += 1
+        name = blob[offset : offset + name_len].decode("utf-8")
+        offset += name_len
+        (size,) = struct.unpack_from("<Q", blob, offset)
+        offset += 8
+        streams[name] = blob[offset : offset + size]
+        offset += size
+    if offset != len(blob):
+        raise DecompressionError("trailing bytes after the last stream")
+    return streams
+
+
+def _smallest_int_dtype(arr: np.ndarray) -> np.dtype:
+    """Smallest signed integer dtype able to hold every value of ``arr``."""
+    if arr.size == 0:
+        return np.dtype(np.int8)
+    lo = int(arr.min())
+    hi = int(arr.max())
+    for dtype in (np.int8, np.int16, np.int32, np.int64):
+        info = np.iinfo(dtype)
+        if info.min <= lo and hi <= info.max:
+            return np.dtype(dtype)
+    raise ValueError("integer values out of int64 range")
+
+
+def encode_int_array(arr: np.ndarray, backend: str = "zlib", level: int = 6) -> bytes:
+    """Encode an integer array: narrowest dtype + lossless backend.
+
+    The dtype and length are stored in a small header so decoding does not
+    need out-of-band information.
+    """
+    arr = np.ascontiguousarray(arr)
+    if arr.size and not np.issubdtype(arr.dtype, np.integer):
+        raise ValueError("encode_int_array expects integer data")
+    dtype = _smallest_int_dtype(arr.astype(np.int64, copy=False))
+    narrowed = arr.astype(dtype, copy=False)
+    header = struct.pack("<cQ", dtype.char.encode("ascii"), narrowed.size)
+    return header + lossless_compress(narrowed.tobytes(), backend=backend, level=level)
+
+
+def decode_int_array(blob: bytes) -> np.ndarray:
+    """Invert :func:`encode_int_array` (always returns int64)."""
+    dtype_char, size = struct.unpack_from("<cQ", blob, 0)
+    body = lossless_decompress(blob[struct.calcsize("<cQ"):])
+    arr = np.frombuffer(body, dtype=np.dtype(dtype_char.decode("ascii")))
+    if arr.size != size:
+        raise DecompressionError(f"integer stream length mismatch: {arr.size} != {size}")
+    return arr.astype(np.int64)
+
+
+def encode_float_array(arr: np.ndarray, backend: str = "zlib", level: int = 6,
+                        dtype: str = "<f8") -> bytes:
+    """Encode a float array exactly (used for unpredictable values and coefficients)."""
+    arr = np.ascontiguousarray(np.asarray(arr, dtype=np.dtype(dtype)))
+    header = struct.pack("<2sQ", dtype[-2:].encode("ascii"), arr.size)
+    return header + lossless_compress(arr.tobytes(), backend=backend, level=level)
+
+
+def decode_float_array(blob: bytes) -> np.ndarray:
+    """Invert :func:`encode_float_array` (always returns float64)."""
+    dtype_tag, size = struct.unpack_from("<2sQ", blob, 0)
+    dtype = np.dtype("<" + dtype_tag.decode("ascii"))
+    body = lossless_decompress(blob[struct.calcsize("<2sQ"):])
+    arr = np.frombuffer(body, dtype=dtype)
+    if arr.size != size:
+        raise DecompressionError(f"float stream length mismatch: {arr.size} != {size}")
+    return arr.astype(np.float64)

@@ -1,0 +1,78 @@
+"""Per-block linear (hyper-plane) regression predictor.
+
+SZ2 fits a linear model ``f(i, j, k) = c0 + c1 i + c2 j + c3 k`` inside each
+compression block and transmits the quantized coefficients; the decompressor
+evaluates the same plane, so prediction error never accumulates across blocks.
+The fit is solved in closed form for *all* blocks at once: with a fixed design
+matrix ``X`` (one row per in-block position) the least-squares coefficients of
+every block are ``pinv(X) @ values``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["design_matrix", "fit_plane_blocks", "predict_plane_blocks", "fit_mean_blocks"]
+
+
+def design_matrix(block_shape: Sequence[int]) -> np.ndarray:
+    """Design matrix with a constant column plus one coordinate column per axis.
+
+    Coordinates are centred so the constant coefficient equals the block mean,
+    which improves the numerical conditioning and the compressibility of the
+    coefficient stream.
+    """
+    block_shape = tuple(int(b) for b in block_shape)
+    coords = np.meshgrid(
+        *[np.arange(b, dtype=np.float64) - (b - 1) / 2.0 for b in block_shape],
+        indexing="ij",
+    )
+    cols = [np.ones(int(np.prod(block_shape)), dtype=np.float64)]
+    cols.extend(c.ravel() for c in coords)
+    return np.stack(cols, axis=1)  # (npoints, 1 + ndim)
+
+
+def fit_plane_blocks(block_values: np.ndarray, block_shape: Sequence[int]) -> np.ndarray:
+    """Least-squares plane coefficients for every block.
+
+    Parameters
+    ----------
+    block_values:
+        Array of shape ``(nblocks, npoints)`` where ``npoints = prod(block_shape)``.
+    block_shape:
+        Shape of a single block.
+
+    Returns
+    -------
+    numpy.ndarray
+        Coefficients of shape ``(nblocks, 1 + ndim)``.
+    """
+    X = design_matrix(block_shape)
+    if block_values.ndim != 2 or block_values.shape[1] != X.shape[0]:
+        raise ValueError(
+            f"block_values must be (nblocks, {X.shape[0]}), got {block_values.shape}"
+        )
+    pinv = np.linalg.pinv(X)  # (1+ndim, npoints)
+    return block_values @ pinv.T  # (nblocks, 1+ndim)
+
+
+def predict_plane_blocks(coefficients: np.ndarray, block_shape: Sequence[int]) -> np.ndarray:
+    """Evaluate the per-block planes; inverse of :func:`fit_plane_blocks`.
+
+    Returns predictions of shape ``(nblocks, npoints)``.
+    """
+    X = design_matrix(block_shape)
+    if coefficients.ndim != 2 or coefficients.shape[1] != X.shape[1]:
+        raise ValueError(
+            f"coefficients must be (nblocks, {X.shape[1]}), got {coefficients.shape}"
+        )
+    return coefficients @ X.T
+
+
+def fit_mean_blocks(block_values: np.ndarray) -> np.ndarray:
+    """Block-mean predictor coefficients, shape ``(nblocks, 1)``."""
+    if block_values.ndim != 2:
+        raise ValueError("block_values must be 2-D (nblocks, npoints)")
+    return block_values.mean(axis=1, keepdims=True)

@@ -1,0 +1,176 @@
+"""SZ2-like block-wise predictive compressor.
+
+The array is cut into independent ``b^d`` blocks (6 for uniform data, 4 for
+multi-resolution data, following AMRIC's finding quoted in §III-B of the
+paper).  Each block is predicted by a linear plane (or its mean) fitted per
+block; residuals are quantized under the absolute error bound and entropy
+coded.  Because blocks are processed independently the compressor is fast and
+trivially parallel, but it loses all spatial information across block
+boundaries — exactly the behaviour the paper's Bezier post-processing targets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.compressors.base import CompressedArray, Compressor, register_compressor
+from repro.compressors.errors import CompressionError, DecompressionError
+from repro.compressors.huffman import huffman_decode, huffman_encode
+from repro.compressors.lossless import (
+    decode_float_array,
+    decode_int_array,
+    encode_float_array,
+    encode_int_array,
+    lossless_compress,
+    lossless_decompress,
+    pack_streams,
+    unpack_streams,
+)
+from repro.compressors.quantizer import DEFAULT_CODE_RADIUS, LinearQuantizer
+from repro.compressors.regression import fit_mean_blocks, fit_plane_blocks, predict_plane_blocks
+from repro.utils.blocks import assemble_blocks, block_view, pad_to_multiple
+
+__all__ = ["SZ2Compressor", "DEFAULT_UNIFORM_BLOCK", "DEFAULT_MULTIRES_BLOCK"]
+
+#: Default block edge for uniform-resolution data (SZ2 uses 6^3).
+DEFAULT_UNIFORM_BLOCK = 6
+#: Block edge AMRIC found optimal for multi-resolution data (§III-B).
+DEFAULT_MULTIRES_BLOCK = 4
+
+_PREDICTORS = ("plane", "mean")
+
+
+@register_compressor("sz2")
+class SZ2Compressor(Compressor):
+    """Block-wise predictive error-bounded lossy compressor."""
+
+    def __init__(
+        self,
+        block_size: int = DEFAULT_UNIFORM_BLOCK,
+        predictor: str = "plane",
+        entropy: str = "zlib",
+        lossless_level: int = 6,
+        quantizer_radius: int = DEFAULT_CODE_RADIUS,
+        coefficient_dtype: str = "<f4",
+    ) -> None:
+        super().__init__()
+        if int(block_size) < 2:
+            raise ValueError("block_size must be at least 2")
+        if predictor not in _PREDICTORS:
+            raise ValueError(f"predictor must be one of {_PREDICTORS}")
+        if entropy not in ("zlib", "huffman"):
+            raise ValueError("entropy must be 'zlib' or 'huffman'")
+        self.block_size = int(block_size)
+        self.predictor = predictor
+        self.entropy = entropy
+        self.lossless_level = int(lossless_level)
+        self.quantizer = LinearQuantizer(radius=quantizer_radius)
+        self.coefficient_dtype = coefficient_dtype
+
+    # -- helpers ------------------------------------------------------------
+    def _block_values(self, data: np.ndarray) -> Tuple[np.ndarray, Tuple[int, ...], Tuple[int, ...]]:
+        padded = pad_to_multiple(data, self.block_size, mode="edge")
+        bv = block_view(padded, self.block_size)
+        ndim = data.ndim
+        nblocks_shape = bv.shape[:ndim]
+        block_shape = bv.shape[ndim:]
+        values = bv.reshape(int(np.prod(nblocks_shape)), int(np.prod(block_shape)))
+        return np.ascontiguousarray(values), nblocks_shape, padded.shape
+
+    def _predictions(self, coefficients: np.ndarray, block_shape: Tuple[int, ...]) -> np.ndarray:
+        if self.predictor == "mean" or coefficients.shape[1] == 1:
+            npoints = int(np.prod(block_shape))
+            return np.repeat(coefficients, npoints, axis=1)
+        return predict_plane_blocks(coefficients, block_shape)
+
+    # -- compression --------------------------------------------------------
+    def _compress_impl(self, data: np.ndarray, error_bound: float) -> Tuple[bytes, Dict]:
+        values, nblocks_shape, padded_shape = self._block_values(data)
+        block_shape = (self.block_size,) * data.ndim
+
+        if self.predictor == "mean":
+            coefficients = fit_mean_blocks(values)
+        else:
+            coefficients = fit_plane_blocks(values, block_shape)
+        # The decompressor only sees the narrowed coefficients, so predictions
+        # must be computed from the same narrowed values on both sides.
+        coefficients = coefficients.astype(np.dtype(self.coefficient_dtype)).astype(np.float64)
+
+        predictions = self._predictions(coefficients, block_shape)
+        qr = self.quantizer.quantize(values.ravel(), predictions.ravel(), error_bound)
+
+        if self.entropy == "huffman":
+            codes_blob = b"H" + lossless_compress(
+                huffman_encode(qr.codes), backend="zlib", level=self.lossless_level
+            )
+        else:
+            codes_blob = b"Z" + encode_int_array(qr.codes, level=self.lossless_level)
+
+        payload = pack_streams(
+            {
+                "codes": codes_blob,
+                "exact": encode_float_array(qr.exact_values, level=self.lossless_level),
+                "coeff": encode_float_array(
+                    coefficients.ravel(), level=self.lossless_level, dtype=self.coefficient_dtype
+                ),
+            }
+        )
+        metadata = {
+            "block_size": self.block_size,
+            "predictor": self.predictor,
+            "entropy": self.entropy,
+            "padded_shape": list(padded_shape),
+            "nblocks_shape": list(nblocks_shape),
+            "n_coefficients": int(coefficients.shape[1]),
+            "n_unpredictable": int(qr.exact_values.size),
+            "quantizer_radius": self.quantizer.radius,
+        }
+        return payload, metadata
+
+    # -- decompression ------------------------------------------------------
+    def _decompress_impl(self, compressed: CompressedArray) -> np.ndarray:
+        meta = compressed.metadata
+        streams = unpack_streams(compressed.payload)
+        tag, body = streams["codes"][:1], streams["codes"][1:]
+        if tag == b"H":
+            codes = huffman_decode(lossless_decompress(body))
+        elif tag == b"Z":
+            codes = decode_int_array(body)
+        else:
+            raise DecompressionError(f"unknown code-stream tag {tag!r}")
+        exact = decode_float_array(streams["exact"])
+        coefficients = decode_float_array(streams["coeff"])
+
+        block_size = int(meta["block_size"])
+        ndim = len(compressed.shape)
+        block_shape = (block_size,) * ndim
+        nblocks_shape = tuple(int(x) for x in meta["nblocks_shape"])
+        padded_shape = tuple(int(x) for x in meta["padded_shape"])
+        n_coeff = int(meta["n_coefficients"])
+        nblocks = int(np.prod(nblocks_shape))
+        npoints = int(np.prod(block_shape))
+
+        coefficients = coefficients.reshape(nblocks, n_coeff)
+        predictions = self._predictions(coefficients, block_shape)
+        if predictions.size != codes.size:
+            raise DecompressionError("quantization-code stream length mismatch")
+
+        radius = int(meta.get("quantizer_radius", DEFAULT_CODE_RADIUS))
+        quantizer = LinearQuantizer(radius=radius)
+        values, _ = quantizer.dequantize(codes, predictions.ravel(), compressed.error_bound, exact)
+
+        blocks = values.reshape((nblocks, npoints)).reshape(nblocks_shape + block_shape)
+        dense = assemble_blocks(blocks, out_shape=compressed.shape)
+        return dense
+
+    # -- introspection -------------------------------------------------------
+    def block_boundaries(self, shape: Tuple[int, ...]):
+        """Indices of the first element of every block along each axis.
+
+        The Bezier post-processing stage needs to know where block boundaries
+        lie; exposing them here keeps the compressor the single source of
+        truth for its own blocking.
+        """
+        return tuple(np.arange(0, s, self.block_size) for s in shape)

@@ -1,0 +1,182 @@
+"""SZ3-like global interpolation compressor.
+
+The compressor predicts the whole array with the multi-level separable
+interpolation of :mod:`repro.compressors.interpolation`, quantizes prediction
+residuals with a strict absolute error bound, and entropy-codes the resulting
+integer stream.  Two hooks are exposed because the paper's SZ3MR needs them:
+
+* ``level_error_bounds`` — a callable mapping ``(level, max_level, base_eb)``
+  to the error bound used at that interpolation level.  The default is the
+  constant base bound (original SZ3); SZ3MR installs the adaptive schedule of
+  §III-A (Improvement 2).
+* ``interpolation`` — ``"linear"`` or ``"cubic"`` prediction kernel.
+
+The quantization-code order is fully determined by the array shape, so the
+payload only carries three streams (codes, unpredictable values, anchors).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.compressors.base import CompressedArray, Compressor, register_compressor
+from repro.compressors.errors import CompressionError, DecompressionError
+from repro.compressors.huffman import huffman_decode, huffman_encode
+from repro.compressors.interpolation import build_plan, predict_step
+from repro.compressors.lossless import (
+    decode_float_array,
+    decode_int_array,
+    encode_float_array,
+    encode_int_array,
+    lossless_compress,
+    lossless_decompress,
+    pack_streams,
+    unpack_streams,
+)
+from repro.compressors.quantizer import DEFAULT_CODE_RADIUS, LinearQuantizer
+
+__all__ = ["SZ3Compressor", "constant_level_error_bounds"]
+
+LevelErrorBoundFn = Callable[[int, int, float], float]
+
+
+def constant_level_error_bounds(level: int, max_level: int, base_eb: float) -> float:
+    """Original SZ3 behaviour: the same error bound at every interpolation level."""
+    return base_eb
+
+
+@register_compressor("sz3")
+class SZ3Compressor(Compressor):
+    """Global interpolation-based error-bounded lossy compressor."""
+
+    def __init__(
+        self,
+        interpolation: str = "cubic",
+        level_error_bounds: Optional[LevelErrorBoundFn] = None,
+        entropy: str = "zlib",
+        lossless_level: int = 6,
+        quantizer_radius: int = DEFAULT_CODE_RADIUS,
+    ) -> None:
+        super().__init__()
+        if interpolation not in ("linear", "cubic"):
+            raise ValueError("interpolation must be 'linear' or 'cubic'")
+        if entropy not in ("zlib", "huffman"):
+            raise ValueError("entropy must be 'zlib' or 'huffman'")
+        self.interpolation = interpolation
+        self.level_error_bounds = level_error_bounds or constant_level_error_bounds
+        self.entropy = entropy
+        self.lossless_level = int(lossless_level)
+        self.quantizer = LinearQuantizer(radius=quantizer_radius)
+
+    # -- compression --------------------------------------------------------
+    def _compress_impl(self, data: np.ndarray, error_bound: float) -> Tuple[bytes, Dict]:
+        plan = build_plan(data.shape)
+        # Per-level error bounds are resolved once and stored in the metadata
+        # so the decompressor replays exactly the same schedule.
+        level_ebs = {
+            level: float(self.level_error_bounds(level, plan.max_level, error_bound))
+            for level in range(1, plan.max_level + 1)
+        }
+        for level, eb in level_ebs.items():
+            if eb <= 0:
+                raise CompressionError(f"level {level} error bound must be positive, got {eb}")
+
+        recon = np.zeros_like(data)
+        anchors = data[plan.anchor].astype(np.float64).ravel()
+        recon[plan.anchor] = data[plan.anchor]
+
+        code_segments = []
+        exact_segments = []
+        for step in plan.steps:
+            pred = predict_step(recon, step, mode=self.interpolation)
+            target_values = data[step.target]
+            eb_level = level_ebs[step.level]
+            qr = self.quantizer.quantize(target_values, pred, eb_level)
+            recon[step.target] = qr.reconstructed.reshape(target_values.shape)
+            code_segments.append(qr.codes)
+            if qr.exact_values.size:
+                exact_segments.append(qr.exact_values)
+
+        codes = (
+            np.concatenate(code_segments) if code_segments else np.zeros(0, dtype=np.int64)
+        )
+        exact = (
+            np.concatenate(exact_segments) if exact_segments else np.zeros(0, dtype=np.float64)
+        )
+
+        if self.entropy == "huffman":
+            codes_blob = b"H" + lossless_compress(
+                huffman_encode(codes), backend="zlib", level=self.lossless_level
+            )
+        else:
+            codes_blob = b"Z" + encode_int_array(codes, level=self.lossless_level)
+
+        payload = pack_streams(
+            {
+                "codes": codes_blob,
+                "exact": encode_float_array(exact, level=self.lossless_level),
+                "anchors": encode_float_array(anchors, level=self.lossless_level),
+            }
+        )
+        metadata = {
+            "interpolation": self.interpolation,
+            "entropy": self.entropy,
+            "max_level": plan.max_level,
+            "level_error_bounds": {str(k): v for k, v in level_ebs.items()},
+            "n_unpredictable": int(exact.size),
+            "quantizer_radius": self.quantizer.radius,
+        }
+        return payload, metadata
+
+    # -- decompression ------------------------------------------------------
+    def _decompress_impl(self, compressed: CompressedArray) -> np.ndarray:
+        meta = compressed.metadata
+        streams = unpack_streams(compressed.payload)
+        codes_blob = streams["codes"]
+        tag, body = codes_blob[:1], codes_blob[1:]
+        if tag == b"H":
+            codes = huffman_decode(lossless_decompress(body))
+        elif tag == b"Z":
+            codes = decode_int_array(body)
+        else:
+            raise DecompressionError(f"unknown code-stream tag {tag!r}")
+        exact = decode_float_array(streams["exact"])
+        anchors = decode_float_array(streams["anchors"])
+
+        plan = build_plan(tuple(compressed.shape))
+        level_ebs = {int(k): float(v) for k, v in meta["level_error_bounds"].items()}
+        interpolation = meta.get("interpolation", "cubic")
+        radius = int(meta.get("quantizer_radius", DEFAULT_CODE_RADIUS))
+        quantizer = LinearQuantizer(radius=radius)
+
+        recon = np.zeros(plan.shape, dtype=np.float64)
+        anchor_view = recon[plan.anchor]
+        if anchors.size != anchor_view.size:
+            raise DecompressionError("anchor stream size mismatch")
+        recon[plan.anchor] = anchors.reshape(anchor_view.shape)
+
+        code_cursor = 0
+        exact_cursor = 0
+        for step in plan.steps:
+            pred = predict_step(recon, step, mode=interpolation)
+            n = pred.size
+            seg = codes[code_cursor : code_cursor + n]
+            if seg.size != n:
+                raise DecompressionError("quantization-code stream exhausted prematurely")
+            code_cursor += n
+            eb_level = level_ebs.get(step.level)
+            if eb_level is None:
+                raise DecompressionError(f"missing error bound for level {step.level}")
+            values, n_exact = quantizer.dequantize(
+                seg, pred, eb_level, exact[exact_cursor:]
+            )
+            exact_cursor += n_exact
+            recon[step.target] = values.reshape(pred.shape)
+
+        if code_cursor != codes.size:
+            raise DecompressionError(
+                f"code stream has {codes.size - code_cursor} unused entries"
+            )
+        return recon

@@ -1,0 +1,100 @@
+"""ZFP's decorrelating block transform.
+
+ZFP applies an orthogonal-ish lifting transform to each 4-point line of a
+``4^d`` block (separably along each axis) before coding the transform
+coefficients.  We use the published transform matrix
+
+    L = 1/16 * [[ 4,  4,  4,  4],
+                [ 5,  1, -1, -5],
+                [-4,  4,  4, -4],
+                [-2,  6, -6,  2]]
+
+and its exact inverse.  The induced infinity norm of the inverse separable
+transform gives the worst-case amplification of coefficient quantization
+error, which is what the fixed-accuracy mode of :class:`repro.compressors.zfp.
+ZFPCompressor` uses to guarantee the point-wise error bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ZFP_BLOCK_SIZE",
+    "forward_matrix",
+    "inverse_matrix",
+    "forward_transform_blocks",
+    "inverse_transform_blocks",
+    "inverse_gain",
+]
+
+#: Edge length of a ZFP block.
+ZFP_BLOCK_SIZE = 4
+
+_FWD = (1.0 / 16.0) * np.array(
+    [
+        [4.0, 4.0, 4.0, 4.0],
+        [5.0, 1.0, -1.0, -5.0],
+        [-4.0, 4.0, 4.0, -4.0],
+        [-2.0, 6.0, -6.0, 2.0],
+    ]
+)
+_INV = np.linalg.inv(_FWD)
+
+
+def forward_matrix() -> np.ndarray:
+    """Copy of the 4x4 forward decorrelating transform."""
+    return _FWD.copy()
+
+
+def inverse_matrix() -> np.ndarray:
+    """Copy of the exact inverse transform."""
+    return _INV.copy()
+
+
+def _apply_separable(blocks: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """Apply ``matrix`` along every block axis of ``blocks``.
+
+    ``blocks`` has shape ``(nblocks, 4, 4, ...)`` with ``ndim`` trailing axes
+    of length 4; the matrix acts on each of them in turn.
+    """
+    out = np.asarray(blocks, dtype=np.float64)
+    ndim = out.ndim - 1
+    for axis in range(1, ndim + 1):
+        out = np.moveaxis(out, axis, -1)
+        out = out @ matrix.T
+        out = np.moveaxis(out, -1, axis)
+    return out
+
+
+def forward_transform_blocks(blocks: np.ndarray) -> np.ndarray:
+    """Forward transform of a batch of ``4^d`` blocks, shape ``(nblocks, 4, ..)``."""
+    _check_blocks(blocks)
+    return _apply_separable(blocks, _FWD)
+
+
+def inverse_transform_blocks(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse transform; exact inverse of :func:`forward_transform_blocks`."""
+    _check_blocks(coefficients)
+    return _apply_separable(coefficients, _INV)
+
+
+def inverse_gain(ndim: int) -> float:
+    """Worst-case amplification of coefficient errors through the inverse transform.
+
+    For the separable d-dimensional transform this is the induced
+    infinity-norm of the 1-D inverse raised to the d-th power.
+    """
+    if ndim < 1:
+        raise ValueError("ndim must be >= 1")
+    row_norm = float(np.abs(_INV).sum(axis=1).max())
+    return row_norm**ndim
+
+
+def _check_blocks(blocks: np.ndarray) -> None:
+    if blocks.ndim < 2:
+        raise ValueError("blocks must have shape (nblocks, 4, ...)")
+    if any(s != ZFP_BLOCK_SIZE for s in blocks.shape[1:]):
+        raise ValueError(
+            f"every block axis must have length {ZFP_BLOCK_SIZE}, got {blocks.shape[1:]}"
+        )

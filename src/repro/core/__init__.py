@@ -1,0 +1,73 @@
+"""The paper's contributions, layered on top of the substrates.
+
+* :mod:`repro.core.roi` — compression-oriented ROI extraction (uniform ->
+  adaptive multi-resolution data).
+* :mod:`repro.core.partition` — unit-block partitioning of sparse resolution
+  levels and the merge arrangements compared in Fig. 6 (linear, stack/AMRIC,
+  adjacency/TAC).
+* :mod:`repro.core.padding` — dynamic padding of the small dimensions of the
+  merged array (SZ3MR improvement 1).
+* :mod:`repro.core.adaptive_eb` — per-interpolation-level adaptive error
+  bounds (SZ3MR improvement 2).
+* :mod:`repro.core.mr_compressor` / :mod:`repro.core.sz3mr` — the
+  multi-resolution compression engine and the paper's SZ3MR configuration.
+* :mod:`repro.core.sampling` / :mod:`repro.core.postprocess` — compression
+  error sampling and the error-bounded Bezier post-processing.
+* :mod:`repro.core.uncertainty` — normal-distribution uncertainty model of
+  compression error for probabilistic marching cubes.
+* :mod:`repro.core.workflow` — end-to-end facade tying everything together.
+"""
+
+from repro.core.adaptive_eb import AdaptiveErrorBoundSchedule, adaptive_level_error_bounds
+from repro.core.mr_compressor import (
+    CompressedHierarchy,
+    CompressedLevel,
+    MultiResolutionCompressor,
+)
+from repro.core.padding import PadInfo, pad_small_dimensions, unpad
+from repro.core.partition import (
+    Arrangement,
+    UnitBlockSet,
+    extract_unit_blocks,
+    linear_merge,
+    scatter_unit_blocks,
+    stack_merge,
+    adjacency_merge,
+)
+from repro.core.postprocess import PostProcessor, PostProcessPlan, bezier_boundary_smooth
+from repro.core.roi import ROIResult, extract_roi, roi_preview_field
+from repro.core.sampling import SampledErrors, sample_compression_errors
+from repro.core.sz3mr import SZ3MRCompressor, sz3mr_variants
+from repro.core.uncertainty import CompressionUncertaintyModel
+from repro.core.workflow import MultiResolutionWorkflow, WorkflowResult
+
+__all__ = [
+    "AdaptiveErrorBoundSchedule",
+    "adaptive_level_error_bounds",
+    "MultiResolutionCompressor",
+    "CompressedHierarchy",
+    "CompressedLevel",
+    "PadInfo",
+    "pad_small_dimensions",
+    "unpad",
+    "Arrangement",
+    "UnitBlockSet",
+    "extract_unit_blocks",
+    "scatter_unit_blocks",
+    "linear_merge",
+    "stack_merge",
+    "adjacency_merge",
+    "PostProcessor",
+    "PostProcessPlan",
+    "bezier_boundary_smooth",
+    "ROIResult",
+    "extract_roi",
+    "roi_preview_field",
+    "SampledErrors",
+    "sample_compression_errors",
+    "SZ3MRCompressor",
+    "sz3mr_variants",
+    "CompressionUncertaintyModel",
+    "MultiResolutionWorkflow",
+    "WorkflowResult",
+]

@@ -1,0 +1,65 @@
+"""Adaptive per-interpolation-level error bounds (SZ3MR improvement 2, §III-A).
+
+Points predicted at early (coarse) interpolation levels seed the predictions
+of every later level, so they deserve tighter error bounds.  Inspired by QoZ,
+the paper uses
+
+    eb_l = eb / min(alpha^(maxlevel - l), beta)
+
+but fixes ``alpha = 2.25`` and ``beta = 8`` instead of searching for them,
+exploiting the very anisotropic shapes produced by linear merge + padding
+(e.g. 17 x 17 x 8192).  The schedule object below plugs straight into
+:class:`repro.compressors.sz3.SZ3Compressor`'s ``level_error_bounds`` hook; in
+that compressor's numbering level 1 is processed last (finest stride), so the
+exponent is ``level - 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "AdaptiveErrorBoundSchedule",
+    "adaptive_level_error_bounds",
+    "DEFAULT_ALPHA",
+    "DEFAULT_BETA",
+]
+
+#: Paper-recommended constants (§III-A, improvement 2).
+DEFAULT_ALPHA = 2.25
+DEFAULT_BETA = 8.0
+
+
+@dataclass(frozen=True)
+class AdaptiveErrorBoundSchedule:
+    """Callable mapping ``(level, max_level, base_eb)`` to the level's error bound.
+
+    ``level`` follows the convention of
+    :mod:`repro.compressors.interpolation`: it counts down from ``max_level``
+    (coarsest stride, predicted first) to 1 (finest stride, predicted last).
+    The finest level always receives the full user error bound; earlier levels
+    are tightened geometrically by ``alpha`` and capped at ``base_eb / beta``.
+    """
+
+    alpha: float = DEFAULT_ALPHA
+    beta: float = DEFAULT_BETA
+
+    def __post_init__(self) -> None:
+        if self.alpha < 1.0:
+            raise ValueError("alpha must be >= 1")
+        if self.beta < 1.0:
+            raise ValueError("beta must be >= 1")
+
+    def __call__(self, level: int, max_level: int, base_eb: float) -> float:
+        if level < 1:
+            raise ValueError("level must be >= 1")
+        levels_after_this = level - 1
+        divisor = min(self.alpha**levels_after_this, self.beta)
+        return float(base_eb) / divisor
+
+
+def adaptive_level_error_bounds(
+    alpha: float = DEFAULT_ALPHA, beta: float = DEFAULT_BETA
+) -> AdaptiveErrorBoundSchedule:
+    """Factory for the paper's adaptive error-bound schedule."""
+    return AdaptiveErrorBoundSchedule(alpha=alpha, beta=beta)

@@ -1,0 +1,120 @@
+"""Dynamic padding of the merged array (SZ3MR improvement 1, §III-A).
+
+The linear merge of unit blocks produces an array with two small dimensions
+of size ``u = 2^n`` and one long dimension.  SZ3's interpolation extrapolates
+at the far end of every ``2^n``-sized axis (Fig. 7), so one extra layer is
+appended to each small axis — turning them into ``2^n + 1`` points, for which
+no interior point needs extrapolation (Fig. 8).  The pad layer value is
+extrapolated from the data (constant, linear or quadratic; the paper finds
+linear best) and simply cropped away after decompression.
+
+Padding costs ``(u+1)^2 / u^2`` extra samples, which is why the paper only
+applies it when ``u > 4``; :func:`should_pad` encodes that rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "PadInfo",
+    "pad_small_dimensions",
+    "unpad",
+    "padding_overhead",
+    "should_pad",
+    "PAD_MODES",
+]
+
+PAD_MODES = ("constant", "linear", "quadratic")
+
+
+@dataclass(frozen=True)
+class PadInfo:
+    """Record of which axes were padded (needed to crop after decompression)."""
+
+    axes: Tuple[int, ...]
+    original_shape: Tuple[int, ...]
+    mode: str
+
+
+def _extrapolate_layer(array: np.ndarray, axis: int, mode: str) -> np.ndarray:
+    """One extrapolated layer beyond the end of ``axis`` (keeps that axis, size 1)."""
+    n = array.shape[axis]
+
+    def take(idx: int) -> np.ndarray:
+        sl = [slice(None)] * array.ndim
+        sl[axis] = slice(idx, idx + 1)
+        return array[tuple(sl)]
+
+    last = take(n - 1)
+    if mode == "constant" or n < 2:
+        return last.copy()
+    second = take(n - 2)
+    if mode == "linear" or n < 3:
+        return 2.0 * last - second
+    third = take(n - 3)
+    # Quadratic (three-point) forward extrapolation.
+    return 3.0 * last - 3.0 * second + third
+
+
+def pad_small_dimensions(
+    array: np.ndarray,
+    mode: str = "linear",
+    n_axes: int = 2,
+) -> Tuple[np.ndarray, PadInfo]:
+    """Append one extrapolated layer to the ``n_axes`` smallest axes.
+
+    For the 3-D linear-merge layout (``u x u x u*n``) the two smallest axes
+    are the unit-block axes, exactly what §III-A pads.
+    """
+    data = np.asarray(array, dtype=np.float64)
+    if mode not in PAD_MODES:
+        raise ValueError(f"mode must be one of {PAD_MODES}, got {mode!r}")
+    n_axes = int(n_axes)
+    if not 1 <= n_axes <= data.ndim:
+        raise ValueError(f"n_axes must be in [1, {data.ndim}]")
+
+    # Smallest axes first; ties broken by axis index for determinism.
+    order = np.argsort(np.array(data.shape, dtype=np.int64), kind="stable")
+    axes = tuple(sorted(int(a) for a in order[:n_axes]))
+
+    padded = data
+    for axis in axes:
+        layer = _extrapolate_layer(padded, axis, mode)
+        padded = np.concatenate([padded, layer], axis=axis)
+    info = PadInfo(axes=axes, original_shape=data.shape, mode=mode)
+    return padded, info
+
+
+def unpad(array: np.ndarray, info: PadInfo) -> np.ndarray:
+    """Crop a padded array back to its original shape."""
+    data = np.asarray(array)
+    slices = [slice(None)] * data.ndim
+    for axis, original in enumerate(info.original_shape):
+        slices[axis] = slice(0, int(original))
+    out = data[tuple(slices)]
+    if out.shape != info.original_shape:
+        raise ValueError(
+            f"cannot unpad array of shape {data.shape} to original {info.original_shape}"
+        )
+    return np.ascontiguousarray(out)
+
+
+def padding_overhead(unit_size: int, n_axes: int = 2) -> float:
+    """Relative size increase of padding ``n_axes`` axes of length ``unit_size``.
+
+    For the default two axes this is the paper's ``(u+1)^2 / u^2`` (e.g. 56 %
+    for u = 4, 13 % for u = 16).
+    """
+    u = int(unit_size)
+    if u < 1:
+        raise ValueError("unit_size must be positive")
+    return float((u + 1) ** n_axes) / float(u**n_axes) - 1.0
+
+
+def should_pad(unit_size: int, threshold: int = 4) -> bool:
+    """Paper rule: apply padding only when the unit block size exceeds ``threshold``."""
+    return int(unit_size) > int(threshold)

@@ -1,0 +1,112 @@
+"""Compression-oriented ROI extraction (uniform -> adaptive data).
+
+Following §III ("ROI selection and preprocessing"), the original uniform
+dataset is partitioned into ``b^3`` blocks (``b = 2^n, n > 2``), each block is
+scored by its value range, and the top-x% blocks become the region of
+interest stored at full resolution; the remaining blocks are restricted to a
+coarser level.  The result is an :class:`~repro.amr.grid.AMRHierarchy`
+identical in structure to native AMR output, so everything downstream (unit
+block partitioning, SZ3MR, post-processing) treats both the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.amr.grid import AMRHierarchy
+from repro.amr.refinement import (
+    RefinementCriterion,
+    ValueRangeCriterion,
+    build_hierarchy_from_uniform,
+)
+from repro.utils.validation import ensure_array, ensure_in_range, ensure_power_of_two
+
+__all__ = ["ROIResult", "extract_roi", "roi_preview_field"]
+
+
+@dataclass
+class ROIResult:
+    """Outcome of ROI extraction.
+
+    Attributes
+    ----------
+    hierarchy:
+        Two-level adaptive hierarchy: level 0 (fine) owns the ROI blocks,
+        level 1 (coarse) owns the rest at halved resolution.
+    roi_fraction:
+        Requested fraction of blocks kept at full resolution.
+    block_size:
+        Edge length of the scoring blocks.
+    roi_mask:
+        Boolean mask at full resolution marking the ROI cells.
+    storage_reduction:
+        Uniform cell count divided by multi-resolution cell count (the storage
+        benefit of going adaptive *before* any lossy compression).
+    """
+
+    hierarchy: AMRHierarchy
+    roi_fraction: float
+    block_size: int
+    roi_mask: np.ndarray
+    storage_reduction: float
+
+
+def extract_roi(
+    data: np.ndarray,
+    roi_fraction: float = 0.5,
+    block_size: int = 8,
+    criterion: Optional[RefinementCriterion] = None,
+    refinement_ratio: int = 2,
+) -> ROIResult:
+    """Convert a uniform field into two-level adaptive data by ROI extraction.
+
+    Parameters
+    ----------
+    data:
+        Uniform 2-D or 3-D field whose axes are divisible by ``block_size``.
+    roi_fraction:
+        Fraction of blocks kept at full resolution (the paper's default is
+        50 %, and 15 % suffices for the Nyx halo analysis of Fig. 4).
+    block_size:
+        ROI scoring block edge; the paper requires a power of two larger
+        than 4.
+    criterion:
+        Block scoring strategy; value-range thresholding by default.
+    """
+    data = ensure_array(data, ndim=(2, 3), name="data")
+    roi_fraction = ensure_in_range(roi_fraction, 0.0, 1.0, "roi_fraction", inclusive=True)
+    block_size = ensure_power_of_two(block_size, "block_size", minimum=8)
+    criterion = criterion or ValueRangeCriterion()
+
+    hierarchy = build_hierarchy_from_uniform(
+        data,
+        n_levels=2,
+        block_size=block_size,
+        fractions=[roi_fraction, 1.0 - roi_fraction],
+        criterion=criterion,
+        refinement_ratio=refinement_ratio,
+        metadata={"source": "roi_extraction", "roi_fraction": roi_fraction},
+    )
+    from repro.amr.reconstruct import level_footprint
+
+    roi_mask = level_footprint(hierarchy, 0)
+    return ROIResult(
+        hierarchy=hierarchy,
+        roi_fraction=float(roi_fraction),
+        block_size=block_size,
+        roi_mask=roi_mask,
+        storage_reduction=hierarchy.storage_reduction(),
+    )
+
+
+def roi_preview_field(result: ROIResult, order: str = "nearest") -> np.ndarray:
+    """Reconstruct a full-resolution field from the adaptive data.
+
+    ROI cells keep their original values; non-ROI cells are prolonged from the
+    coarse level.  Comparing this against the original field is how Fig. 4
+    evaluates ROI extraction quality (SSIM = 0.99995 with a 15 % ROI).
+    """
+    return result.hierarchy.to_uniform(order=order)

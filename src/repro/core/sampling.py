@@ -1,0 +1,143 @@
+"""Compression-error sampling (§III-B, §III-C).
+
+Both the post-processing intensity search and the uncertainty model need to
+know how a compressor behaves on the data *before* paying for a full
+compression: the paper samples ``i^3`` blocks of size ``(j x blocksize)^3``
+(about 1.5 % of the data), compresses and decompresses just those blocks, and
+reuses the observed errors twice — once to pick the post-processing intensity
+``a`` and once to estimate the per-voxel error distribution for probabilistic
+marching cubes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.compressors.base import Compressor
+from repro.utils.rng import default_rng
+
+__all__ = ["SampledErrors", "sample_compression_errors"]
+
+
+@dataclass
+class SampledErrors:
+    """Original and decompressed values of the sampled blocks.
+
+    The per-block arrays keep their spatial shape so the Bezier post-process
+    can be evaluated on them; flattened views are exposed for the statistics
+    used by the uncertainty model.
+    """
+
+    original_blocks: np.ndarray  # (n_blocks, s, s[, s])
+    decompressed_blocks: np.ndarray  # same shape
+    error_bound: float
+    sample_fraction: float
+    block_shape: Tuple[int, ...]
+    compressor_name: str
+
+    @property
+    def original(self) -> np.ndarray:
+        return self.original_blocks.ravel()
+
+    @property
+    def decompressed(self) -> np.ndarray:
+        return self.decompressed_blocks.ravel()
+
+    @property
+    def errors(self) -> np.ndarray:
+        """Signed compression errors (decompressed - original)."""
+        return self.decompressed - self.original
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.original_blocks.size)
+
+    def error_mean(self) -> float:
+        return float(self.errors.mean())
+
+    def error_std(self) -> float:
+        return float(self.errors.std())
+
+    def max_abs_error(self) -> float:
+        return float(np.abs(self.errors).max()) if self.n_samples else 0.0
+
+
+def sample_compression_errors(
+    data: np.ndarray,
+    compressor: Compressor,
+    error_bound: float,
+    sampling_rate: float = 0.015,
+    block_multiplier: int = 3,
+    base_block_size: Optional[int] = None,
+    seed: Union[int, str, None] = "error-sampling",
+) -> SampledErrors:
+    """Compress a small sample of blocks and record the resulting errors.
+
+    Parameters
+    ----------
+    data:
+        The array about to be compressed.
+    compressor:
+        The compressor that will be used (its observed error statistics are
+        what we want).
+    sampling_rate:
+        Upper bound on the fraction of cells sampled (paper: < 1.5 %).
+    block_multiplier:
+        ``j`` in the paper: sample blocks have edge ``j * blocksize`` so they
+        contain several compression blocks (necessary for the Bezier search).
+    base_block_size:
+        The compressor's block size; taken from ``compressor.block_size`` when
+        available, else 4.
+    """
+    arr = np.asarray(data, dtype=np.float64)
+    if error_bound <= 0:
+        raise ValueError("error_bound must be positive")
+    if not 0 < sampling_rate <= 1:
+        raise ValueError("sampling_rate must be in (0, 1]")
+    if base_block_size is None:
+        base_block_size = int(getattr(compressor, "block_size", 4))
+    base_block_size = int(base_block_size)
+    # Shrink the multiplier on small arrays so the sample stays close to the
+    # requested budget, but never below 2 compression blocks per edge (the
+    # Bezier search needs at least one internal block boundary).  At the
+    # paper's 512^3 scale the requested multiplier is always feasible.
+    budget_cells = sampling_rate * arr.size
+    multiplier = max(2, int(block_multiplier))
+    while multiplier > 2 and (multiplier * base_block_size) ** arr.ndim > budget_cells:
+        multiplier -= 1
+    sample_edge = max(2, multiplier * base_block_size)
+    sample_edge = min(sample_edge, *arr.shape)
+    block_shape = (sample_edge,) * arr.ndim
+    cells_per_block = int(np.prod(block_shape))
+
+    max_blocks = max(1, int(np.floor(sampling_rate * arr.size / cells_per_block)))
+    rng = default_rng(seed)
+
+    origins = []
+    for _ in range(max_blocks):
+        origin = tuple(
+            int(rng.integers(0, s - e + 1)) if s > e else 0
+            for s, e in zip(arr.shape, block_shape)
+        )
+        origins.append(origin)
+
+    originals = np.empty((len(origins),) + block_shape, dtype=np.float64)
+    decompressed = np.empty_like(originals)
+    for i, origin in enumerate(origins):
+        sl = tuple(slice(o, o + e) for o, e in zip(origin, block_shape))
+        block = arr[sl]
+        originals[i] = block
+        result = compressor.roundtrip(block, error_bound)
+        decompressed[i] = result.decompressed
+
+    return SampledErrors(
+        original_blocks=originals,
+        decompressed_blocks=decompressed,
+        error_bound=float(error_bound),
+        sample_fraction=len(origins) * cells_per_block / arr.size,
+        block_shape=block_shape,
+        compressor_name=compressor.name,
+    )

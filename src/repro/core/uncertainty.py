@@ -1,0 +1,128 @@
+"""Compression-uncertainty modelling for probabilistic isosurfaces (§III-C).
+
+Compression error is treated as per-voxel uncertainty: following the paper
+(and Lindstrom's error-distribution study) the error of SZ/ZFP decompressed
+data is modelled as a normal distribution whose mean and variance are
+estimated from the compression errors *sampled during compression* (the same
+samples the post-processing stage uses, so the extra cost is negligible).
+Because the error can depend on the data value, the variance fed to
+probabilistic marching cubes is conditioned on values near the isovalue
+("isovalue related variance").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.compressors.base import Compressor
+from repro.core.sampling import SampledErrors, sample_compression_errors
+from repro.vis.probabilistic_mc import FeatureRecovery, crossing_probability, feature_recovery
+
+__all__ = ["CompressionUncertaintyModel"]
+
+
+@dataclass
+class CompressionUncertaintyModel:
+    """Normal error model of a compressor on a particular dataset.
+
+    Construct it either from an existing :class:`SampledErrors` (reusing the
+    post-processing samples, as the workflow does) or directly from data and a
+    compressor via :meth:`from_sampling`.
+    """
+
+    sampled: SampledErrors
+    #: width of the isovalue window, as a fraction of the sampled value range
+    isovalue_window_fraction: float = 0.05
+    #: minimum number of samples required before trusting the conditioned
+    #: estimate; below this the global statistics are used
+    min_conditioned_samples: int = 50
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def from_sampling(
+        cls,
+        data: np.ndarray,
+        compressor: Compressor,
+        error_bound: float,
+        sampling_rate: float = 0.015,
+        seed: Union[int, str, None] = "uncertainty-sampling",
+        **kwargs,
+    ) -> "CompressionUncertaintyModel":
+        sampled = sample_compression_errors(
+            data, compressor, error_bound, sampling_rate=sampling_rate, seed=seed
+        )
+        return cls(sampled=sampled, **kwargs)
+
+    # -- global statistics ------------------------------------------------------
+    def error_mean(self) -> float:
+        """Mean signed compression error over all samples."""
+        return self.sampled.error_mean()
+
+    def error_std(self) -> float:
+        """Standard deviation of the compression error over all samples."""
+        return self.sampled.error_std()
+
+    # -- isovalue-conditioned statistics ----------------------------------------
+    def _isovalue_mask(self, isovalue: float) -> np.ndarray:
+        values = self.sampled.decompressed
+        value_range = float(values.max() - values.min())
+        window = self.isovalue_window_fraction * value_range if value_range > 0 else np.inf
+        return np.abs(values - isovalue) <= window
+
+    def isovalue_conditioned_std(self, isovalue: float) -> float:
+        """Error standard deviation restricted to samples near the isovalue.
+
+        Falls back to the global standard deviation when too few samples fall
+        inside the window (and never returns exactly zero, which would make
+        the probabilistic model degenerate).
+        """
+        mask = self._isovalue_mask(isovalue)
+        errors = self.sampled.errors
+        if int(mask.sum()) >= self.min_conditioned_samples:
+            std = float(errors[mask].std())
+        else:
+            std = float(errors.std())
+        if std <= 0:
+            # All sampled errors identical (e.g. lossless region): use a tiny
+            # fraction of the error bound so probabilities stay well defined.
+            std = max(1e-12, 0.01 * self.sampled.error_bound)
+        return std
+
+    def isovalue_conditioned_mean(self, isovalue: float) -> float:
+        """Mean signed error near the isovalue (bias of the compressor there)."""
+        mask = self._isovalue_mask(isovalue)
+        errors = self.sampled.errors
+        if int(mask.sum()) >= self.min_conditioned_samples:
+            return float(errors[mask].mean())
+        return float(errors.mean())
+
+    # -- probabilistic marching cubes --------------------------------------------
+    def crossing_probability(
+        self, decompressed: np.ndarray, isovalue: float, bias_correct: bool = False
+    ) -> np.ndarray:
+        """Per-cell isosurface crossing probability for decompressed data."""
+        mu = np.asarray(decompressed, dtype=np.float64)
+        if bias_correct:
+            mu = mu - self.isovalue_conditioned_mean(isovalue)
+        sigma = self.isovalue_conditioned_std(isovalue)
+        return crossing_probability(mu, sigma, isovalue)
+
+    def feature_recovery(
+        self,
+        original: np.ndarray,
+        decompressed: np.ndarray,
+        isovalue: float,
+        probability_threshold: float = 0.05,
+    ) -> FeatureRecovery:
+        """Fig. 14 analysis: how much compression-pruned isosurface is recovered."""
+        sigma = self.isovalue_conditioned_std(isovalue)
+        return feature_recovery(
+            original,
+            decompressed,
+            sigma,
+            isovalue,
+            probability_threshold=probability_threshold,
+        )

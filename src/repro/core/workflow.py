@@ -1,0 +1,186 @@
+"""End-to-end workflow facade (Fig. 3).
+
+The :class:`MultiResolutionWorkflow` ties the pieces together the way the
+paper's Fig. 3 draws them:
+
+1. uniform data -> ROI extraction -> adaptive multi-resolution data
+   (skipped for native AMR input);
+2. per level: unit-block partition -> arrangement -> (padding) -> error-bounded
+   compression (SZ3MR / SZ2 / ZFP), with error sampling on the side;
+3. after decompression: error-bounded Bezier post-processing;
+4. optionally: a compression-uncertainty model for probabilistic isosurface
+   visualization.
+
+The result object carries the compressed payloads, the reconstructed field,
+its post-processed version and the headline quality metrics (CR, PSNR, SSIM),
+which is what every example and most benchmarks consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.amr.grid import AMRHierarchy
+from repro.analysis.metrics import psnr as psnr_metric
+from repro.analysis.ssim import ssim as ssim_metric
+from repro.core.mr_compressor import CompressedHierarchy, MultiResolutionCompressor
+from repro.core.postprocess import PostProcessor, bezier_boundary_smooth
+from repro.core.roi import ROIResult, extract_roi
+from repro.core.uncertainty import CompressionUncertaintyModel
+
+__all__ = ["MultiResolutionWorkflow", "WorkflowResult"]
+
+
+@dataclass
+class WorkflowResult:
+    """Everything produced by one workflow run on one field."""
+
+    compressed: CompressedHierarchy
+    hierarchy: AMRHierarchy
+    decompressed_field: np.ndarray
+    processed_field: Optional[np.ndarray]
+    roi: Optional[ROIResult]
+    error_bound: float
+    compression_ratio: float
+    psnr: float
+    ssim: float
+    psnr_processed: Optional[float]
+    ssim_processed: Optional[float]
+    uncertainty: Optional[CompressionUncertaintyModel]
+
+    @property
+    def best_field(self) -> np.ndarray:
+        """Post-processed reconstruction when available, else the raw one."""
+        return self.processed_field if self.processed_field is not None else self.decompressed_field
+
+    @property
+    def decompressed(self) -> np.ndarray:
+        """Alias so the result can be used with :func:`repro.analysis.rate_distortion_curve`."""
+        return self.best_field
+
+
+class MultiResolutionWorkflow:
+    """High-level driver of the full multi-resolution compression workflow."""
+
+    def __init__(
+        self,
+        compressor: str = "sz3",
+        arrangement: str = "linear",
+        padding: Union[bool, str] = "auto",
+        adaptive_eb: bool = True,
+        roi_fraction: float = 0.5,
+        roi_block_size: int = 8,
+        unit_size: int = 16,
+        postprocess: bool = True,
+        postprocess_strategy: str = "sgd",
+        uncertainty: bool = False,
+        compressor_options: Optional[Dict] = None,
+    ) -> None:
+        self.mr = MultiResolutionCompressor(
+            compressor=compressor,
+            arrangement=arrangement,
+            padding=padding,
+            adaptive_eb=adaptive_eb,
+            unit_size=unit_size,
+            compressor_options=compressor_options,
+        )
+        self.roi_fraction = float(roi_fraction)
+        self.roi_block_size = int(roi_block_size)
+        self.unit_size = int(unit_size)
+        self.postprocess = bool(postprocess)
+        self.uncertainty = bool(uncertainty)
+        self._postprocessor = PostProcessor(
+            compressor_kind=compressor, strategy=postprocess_strategy
+        )
+
+    # -- public entry points ----------------------------------------------------
+    def compress_uniform(self, data: np.ndarray, error_bound: float) -> WorkflowResult:
+        """Run the full workflow on uniform data (ROI extraction included)."""
+        original = np.asarray(data, dtype=np.float64)
+        roi = extract_roi(
+            original, roi_fraction=self.roi_fraction, block_size=self.roi_block_size
+        )
+        return self._run(roi.hierarchy, error_bound, original_field=original, roi=roi)
+
+    def compress_hierarchy(
+        self,
+        hierarchy: AMRHierarchy,
+        error_bound: float,
+        original_field: Optional[np.ndarray] = None,
+    ) -> WorkflowResult:
+        """Run the workflow on native multi-resolution (AMR) data."""
+        return self._run(hierarchy, error_bound, original_field=original_field, roi=None)
+
+    # -- internals -----------------------------------------------------------------
+    def _postprocess_block_size(self) -> int:
+        if self.mr.compressor_kind in ("sz2", "zfp"):
+            return int(getattr(self.mr.codec, "block_size", 4))
+        # Partitioned SZ3: boundaries sit at unit-block edges.
+        return self.unit_size
+
+    def _run(
+        self,
+        hierarchy: AMRHierarchy,
+        error_bound: float,
+        original_field: Optional[np.ndarray],
+        roi: Optional[ROIResult],
+    ) -> WorkflowResult:
+        error_bound = float(error_bound)
+        reference = (
+            np.asarray(original_field, dtype=np.float64)
+            if original_field is not None
+            else hierarchy.to_uniform()
+        )
+
+        compressed = self.mr.compress_hierarchy(hierarchy, error_bound)
+        decompressed_hierarchy = self.mr.decompress_hierarchy(compressed, hierarchy)
+        decompressed_field = decompressed_hierarchy.to_uniform()
+
+        processed_field = None
+        psnr_processed = None
+        ssim_processed = None
+        if self.postprocess:
+            block_size = self._postprocess_block_size()
+            processed_levels = []
+            for original_level, decompressed_level in zip(
+                hierarchy.levels, decompressed_hierarchy.levels
+            ):
+                plan = self._postprocessor.plan(
+                    original_level.data, self.mr.codec, error_bound, block_size=block_size
+                )
+                processed_levels.append(
+                    bezier_boundary_smooth(
+                        decompressed_level.data,
+                        block_size=plan.block_size,
+                        error_bound=error_bound,
+                        intensity=plan.intensities,
+                    )
+                )
+            processed_hierarchy = hierarchy.copy_with_data(processed_levels)
+            processed_field = processed_hierarchy.to_uniform()
+            psnr_processed = psnr_metric(reference, processed_field)
+            ssim_processed = ssim_metric(reference, processed_field)
+
+        uncertainty_model = None
+        if self.uncertainty:
+            uncertainty_model = CompressionUncertaintyModel.from_sampling(
+                hierarchy.levels[0].data, self.mr.codec, error_bound
+            )
+
+        return WorkflowResult(
+            compressed=compressed,
+            hierarchy=decompressed_hierarchy,
+            decompressed_field=decompressed_field,
+            processed_field=processed_field,
+            roi=roi,
+            error_bound=error_bound,
+            compression_ratio=compressed.compression_ratio,
+            psnr=psnr_metric(reference, decompressed_field),
+            ssim=ssim_metric(reference, decompressed_field),
+            psnr_processed=psnr_processed,
+            ssim_processed=ssim_processed,
+            uncertainty=uncertainty_model,
+        )

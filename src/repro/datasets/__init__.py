@@ -1,0 +1,36 @@
+"""Synthetic stand-ins for the paper's evaluation datasets.
+
+The paper evaluates on Nyx cosmology (three timesteps), WarpX electromagnetic,
+IAMR Rayleigh-Taylor, the Hurricane Isabel benchmark and S3D combustion data.
+Those datasets are not redistributable / not available offline, so this
+subpackage generates synthetic fields with the same qualitative structure
+(ROI concentration, smoothness, dynamic range) and the same multi-resolution
+configuration (level counts and per-level densities of Table III), scaled to
+laptop-sized grids.
+
+:func:`repro.datasets.registry.get_dataset` is the single entry point used by
+examples and benchmarks.
+"""
+
+from repro.datasets.hurricane import hurricane_field
+from repro.datasets.nyx import nyx_density_field
+from repro.datasets.rayleigh_taylor import rayleigh_taylor_field
+from repro.datasets.registry import DATASET_TABLE, Dataset, available_datasets, get_dataset
+from repro.datasets.s3d import s3d_field
+from repro.datasets.synthetic import gaussian_blobs, gaussian_random_field, smooth_wave_field
+from repro.datasets.warpx import warpx_ez_field
+
+__all__ = [
+    "Dataset",
+    "DATASET_TABLE",
+    "available_datasets",
+    "get_dataset",
+    "gaussian_random_field",
+    "gaussian_blobs",
+    "smooth_wave_field",
+    "nyx_density_field",
+    "warpx_ez_field",
+    "rayleigh_taylor_field",
+    "hurricane_field",
+    "s3d_field",
+]

@@ -1,0 +1,74 @@
+"""Hurricane Isabel-like field (flat atmospheric domain with a vortex core).
+
+The Hurricane Isabel benchmark (IEEE Visualization 2004 contest) is a
+500 x 500 x 100 atmospheric simulation whose interesting structure is the
+hurricane eye/vortex and surrounding rain bands; the paper uses it as an
+"adaptive" (uniform-to-multi-resolution) dataset with two levels at
+35 % / 65 % density and for the uncertainty-visualization case study
+(Fig. 14).  The generator builds a Rankine-like vortex with a calm eye,
+spiral rain bands and broad background noise, on a flat (nx = ny >> nz)
+domain.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+from scipy.ndimage import gaussian_filter
+
+from repro.datasets.synthetic import gaussian_random_field
+from repro.utils.rng import default_rng
+
+__all__ = ["hurricane_field"]
+
+
+def hurricane_field(
+    shape: Tuple[int, int, int] = (64, 64, 16),
+    eye_position: Tuple[float, float] = (0.45, 0.55),
+    eye_radius: float = 0.04,
+    vortex_radius: float = 0.22,
+    n_bands: int = 4,
+    band_strength: float = 0.5,
+    background_level: float = 0.25,
+    seed: Union[int, str, None] = "hurricane",
+) -> np.ndarray:
+    """Generate a hurricane-like wind-speed magnitude field.
+
+    The first two axes span the horizontal plane; the last (short) axis is
+    altitude, along which the vortex weakens and tilts slightly.
+    """
+    nx, ny, nz = (int(s) for s in shape)
+    rng = default_rng(seed)
+
+    x = np.linspace(0.0, 1.0, nx)[:, None]
+    y = np.linspace(0.0, 1.0, ny)[None, :]
+
+    field = np.zeros((nx, ny, nz), dtype=np.float64)
+    for iz in range(nz):
+        altitude = iz / max(1, nz - 1)
+        # The vortex weakens with altitude and its centre drifts (tilt).
+        cx = eye_position[0] + 0.05 * altitude
+        cy = eye_position[1] - 0.03 * altitude
+        strength = 1.0 - 0.6 * altitude
+
+        dx = x - cx
+        dy = y - cy
+        r = np.sqrt(dx**2 + dy**2)
+        theta = np.arctan2(dy, dx)
+
+        # Rankine-style tangential wind: rises to a max at vortex_radius then decays.
+        wind = np.where(
+            r < vortex_radius,
+            r / max(vortex_radius, 1e-6),
+            np.exp(-(r - vortex_radius) / (2.0 * vortex_radius)),
+        )
+        # Calm eye.
+        wind = wind * (1.0 - np.exp(-(r**2) / (2.0 * eye_radius**2)))
+        # Spiral rain bands.
+        spiral = 1.0 + band_strength * np.cos(n_bands * theta - 14.0 * r)
+        field[:, :, iz] = strength * wind * spiral
+
+    background = background_level * gaussian_random_field((nx, ny, nz), spectral_index=-2.2, seed=rng)
+    field = field + gaussian_filter(np.abs(background), sigma=1.0)
+    return field

@@ -1,0 +1,14 @@
+"""Image smoothing / denoising filters used as post-processing baselines.
+
+Table I of the paper compares its error-bounded post-processing against three
+classic filters (median, Gaussian blur, anisotropic diffusion) applied to ZFP
+decompressed data, showing that the filters *reduce* PSNR because they ignore
+the error-bounded nature of the data.  The filters live here so the benchmark
+can reproduce that comparison.
+"""
+
+from repro.filters.anisotropic import anisotropic_diffusion
+from repro.filters.gaussian import gaussian_blur
+from repro.filters.median import median_smooth
+
+__all__ = ["gaussian_blur", "median_smooth", "anisotropic_diffusion"]

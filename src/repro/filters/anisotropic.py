@@ -1,0 +1,68 @@
+"""Perona-Malik anisotropic diffusion baseline.
+
+A classic edge-preserving denoiser: the field diffuses with a conductivity
+that decreases with the local gradient magnitude, so smooth regions are
+smoothed while sharp features are preserved.  The implementation is the
+standard explicit finite-difference iteration, vectorised over the whole
+array (neighbour differences via :func:`numpy.roll`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["anisotropic_diffusion"]
+
+
+def _conductance(gradient: np.ndarray, kappa: float, option: int) -> np.ndarray:
+    if option == 1:
+        return np.exp(-((gradient / kappa) ** 2))
+    return 1.0 / (1.0 + (gradient / kappa) ** 2)
+
+
+def anisotropic_diffusion(
+    data: np.ndarray,
+    n_iterations: int = 5,
+    kappa: float | None = None,
+    gamma: float = 0.1,
+    option: int = 1,
+) -> np.ndarray:
+    """Perona-Malik anisotropic diffusion (the "Anisotropic Diffusion" column of Table I).
+
+    Parameters
+    ----------
+    n_iterations:
+        Number of explicit diffusion steps.
+    kappa:
+        Conduction threshold separating "edges" from "noise"; defaults to 10 %
+        of the value range.
+    gamma:
+        Time step; must satisfy ``gamma <= 1 / (2 * ndim)`` for stability and
+        is clipped accordingly.
+    option:
+        1 for the exponential conductance, 2 for the rational one.
+    """
+    field = np.asarray(data, dtype=np.float64).copy()
+    if n_iterations < 1:
+        raise ValueError("n_iterations must be >= 1")
+    if kappa is None:
+        value_range = float(field.max() - field.min())
+        kappa = 0.1 * value_range if value_range > 0 else 1.0
+    gamma = min(float(gamma), 1.0 / (2.0 * field.ndim))
+
+    for _ in range(int(n_iterations)):
+        update = np.zeros_like(field)
+        for axis in range(field.ndim):
+            forward = np.roll(field, -1, axis=axis) - field
+            backward = np.roll(field, 1, axis=axis) - field
+            # Zero-flux boundaries: cancel the wrapped differences.
+            fwd_slice = [slice(None)] * field.ndim
+            fwd_slice[axis] = slice(-1, None)
+            forward[tuple(fwd_slice)] = 0.0
+            bwd_slice = [slice(None)] * field.ndim
+            bwd_slice[axis] = slice(0, 1)
+            backward[tuple(bwd_slice)] = 0.0
+            update += _conductance(np.abs(forward), kappa, option) * forward
+            update += _conductance(np.abs(backward), kappa, option) * backward
+        field += gamma * update
+    return field

@@ -1,0 +1,15 @@
+"""Gaussian blur baseline filter."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.ndimage import gaussian_filter
+
+__all__ = ["gaussian_blur"]
+
+
+def gaussian_blur(data: np.ndarray, sigma: float = 1.0) -> np.ndarray:
+    """Isotropic Gaussian smoothing (the "Gaussian Blur" column of Table I)."""
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    return gaussian_filter(np.asarray(data, dtype=np.float64), sigma=float(sigma))

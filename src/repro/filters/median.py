@@ -1,0 +1,15 @@
+"""Median filter baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.ndimage import median_filter
+
+__all__ = ["median_smooth"]
+
+
+def median_smooth(data: np.ndarray, size: int = 3) -> np.ndarray:
+    """Median filtering (the "Median Filter" column of Table I)."""
+    if size < 2:
+        raise ValueError("size must be at least 2")
+    return median_filter(np.asarray(data, dtype=np.float64), size=int(size), mode="nearest")

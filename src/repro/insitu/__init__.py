@@ -1,0 +1,30 @@
+"""In-situ compression pipeline: simulation -> compress -> write, with timing.
+
+The paper integrates its workflow into Nyx and WarpX and reports the output
+time split into pre-processing (collecting data into the compression buffer)
+and compression + writing (Table IV), plus the post-processing overhead
+breakdown (Table IX).  This subpackage provides the offline equivalents: a
+compressed-container file format, a thread-pool scheduler standing in for the
+OpenMP acceleration, and :class:`~repro.insitu.pipeline.InSituPipeline`
+driving a toy simulation through the workflow while recording the same timing
+phases.
+"""
+
+from repro.insitu.io import (
+    read_compressed_hierarchy,
+    read_compressed_array,
+    write_compressed_hierarchy,
+    write_compressed_array,
+)
+from repro.insitu.pipeline import InSituPipeline, StepReport
+from repro.insitu.scheduler import parallel_map
+
+__all__ = [
+    "InSituPipeline",
+    "StepReport",
+    "parallel_map",
+    "write_compressed_array",
+    "read_compressed_array",
+    "write_compressed_hierarchy",
+    "read_compressed_hierarchy",
+]

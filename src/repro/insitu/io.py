@@ -1,0 +1,145 @@
+"""Compressed-container file I/O.
+
+A minimal self-describing on-disk format for compressed arrays and compressed
+multi-resolution hierarchies, standing in for the HDF5 / AMReX plotfile
+output of the real applications.  The format is a JSON header (level
+structure, arrangement bookkeeping) followed by the concatenated
+:class:`~repro.compressors.base.CompressedArray` blobs, so files remain
+readable without any state from the writing process.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import asdict
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.compressors.base import CompressedArray
+from repro.compressors.errors import DecompressionError
+from repro.core.mr_compressor import CompressedHierarchy, CompressedLevel
+from repro.core.padding import PadInfo
+from repro.core.partition import Arrangement
+
+__all__ = [
+    "write_compressed_array",
+    "read_compressed_array",
+    "write_compressed_hierarchy",
+    "read_compressed_hierarchy",
+]
+
+_HIER_MAGIC = b"RPMH"  # "RePro Multi-resolution Hierarchy"
+
+
+def write_compressed_array(path: Union[str, Path], compressed: CompressedArray) -> int:
+    """Write one compressed array to ``path``; returns the number of bytes written."""
+    blob = compressed.to_bytes()
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(blob)
+    return len(blob)
+
+
+def read_compressed_array(path: Union[str, Path]) -> CompressedArray:
+    """Read a compressed array written by :func:`write_compressed_array`."""
+    return CompressedArray.from_bytes(Path(path).read_bytes())
+
+
+def _level_header(level: CompressedLevel) -> dict:
+    return {
+        "level": level.level,
+        "level_shape": list(level.level_shape),
+        "unit_size": level.unit_size,
+        "nbytes_original": level.nbytes_original,
+        "coords_size": len(level.coords_payload),
+        "payload_sizes": [len(p.to_bytes()) for p in level.payloads],
+        "arrangement": asdict(level.arrangement),
+        "pad_info": None
+        if level.pad_info is None
+        else {
+            "axes": list(level.pad_info.axes),
+            "original_shape": list(level.pad_info.original_shape),
+            "mode": level.pad_info.mode,
+        },
+    }
+
+
+def write_compressed_hierarchy(path: Union[str, Path], compressed: CompressedHierarchy) -> int:
+    """Write a compressed hierarchy to ``path``; returns the bytes written."""
+    header = {
+        "error_bound": compressed.error_bound,
+        "metadata": compressed.metadata,
+        "levels": [_level_header(lvl) for lvl in compressed.levels],
+    }
+    header_blob = json.dumps(header, sort_keys=True).encode("utf-8")
+    parts = [_HIER_MAGIC, struct.pack("<I", len(header_blob)), header_blob]
+    for lvl in compressed.levels:
+        parts.append(lvl.coords_payload)
+        for payload in lvl.payloads:
+            parts.append(payload.to_bytes())
+    blob = b"".join(parts)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(blob)
+    return len(blob)
+
+
+def read_compressed_hierarchy(path: Union[str, Path]) -> CompressedHierarchy:
+    """Read a compressed hierarchy written by :func:`write_compressed_hierarchy`."""
+    blob = Path(path).read_bytes()
+    if blob[:4] != _HIER_MAGIC:
+        raise DecompressionError("not a compressed-hierarchy file (bad magic)")
+    (header_len,) = struct.unpack_from("<I", blob, 4)
+    header = json.loads(blob[8 : 8 + header_len].decode("utf-8"))
+    offset = 8 + header_len
+
+    levels = []
+    for lvl_header in header["levels"]:
+        coords_size = int(lvl_header["coords_size"])
+        coords_payload = blob[offset : offset + coords_size]
+        offset += coords_size
+        payloads = []
+        for size in lvl_header["payload_sizes"]:
+            payloads.append(CompressedArray.from_bytes(blob[offset : offset + int(size)]))
+            offset += int(size)
+        arr = lvl_header["arrangement"]
+        arrangement = Arrangement(
+            kind=arr["kind"],
+            unit_size=int(arr["unit_size"]),
+            ndim=int(arr["ndim"]),
+            n_blocks=int(arr["n_blocks"]),
+            layout=tuple(arr.get("layout", ())),
+            segments=tuple(arr.get("segments", ())),
+        )
+        pad = lvl_header["pad_info"]
+        pad_info = (
+            None
+            if pad is None
+            else PadInfo(
+                axes=tuple(int(a) for a in pad["axes"]),
+                original_shape=tuple(int(s) for s in pad["original_shape"]),
+                mode=pad["mode"],
+            )
+        )
+        levels.append(
+            CompressedLevel(
+                level=int(lvl_header["level"]),
+                payloads=payloads,
+                arrangement=arrangement,
+                pad_info=pad_info,
+                coords_payload=coords_payload,
+                level_shape=tuple(int(s) for s in lvl_header["level_shape"]),
+                unit_size=int(lvl_header["unit_size"]),
+                nbytes_original=int(lvl_header["nbytes_original"]),
+            )
+        )
+    if offset != len(blob):
+        raise DecompressionError("trailing bytes after the last level payload")
+    return CompressedHierarchy(
+        levels=levels,
+        error_bound=float(header["error_bound"]),
+        metadata=header.get("metadata", {}),
+    )

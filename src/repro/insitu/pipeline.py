@@ -1,0 +1,160 @@
+"""In-situ compression pipeline.
+
+Drives a simulation (an object yielding
+:class:`~repro.amr.simulation.SimulationSnapshot` from ``run(n_steps)``)
+through the multi-resolution compression workflow, writing one compressed
+container per timestep and recording the same timing phases the paper's
+Table IV reports:
+
+* **pre-process** — ROI extraction (uniform input only), unit-block
+  extraction, arrangement and padding ("collecting data to the compression
+  buffer");
+* **compress & write** — error-bounded encoding plus writing the container to
+  the file system.
+
+Quality metrics (CR, PSNR) are collected per step so the in-situ
+rate-distortion experiments (Fig. 15, Fig. 17-left) reuse the same driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.amr.grid import AMRHierarchy
+from repro.amr.simulation import SimulationSnapshot
+from repro.analysis.metrics import psnr as psnr_metric
+from repro.core.mr_compressor import CompressedHierarchy, MultiResolutionCompressor
+from repro.core.roi import extract_roi
+from repro.insitu.io import write_compressed_hierarchy
+from repro.insitu.scheduler import parallel_map
+from repro.utils.timer import Timer, TimingBreakdown
+
+__all__ = ["InSituPipeline", "StepReport"]
+
+
+@dataclass
+class StepReport:
+    """Per-timestep outcome of the in-situ pipeline."""
+
+    step: int
+    field_name: str
+    compression_ratio: float
+    psnr: Optional[float]
+    timings: TimingBreakdown
+    output_path: Optional[Path]
+    compressed: CompressedHierarchy = field(repr=False, default=None)
+
+    @property
+    def preprocess_time(self) -> float:
+        return self.timings.phases.get("pre-process", 0.0)
+
+    @property
+    def compress_write_time(self) -> float:
+        return self.timings.phases.get("compress+write", 0.0)
+
+    @property
+    def total_time(self) -> float:
+        return self.timings.total()
+
+
+class InSituPipeline:
+    """Run a simulation through compression + output, step by step."""
+
+    def __init__(
+        self,
+        compressor: MultiResolutionCompressor,
+        output_dir: Optional[Union[str, Path]] = None,
+        roi_fraction: float = 0.5,
+        roi_block_size: int = 8,
+        compute_quality: bool = True,
+        max_workers: int = 1,
+    ) -> None:
+        self.compressor = compressor
+        self.output_dir = Path(output_dir) if output_dir is not None else None
+        self.roi_fraction = float(roi_fraction)
+        self.roi_block_size = int(roi_block_size)
+        self.compute_quality = bool(compute_quality)
+        self.max_workers = int(max_workers)
+
+    # -- single snapshot ---------------------------------------------------------
+    def process_snapshot(self, snapshot: SimulationSnapshot, error_bound: float) -> StepReport:
+        """Compress one snapshot and (optionally) write it to disk."""
+        timings = TimingBreakdown()
+
+        # Pre-process: build the hierarchy (uniform input) and prepare levels.
+        with timings.phase("pre-process"):
+            if snapshot.is_amr:
+                hierarchy: AMRHierarchy = snapshot.data
+            else:
+                hierarchy = extract_roi(
+                    np.asarray(snapshot.data, dtype=np.float64),
+                    roi_fraction=self.roi_fraction,
+                    block_size=self.roi_block_size,
+                ).hierarchy
+            prepared = [
+                self.compressor.prepare_level(lvl.data, lvl.mask, level_index=lvl.level)
+                for lvl in hierarchy.levels
+            ]
+
+        # Compress and write.
+        with timings.phase("compress+write"):
+            levels = parallel_map(
+                lambda p: self.compressor.encode_prepared(p, error_bound),
+                prepared,
+                max_workers=self.max_workers,
+            )
+            compressed = CompressedHierarchy(
+                levels=levels,
+                error_bound=float(error_bound),
+                metadata={
+                    "step": snapshot.step,
+                    "field": snapshot.field_name,
+                    "compressor": self.compressor.describe(),
+                },
+            )
+            output_path = None
+            if self.output_dir is not None:
+                output_path = self.output_dir / f"{snapshot.field_name}_step{snapshot.step:05d}.rpmh"
+                write_compressed_hierarchy(output_path, compressed)
+
+        quality = None
+        if self.compute_quality:
+            decompressed = self.compressor.decompress_hierarchy(compressed, hierarchy)
+            reference = (
+                hierarchy.to_uniform()
+                if snapshot.is_amr
+                else np.asarray(snapshot.data, dtype=np.float64)
+            )
+            quality = psnr_metric(reference, decompressed.to_uniform())
+
+        return StepReport(
+            step=snapshot.step,
+            field_name=snapshot.field_name,
+            compression_ratio=compressed.compression_ratio,
+            psnr=quality,
+            timings=timings,
+            output_path=output_path,
+            compressed=compressed,
+        )
+
+    # -- full runs ------------------------------------------------------------------
+    def run(self, simulation, n_steps: int, error_bound: float) -> List[StepReport]:
+        """Advance the simulation ``n_steps`` and process every snapshot."""
+        reports = []
+        for snapshot in simulation.run(n_steps):
+            reports.append(self.process_snapshot(snapshot, error_bound))
+        return reports
+
+    @staticmethod
+    def aggregate_timings(reports: List[StepReport]) -> Dict[str, float]:
+        """Sum the phase timings over a run (the numbers Table IV reports)."""
+        total = TimingBreakdown()
+        for report in reports:
+            total = total.merge(report.timings)
+        out = total.as_dict()
+        out["total"] = total.total()
+        return out

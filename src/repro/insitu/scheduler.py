@@ -1,0 +1,44 @@
+"""Thread-pool scheduling helpers (the offline stand-in for OpenMP).
+
+The paper accelerates post-processing and the block-wise compressors with
+OpenMP; in Python the equivalent for NumPy-heavy work (which releases the GIL
+inside vectorised kernels) is a thread pool.  ``parallel_map`` keeps the
+submission order of results and degrades gracefully to a serial loop for one
+worker, so the serial-vs-parallel rows of Table IX can be produced with the
+same code path.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["parallel_map", "default_workers"]
+
+
+def default_workers() -> int:
+    """Number of workers to use by default (all available cores)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T] | Iterable[T],
+    max_workers: Optional[int] = None,
+) -> List[R]:
+    """Apply ``fn`` to every item, preserving order.
+
+    ``max_workers=1`` (or a single item) runs serially with zero thread
+    overhead; otherwise a :class:`concurrent.futures.ThreadPoolExecutor` is
+    used.  Exceptions raised by ``fn`` propagate to the caller.
+    """
+    items = list(items)
+    workers = default_workers() if max_workers is None else int(max_workers)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))

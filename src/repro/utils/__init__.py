@@ -1,0 +1,44 @@
+"""Shared low-level helpers: block views, Morton order, timing, RNG, validation."""
+
+from repro.utils.blocks import (
+    assemble_blocks,
+    block_index_grid,
+    block_reduce_mean,
+    block_reduce_range,
+    block_view,
+    num_blocks,
+    pad_to_multiple,
+    upsample_nearest,
+    upsample_trilinear,
+)
+from repro.utils.morton import morton_decode3d, morton_encode3d, morton_order
+from repro.utils.rng import default_rng
+from repro.utils.timer import Timer, TimingBreakdown
+from repro.utils.validation import (
+    ensure_array,
+    ensure_in_range,
+    ensure_positive,
+    ensure_power_of_two,
+)
+
+__all__ = [
+    "assemble_blocks",
+    "block_index_grid",
+    "block_reduce_mean",
+    "block_reduce_range",
+    "block_view",
+    "num_blocks",
+    "pad_to_multiple",
+    "upsample_nearest",
+    "upsample_trilinear",
+    "morton_decode3d",
+    "morton_encode3d",
+    "morton_order",
+    "default_rng",
+    "Timer",
+    "TimingBreakdown",
+    "ensure_array",
+    "ensure_in_range",
+    "ensure_positive",
+    "ensure_power_of_two",
+]

@@ -1,0 +1,97 @@
+"""Morton (z-order) curves.
+
+zMesh-style baselines and the HZ-ordering baseline of Kumar et al. traverse
+multi-resolution data along a space filling curve; the Morton order is the
+standard choice and is used by :mod:`repro.baselines.zmesh` and
+:mod:`repro.baselines.hz_order`.  All routines are vectorised over arrays of
+coordinates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["morton_encode3d", "morton_decode3d", "morton_order", "morton_encode2d"]
+
+_MAX_BITS = 21  # 3 * 21 = 63 bits, fits in int64
+
+
+def _part1by2(x: np.ndarray) -> np.ndarray:
+    """Insert two zero bits between each bit of ``x`` (vectorised)."""
+    x = x.astype(np.uint64)
+    x &= np.uint64(0x1FFFFF)
+    x = (x | (x << np.uint64(32))) & np.uint64(0x1F00000000FFFF)
+    x = (x | (x << np.uint64(16))) & np.uint64(0x1F0000FF0000FF)
+    x = (x | (x << np.uint64(8))) & np.uint64(0x100F00F00F00F00F)
+    x = (x | (x << np.uint64(4))) & np.uint64(0x10C30C30C30C30C3)
+    x = (x | (x << np.uint64(2))) & np.uint64(0x1249249249249249)
+    return x
+
+
+def _compact1by2(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_part1by2`."""
+    x = x.astype(np.uint64)
+    x &= np.uint64(0x1249249249249249)
+    x = (x ^ (x >> np.uint64(2))) & np.uint64(0x10C30C30C30C30C3)
+    x = (x ^ (x >> np.uint64(4))) & np.uint64(0x100F00F00F00F00F)
+    x = (x ^ (x >> np.uint64(8))) & np.uint64(0x1F0000FF0000FF)
+    x = (x ^ (x >> np.uint64(16))) & np.uint64(0x1F00000000FFFF)
+    x = (x ^ (x >> np.uint64(32))) & np.uint64(0x1FFFFF)
+    return x
+
+
+def _part1by1(x: np.ndarray) -> np.ndarray:
+    x = x.astype(np.uint64)
+    x &= np.uint64(0xFFFFFFFF)
+    x = (x | (x << np.uint64(16))) & np.uint64(0x0000FFFF0000FFFF)
+    x = (x | (x << np.uint64(8))) & np.uint64(0x00FF00FF00FF00FF)
+    x = (x | (x << np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+    x = (x | (x << np.uint64(2))) & np.uint64(0x3333333333333333)
+    x = (x | (x << np.uint64(1))) & np.uint64(0x5555555555555555)
+    return x
+
+
+def morton_encode3d(i: np.ndarray, j: np.ndarray, k: np.ndarray) -> np.ndarray:
+    """Interleave three integer coordinate arrays into Morton codes."""
+    i = np.asarray(i)
+    j = np.asarray(j)
+    k = np.asarray(k)
+    if (i < 0).any() or (j < 0).any() or (k < 0).any():
+        raise ValueError("Morton coordinates must be non-negative")
+    if max(int(i.max(initial=0)), int(j.max(initial=0)), int(k.max(initial=0))) >= (1 << _MAX_BITS):
+        raise ValueError(f"coordinates must be < 2^{_MAX_BITS}")
+    return (
+        _part1by2(i) | (_part1by2(j) << np.uint64(1)) | (_part1by2(k) << np.uint64(2))
+    ).astype(np.uint64)
+
+
+def morton_encode2d(i: np.ndarray, j: np.ndarray) -> np.ndarray:
+    """Interleave two integer coordinate arrays into Morton codes."""
+    i = np.asarray(i)
+    j = np.asarray(j)
+    if (i < 0).any() or (j < 0).any():
+        raise ValueError("Morton coordinates must be non-negative")
+    return (_part1by1(i) | (_part1by1(j) << np.uint64(1))).astype(np.uint64)
+
+
+def morton_decode3d(code: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split Morton codes back into (i, j, k) coordinates."""
+    code = np.asarray(code, dtype=np.uint64)
+    i = _compact1by2(code)
+    j = _compact1by2(code >> np.uint64(1))
+    k = _compact1by2(code >> np.uint64(2))
+    return i.astype(np.int64), j.astype(np.int64), k.astype(np.int64)
+
+
+def morton_order(shape: tuple[int, int, int]) -> np.ndarray:
+    """Flat indices of a 3-D array visited in Morton (z-curve) order.
+
+    The returned permutation ``p`` satisfies ``data.ravel()[p]`` being the
+    z-order traversal of ``data``.
+    """
+    ni, nj, nk = (int(s) for s in shape)
+    ii, jj, kk = np.meshgrid(
+        np.arange(ni), np.arange(nj), np.arange(nk), indexing="ij"
+    )
+    codes = morton_encode3d(ii.ravel(), jj.ravel(), kk.ravel())
+    return np.argsort(codes, kind="stable")

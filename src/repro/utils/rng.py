@@ -1,0 +1,43 @@
+"""Deterministic random-number helpers.
+
+All synthetic datasets and stochastic algorithm components (sampling-based
+intensity search, probabilistic marching cubes Monte-Carlo checks) draw their
+randomness through this module so experiments are reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["default_rng", "seed_from_name"]
+
+_GLOBAL_SEED = 20240717  # arbitrary fixed base seed for the reproduction
+
+
+def seed_from_name(name: str, base_seed: int | None = None) -> int:
+    """Derive a stable 63-bit seed from a string label.
+
+    Using a hash of the dataset / experiment name keeps independent
+    experiments statistically independent while remaining reproducible.
+    """
+    base = _GLOBAL_SEED if base_seed is None else int(base_seed)
+    digest = hashlib.sha256(f"{base}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "little") & 0x7FFFFFFFFFFFFFFF
+
+
+def default_rng(seed: int | str | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator`.
+
+    ``seed`` may be an integer, a string label (hashed via
+    :func:`seed_from_name`), an existing generator (returned unchanged), or
+    ``None`` for the package-wide fixed seed.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        return np.random.default_rng(_GLOBAL_SEED)
+    if isinstance(seed, str):
+        return np.random.default_rng(seed_from_name(seed))
+    return np.random.default_rng(int(seed))

@@ -1,0 +1,93 @@
+"""Wall-clock timing helpers used by the in-situ pipeline and the overhead benchmarks."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+__all__ = ["Timer", "TimingBreakdown"]
+
+
+class Timer:
+    """Simple stopwatch usable either as a context manager or manually.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@dataclass
+class TimingBreakdown:
+    """Named phase timings, mirroring the columns of Tables IV and IX.
+
+    Phases are accumulated (calling the same phase twice adds the durations),
+    which matches how the paper accumulates per-timestep costs.
+    """
+
+    phases: Dict[str, float] = field(default_factory=dict)
+    order: List[str] = field(default_factory=list)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def add(self, name: str, seconds: float) -> None:
+        if name not in self.phases:
+            self.phases[name] = 0.0
+            self.order.append(name)
+        self.phases[name] += float(seconds)
+
+    def total(self) -> float:
+        return float(sum(self.phases.values()))
+
+    def __getitem__(self, name: str) -> float:
+        return self.phases[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.phases
+
+    def merge(self, other: "TimingBreakdown") -> "TimingBreakdown":
+        merged = TimingBreakdown()
+        for src in (self, other):
+            for name in src.order:
+                merged.add(name, src.phases[name])
+        return merged
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.phases)
+
+    def format_table(self) -> str:
+        """Human-readable two-column table of phase timings."""
+        width = max((len(n) for n in self.order), default=5)
+        lines = [f"{name:<{width}}  {self.phases[name]:.4f} s" for name in self.order]
+        lines.append(f"{'total':<{width}}  {self.total():.4f} s")
+        return "\n".join(lines)

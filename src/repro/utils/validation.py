@@ -1,0 +1,71 @@
+"""Input validation helpers shared by the public API surface."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "ensure_array",
+    "ensure_positive",
+    "ensure_in_range",
+    "ensure_power_of_two",
+    "is_power_of_two",
+]
+
+
+def ensure_array(
+    data,
+    *,
+    ndim: int | Sequence[int] | None = None,
+    dtype=np.float64,
+    name: str = "data",
+) -> np.ndarray:
+    """Convert to a contiguous floating-point ndarray and check dimensionality."""
+    arr = np.ascontiguousarray(np.asarray(data, dtype=dtype))
+    if ndim is not None:
+        allowed = (ndim,) if np.isscalar(ndim) else tuple(ndim)
+        if arr.ndim not in allowed:
+            raise ValueError(
+                f"{name} must have dimensionality in {allowed}, got {arr.ndim}"
+            )
+    if arr.size == 0:
+        raise ValueError(f"{name} must not be empty")
+    if not np.isfinite(arr).all():
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def ensure_positive(value: float, name: str = "value") -> float:
+    """Check that a scalar is strictly positive and return it as float."""
+    value = float(value)
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def ensure_in_range(
+    value: float, low: float, high: float, name: str = "value", inclusive: bool = True
+) -> float:
+    """Check that ``low <= value <= high`` (or strict when ``inclusive=False``)."""
+    value = float(value)
+    ok = (low <= value <= high) if inclusive else (low < value < high)
+    if not ok:
+        op = "<=" if inclusive else "<"
+        raise ValueError(f"{name} must satisfy {low} {op} {name} {op} {high}, got {value}")
+    return value
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive power of two."""
+    value = int(value)
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def ensure_power_of_two(value: int, name: str = "value", minimum: int = 1) -> int:
+    """Check that ``value`` is a power of two no smaller than ``minimum``."""
+    value = int(value)
+    if not is_power_of_two(value) or value < minimum:
+        raise ValueError(f"{name} must be a power of two >= {minimum}, got {value}")
+    return value

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite.
+
+Fields are deliberately small (16-32 cells per axis) so the full suite runs in
+well under a minute; the benchmarks use larger grids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.amr.refinement import build_hierarchy_from_uniform
+from repro.datasets.synthetic import gaussian_random_field, smooth_wave_field
+from repro.utils.rng import default_rng
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return default_rng("test-suite")
+
+
+@pytest.fixture(scope="session")
+def smooth_field_3d() -> np.ndarray:
+    """A smooth, easily compressible 32^3 field."""
+    return smooth_wave_field((32, 32, 32), frequencies=(2.0, 3.0, 1.0))
+
+
+@pytest.fixture(scope="session")
+def noisy_field_3d() -> np.ndarray:
+    """A 32^3 field with structure plus noise (harder to compress)."""
+    field = gaussian_random_field((32, 32, 32), spectral_index=-2.5, seed="noisy-3d")
+    noise = default_rng("noisy-3d-extra").standard_normal((32, 32, 32))
+    return field + 0.05 * noise
+
+
+@pytest.fixture(scope="session")
+def smooth_field_2d() -> np.ndarray:
+    return smooth_wave_field((48, 48), frequencies=(2.0, 3.0))
+
+
+@pytest.fixture(scope="session")
+def small_hierarchy(noisy_field_3d) -> "AMRHierarchy":
+    """A two-level hierarchy built from the noisy field (fine 25% / coarse 75%)."""
+    return build_hierarchy_from_uniform(
+        noisy_field_3d, n_levels=2, block_size=8, fractions=[0.25, 0.75]
+    )
+
+
+@pytest.fixture(scope="session")
+def three_level_hierarchy(noisy_field_3d) -> "AMRHierarchy":
+    """A three-level hierarchy (RT-style 15/31/54 split)."""
+    return build_hierarchy_from_uniform(
+        noisy_field_3d, n_levels=3, block_size=8, fractions=[0.15, 0.31, 0.54]
+    )

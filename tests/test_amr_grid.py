@@ -1,0 +1,128 @@
+"""Unit tests for the AMR hierarchy data model."""
+
+import numpy as np
+import pytest
+
+from repro.amr.grid import AMRHierarchy, AMRLevel
+from repro.amr.reconstruct import flatten_hierarchy, level_footprint, prolong, restrict
+
+
+def _two_level_hierarchy(n=16):
+    rng = np.random.default_rng(0)
+    fine = rng.random((n, n, n))
+    coarse = restrict(fine, 2)
+    fine_mask = np.zeros((n, n, n), dtype=bool)
+    fine_mask[: n // 2] = True
+    coarse_mask = np.zeros((n // 2,) * 3, dtype=bool)
+    coarse_mask[n // 4 :] = True
+    return AMRHierarchy(
+        [
+            AMRLevel(level=0, data=fine, mask=fine_mask),
+            AMRLevel(level=1, data=coarse, mask=coarse_mask),
+        ]
+    )
+
+
+class TestAMRLevel:
+    def test_density(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[:2] = True
+        lvl = AMRLevel(level=0, data=np.zeros((4, 4)), mask=mask)
+        assert lvl.density == pytest.approx(0.5)
+        assert lvl.n_owned == 8
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            AMRLevel(level=0, data=np.zeros((4, 4)), mask=np.zeros((4, 5), dtype=bool))
+
+    def test_negative_level_raises(self):
+        with pytest.raises(ValueError):
+            AMRLevel(level=-1, data=np.zeros((4, 4)), mask=np.zeros((4, 4), dtype=bool))
+
+    def test_owned_values(self):
+        data = np.arange(16, dtype=float).reshape(4, 4)
+        mask = data >= 8
+        lvl = AMRLevel(level=0, data=data, mask=mask)
+        np.testing.assert_array_equal(lvl.owned_values(), np.arange(8, 16))
+
+
+class TestAMRHierarchy:
+    def test_valid_partition(self):
+        h = _two_level_hierarchy()
+        assert h.is_valid_partition()
+        assert h.coverage_map().max() == 1
+
+    def test_densities_sum_accounts_for_resolution(self):
+        h = _two_level_hierarchy()
+        densities = h.level_densities()
+        assert densities[0] == pytest.approx(0.5)
+        assert densities[1] == pytest.approx(0.5)
+
+    def test_storage_reduction_between_one_and_eight(self):
+        h = _two_level_hierarchy()
+        assert 1.0 < h.storage_reduction() <= 8.0
+
+    def test_level_order_enforced(self):
+        fine = AMRLevel(level=1, data=np.zeros((8, 8, 8)), mask=np.ones((8, 8, 8), bool))
+        with pytest.raises(ValueError):
+            AMRHierarchy([fine])
+
+    def test_shape_consistency_enforced(self):
+        fine = AMRLevel(level=0, data=np.zeros((8, 8, 8)), mask=np.ones((8, 8, 8), bool))
+        bad_coarse = AMRLevel(level=1, data=np.zeros((3, 4, 4)), mask=np.zeros((3, 4, 4), bool))
+        with pytest.raises(ValueError):
+            AMRHierarchy([fine, bad_coarse])
+
+    def test_needs_at_least_one_level(self):
+        with pytest.raises(ValueError):
+            AMRHierarchy([])
+
+    def test_copy_with_data_keeps_masks(self):
+        h = _two_level_hierarchy()
+        new = h.copy_with_data([np.zeros(l.shape) for l in h.levels])
+        for old_lvl, new_lvl in zip(h.levels, new.levels):
+            np.testing.assert_array_equal(old_lvl.mask, new_lvl.mask)
+            assert new_lvl.data.sum() == 0
+
+    def test_copy_with_wrong_shape_raises(self):
+        h = _two_level_hierarchy()
+        with pytest.raises(ValueError):
+            h.copy_with_data([np.zeros((2, 2, 2))] * h.n_levels)
+
+    def test_summary_mentions_levels(self):
+        text = _two_level_hierarchy().summary()
+        assert "level 0" in text and "level 1" in text
+
+
+class TestReconstruct:
+    def test_restrict_then_prolong_preserves_block_means(self):
+        rng = np.random.default_rng(1)
+        data = rng.random((8, 8, 8))
+        coarse = restrict(data, 2)
+        up = prolong(coarse, 2, order="nearest")
+        assert up.shape == data.shape
+        np.testing.assert_allclose(restrict(up, 2), coarse)
+
+    def test_prolong_linear_shape(self):
+        data = np.random.default_rng(2).random((4, 4))
+        assert prolong(data, 2, order="linear", out_shape=(8, 8)).shape == (8, 8)
+
+    def test_prolong_invalid_order(self):
+        with pytest.raises(ValueError):
+            prolong(np.zeros((2, 2)), 2, order="cubic")
+
+    def test_level_footprints_partition_domain(self):
+        h = _two_level_hierarchy()
+        total = sum(level_footprint(h, i).astype(int) for i in range(h.n_levels))
+        assert (total == 1).all()
+
+    def test_flatten_uses_fine_data_where_owned(self):
+        h = _two_level_hierarchy()
+        flat = flatten_hierarchy(h)
+        fine_region = level_footprint(h, 0)
+        np.testing.assert_array_equal(flat[fine_region], h.levels[0].data[fine_region])
+
+    def test_flatten_matches_original_when_single_level(self):
+        data = np.random.default_rng(3).random((8, 8, 8))
+        h = AMRHierarchy([AMRLevel(level=0, data=data, mask=np.ones_like(data, dtype=bool))])
+        np.testing.assert_array_equal(flatten_hierarchy(h), data)

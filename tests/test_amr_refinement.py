@@ -1,0 +1,118 @@
+"""Unit tests for refinement criteria and uniform -> hierarchy construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amr.refinement import (
+    GradientCriterion,
+    MeanValueCriterion,
+    ValueRangeCriterion,
+    assign_block_levels,
+    build_hierarchy_from_uniform,
+)
+
+
+class TestCriteria:
+    def test_value_range_prefers_varying_blocks(self):
+        data = np.zeros((16, 16))
+        data[:8, :8] = np.random.default_rng(0).random((8, 8))
+        scores = ValueRangeCriterion().block_scores(data, 8)
+        assert scores[0, 0] > scores[1, 1]
+
+    def test_mean_value_prefers_dense_blocks(self):
+        data = np.zeros((16, 16))
+        data[8:, 8:] = 10.0
+        scores = MeanValueCriterion().block_scores(data, 8)
+        assert np.argmax(scores) == 3
+
+    def test_gradient_prefers_steep_blocks(self):
+        data = np.zeros((16, 16))
+        data[:8, :8] = np.arange(64).reshape(8, 8)
+        scores = GradientCriterion().block_scores(data, 8)
+        assert scores[0, 0] > scores[1, 1]
+
+
+class TestAssignBlockLevels:
+    def test_fractions_respected(self):
+        scores = np.arange(100, dtype=float)
+        levels = assign_block_levels(scores, [0.2, 0.8])
+        assert (levels == 0).sum() == 20
+        assert (levels == 1).sum() == 80
+
+    def test_top_scores_get_finest_level(self):
+        scores = np.array([1.0, 5.0, 3.0, 2.0])
+        levels = assign_block_levels(scores, [0.25, 0.75])
+        assert levels[1] == 0  # the highest score
+        assert levels[0] == 1
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            assign_block_levels(np.arange(10.0), [0.3, 0.3])
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            assign_block_levels(np.arange(10.0), [-0.1, 1.1])
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=200),
+        f=st.floats(min_value=0.05, max_value=0.95),
+    )
+    def test_property_every_block_gets_exactly_one_level(self, n, f):
+        scores = np.random.default_rng(n).random(n)
+        levels = assign_block_levels(scores, [f, 1.0 - f])
+        assert levels.size == n
+        assert set(np.unique(levels)) <= {0, 1}
+
+
+class TestBuildHierarchy:
+    def test_two_level_partition_valid(self, noisy_field_3d):
+        h = build_hierarchy_from_uniform(noisy_field_3d, n_levels=2, block_size=8)
+        assert h.n_levels == 2
+        assert h.is_valid_partition()
+
+    def test_three_level_partition_valid(self, noisy_field_3d):
+        h = build_hierarchy_from_uniform(
+            noisy_field_3d, n_levels=3, block_size=8, fractions=[0.2, 0.3, 0.5]
+        )
+        assert h.n_levels == 3
+        assert h.is_valid_partition()
+
+    def test_densities_close_to_fractions(self, noisy_field_3d):
+        h = build_hierarchy_from_uniform(
+            noisy_field_3d, n_levels=2, block_size=8, fractions=[0.25, 0.75]
+        )
+        densities = h.level_densities()
+        assert densities[0] == pytest.approx(0.25, abs=0.05)
+        assert densities[1] == pytest.approx(0.75, abs=0.05)
+
+    def test_fine_level_keeps_original_values(self, noisy_field_3d):
+        h = build_hierarchy_from_uniform(noisy_field_3d, n_levels=2, block_size=8)
+        fine = h.levels[0]
+        np.testing.assert_array_equal(fine.data[fine.mask], noisy_field_3d[fine.mask])
+
+    def test_single_level_is_whole_domain(self, noisy_field_3d):
+        h = build_hierarchy_from_uniform(noisy_field_3d, n_levels=1, block_size=8)
+        assert h.levels[0].density == 1.0
+
+    def test_block_size_not_power_of_two_raises(self, noisy_field_3d):
+        with pytest.raises(ValueError):
+            build_hierarchy_from_uniform(noisy_field_3d, n_levels=2, block_size=6)
+
+    def test_block_size_too_small_for_levels_raises(self, noisy_field_3d):
+        with pytest.raises(ValueError):
+            build_hierarchy_from_uniform(noisy_field_3d, n_levels=4, block_size=4)
+
+    def test_shape_not_divisible_raises(self):
+        with pytest.raises(ValueError):
+            build_hierarchy_from_uniform(np.zeros((30, 30, 30)), n_levels=2, block_size=8)
+
+    def test_refinement_concentrates_on_interesting_region(self):
+        """Blocks containing the sharp feature must end up on the fine level."""
+        data = np.zeros((32, 32, 32))
+        data[8:16, 8:16, 8:16] = np.random.default_rng(1).random((8, 8, 8)) * 10
+        h = build_hierarchy_from_uniform(data, n_levels=2, block_size=8, fractions=[0.1, 0.9])
+        fine_mask = h.levels[0].mask
+        assert fine_mask[8:16, 8:16, 8:16].all()

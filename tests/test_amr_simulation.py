@@ -1,0 +1,79 @@
+"""Unit tests for the toy in-situ simulations."""
+
+import numpy as np
+import pytest
+
+from repro.amr.simulation import (
+    CollapsingDensitySimulation,
+    SimulationSnapshot,
+    TravelingPulseSimulation,
+)
+
+
+class TestCollapsingDensitySimulation:
+    def test_snapshots_are_amr(self):
+        sim = CollapsingDensitySimulation(shape=(16, 16, 16), block_size=8)
+        snap = next(iter(sim.run(1)))
+        assert isinstance(snap, SimulationSnapshot)
+        assert snap.is_amr
+        assert snap.data.is_valid_partition()
+
+    def test_density_mean_stays_normalised(self):
+        sim = CollapsingDensitySimulation(shape=(16, 16, 16), block_size=8)
+        for _ in range(3):
+            field = sim.advance()
+            assert field.mean() == pytest.approx(1.0, rel=1e-6)
+            assert (field > 0).all()
+
+    def test_collapse_increases_contrast(self):
+        sim = CollapsingDensitySimulation(shape=(16, 16, 16), block_size=8, diffusion_sigma=0.0)
+        start_std = sim.current_field.std()
+        for _ in range(5):
+            sim.advance()
+        assert sim.current_field.std() > start_std
+
+    def test_level_fractions_follow_configuration(self):
+        sim = CollapsingDensitySimulation(shape=(32, 32, 32), block_size=8, fractions=[0.18, 0.82])
+        snap = next(iter(sim.run(1)))
+        assert snap.data.level_densities()[0] == pytest.approx(0.18, abs=0.06)
+
+    def test_deterministic_given_seed(self):
+        a = CollapsingDensitySimulation(shape=(16, 16, 16), seed=7)
+        b = CollapsingDensitySimulation(shape=(16, 16, 16), seed=7)
+        np.testing.assert_array_equal(a.current_field, b.current_field)
+
+    def test_steps_counted(self):
+        sim = CollapsingDensitySimulation(shape=(16, 16, 16))
+        reports = list(sim.run(3))
+        assert [r.step for r in reports] == [1, 2, 3]
+
+
+class TestTravelingPulseSimulation:
+    def test_snapshots_are_uniform(self):
+        sim = TravelingPulseSimulation(shape=(8, 8, 64))
+        snap = next(iter(sim.run(1)))
+        assert not snap.is_amr
+        assert snap.data.shape == (8, 8, 64)
+
+    def test_pulse_moves_forward(self):
+        sim = TravelingPulseSimulation(shape=(8, 8, 128), noise_level=0.0)
+        before = sim.current_field
+        for _ in range(10):
+            sim.advance()
+        after = sim.current_field
+        # centre of energy along z should move towards larger z
+        z = np.arange(128)
+        centre_before = (np.abs(before).sum(axis=(0, 1)) * z).sum() / np.abs(before).sum()
+        centre_after = (np.abs(after).sum(axis=(0, 1)) * z).sum() / np.abs(after).sum()
+        assert centre_after > centre_before
+
+    def test_field_concentrated_near_axis(self):
+        sim = TravelingPulseSimulation(shape=(16, 16, 64), noise_level=0.0)
+        field = np.abs(sim.current_field)
+        on_axis = field[7:9, 7:9, :].mean()
+        off_axis = field[0:2, 0:2, :].mean()
+        assert on_axis > 5 * off_axis
+
+    def test_field_name_propagates(self):
+        sim = TravelingPulseSimulation(shape=(8, 8, 32), field_name="Ey")
+        assert next(iter(sim.run(1))).field_name == "Ey"

@@ -1,0 +1,165 @@
+"""Unit tests for metrics, SSIM, power spectrum and the halo finder."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    compression_ratio,
+    find_halos,
+    halo_mass_function,
+    match_halos,
+    max_abs_error,
+    mse,
+    nrmse,
+    power_spectrum,
+    power_spectrum_error,
+    psnr,
+    rate_distortion_curve,
+    ssim,
+)
+from repro.analysis.ssim import ssim_map
+from repro.compressors import SZ3Compressor
+from repro.datasets import nyx_density_field
+
+
+class TestPointwiseMetrics:
+    def test_identical_arrays(self):
+        a = np.random.default_rng(0).random((8, 8))
+        assert mse(a, a) == 0.0
+        assert max_abs_error(a, a) == 0.0
+        assert psnr(a, a) == np.inf
+        assert nrmse(a, a) == 0.0
+
+    def test_known_mse(self):
+        a = np.zeros(4)
+        b = np.array([1.0, -1.0, 1.0, -1.0])
+        assert mse(a, b) == 1.0
+        assert max_abs_error(a, b) == 1.0
+
+    def test_psnr_decreases_with_noise(self):
+        rng = np.random.default_rng(1)
+        a = rng.random((16, 16, 16))
+        small = a + 1e-4 * rng.standard_normal(a.shape)
+        large = a + 1e-2 * rng.standard_normal(a.shape)
+        assert psnr(a, small) > psnr(a, large)
+
+    def test_psnr_value_range_convention(self):
+        """PSNR = 20 log10(range) - 10 log10(mse)."""
+        a = np.array([0.0, 10.0])
+        b = np.array([1.0, 10.0])
+        expected = 20 * np.log10(10.0) - 10 * np.log10(0.5)
+        assert psnr(a, b) == pytest.approx(expected)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(3), np.zeros(4))
+
+    def test_compression_ratio(self):
+        assert compression_ratio(1000, 100) == 10.0
+        with pytest.raises(ValueError):
+            compression_ratio(100, 0)
+
+    def test_rate_distortion_curve_monotone_in_eb(self):
+        data = nyx_density_field((16, 16, 16), seed=5)
+        comp = SZ3Compressor()
+        points = rate_distortion_curve(
+            lambda d, eb: comp.roundtrip(d, eb), data, [1e-1, 1e-3]
+        )
+        assert len(points) == 2
+        assert points[0].compression_ratio > points[1].compression_ratio
+        assert points[0].psnr < points[1].psnr
+
+
+class TestSSIM:
+    def test_identical_is_one(self):
+        a = np.random.default_rng(2).random((32, 32))
+        assert ssim(a, a) == pytest.approx(1.0)
+
+    def test_noise_reduces_ssim(self):
+        rng = np.random.default_rng(3)
+        a = rng.random((32, 32, 32))
+        b = a + 0.2 * rng.standard_normal(a.shape)
+        assert ssim(a, b) < 0.95
+
+    def test_more_noise_lower_ssim(self):
+        rng = np.random.default_rng(4)
+        a = np.cumsum(rng.random((32, 32)), axis=0)
+        b1 = a + 0.05 * a.std() * rng.standard_normal(a.shape)
+        b2 = a + 0.5 * a.std() * rng.standard_normal(a.shape)
+        assert ssim(a, b1) > ssim(a, b2)
+
+    def test_map_shape(self):
+        a = np.random.default_rng(5).random((16, 16))
+        assert ssim_map(a, a).shape == a.shape
+
+    def test_constant_arrays(self):
+        a = np.full((8, 8), 2.0)
+        assert ssim(a, a) == pytest.approx(1.0)
+
+    def test_wrong_dims_raise(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros(5), np.zeros(5))
+
+
+class TestPowerSpectrum:
+    def test_single_mode_peaks_at_right_k(self):
+        n = 32
+        x = np.arange(n)
+        field = 1.0 + 0.5 * np.sin(2 * np.pi * 4 * x / n)[:, None, None] * np.ones((n, n, n))
+        k, p = power_spectrum(field)
+        assert k[np.argmax(p)] == pytest.approx(4.0)
+
+    def test_identical_fields_zero_error(self):
+        field = nyx_density_field((32, 32, 32), seed=6)
+        err = power_spectrum_error(field, field)
+        assert err.max_relative_error == pytest.approx(0.0, abs=1e-12)
+        assert err.acceptable
+
+    def test_perturbation_increases_error(self):
+        field = nyx_density_field((32, 32, 32), seed=7)
+        rng = np.random.default_rng(8)
+        noisy = field + 0.5 * field.std() * rng.standard_normal(field.shape)
+        err = power_spectrum_error(field, noisy)
+        assert err.max_relative_error > 0.01
+
+    def test_requires_3d(self):
+        with pytest.raises(ValueError):
+            power_spectrum(np.zeros((8, 8)))
+
+
+class TestHaloFinder:
+    def _field_with_halos(self):
+        field = np.ones((32, 32, 32))
+        field[4:8, 4:8, 4:8] = 50.0
+        field[20:23, 20:23, 20:23] = 80.0
+        return field
+
+    def test_finds_two_halos(self):
+        halos = find_halos(self._field_with_halos(), overdensity=5.0, min_cells=4)
+        assert len(halos) == 2
+        assert halos[0].mass >= halos[1].mass
+
+    def test_min_cells_filters_noise(self):
+        field = np.ones((16, 16, 16))
+        field[0, 0, 0] = 100.0
+        assert find_halos(field, overdensity=5.0, min_cells=4) == []
+
+    def test_centres_are_inside_halos(self):
+        halos = find_halos(self._field_with_halos(), overdensity=5.0)
+        densest = max(halos, key=lambda h: h.peak_density)
+        assert densest.peak_density == pytest.approx(80.0)
+        assert all(19 <= c <= 23 for c in densest.centre)
+
+    def test_match_halos_full_recovery(self):
+        halos = find_halos(self._field_with_halos(), overdensity=5.0)
+        assert match_halos(halos, halos) == 1.0
+
+    def test_match_halos_empty_candidate(self):
+        halos = find_halos(self._field_with_halos(), overdensity=5.0)
+        assert match_halos(halos, []) == 0.0
+        assert match_halos([], halos) == 1.0
+
+    def test_mass_function_counts_all(self):
+        halos = find_halos(self._field_with_halos(), overdensity=5.0)
+        _, counts = halo_mass_function(halos, n_bins=4)
+        assert counts.sum() == len(halos)

@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import s3d_field
+
+
+@pytest.fixture()
+def field_file(tmp_path):
+    field = s3d_field((24, 24, 24), seed="cli-test")
+    path = tmp_path / "field.npy"
+    np.save(path, field)
+    return path, field
+
+
+class TestCompressDecompress:
+    @pytest.mark.parametrize("codec", ["sz3", "sz2", "zfp"])
+    def test_roundtrip_respects_error_bound(self, tmp_path, field_file, codec, capsys):
+        path, field = field_file
+        out = tmp_path / "field.rpca"
+        recon_path = tmp_path / "recon.npy"
+        eb = 0.01
+
+        assert main([
+            "compress", str(path), str(out), "--codec", codec,
+            "--error-bound", str(eb), "--relative",
+        ]) == 0
+        assert out.exists()
+        assert "ratio" in capsys.readouterr().out
+
+        assert main(["decompress", str(out), str(recon_path)]) == 0
+        recon = np.load(recon_path)
+        assert recon.shape == field.shape
+        assert np.abs(recon - field).max() <= eb * (field.max() - field.min()) * (1 + 1e-9)
+
+    def test_postprocess_plan_stored_and_applied(self, tmp_path, field_file, capsys):
+        path, field = field_file
+        out = tmp_path / "field.rpca"
+        eb = 0.02
+        main([
+            "compress", str(path), str(out), "--codec", "zfp",
+            "--error-bound", str(eb), "--relative", "--postprocess",
+        ])
+        raw_path = tmp_path / "raw.npy"
+        post_path = tmp_path / "post.npy"
+        main(["decompress", str(out), str(raw_path), "--no-postprocess"])
+        main(["decompress", str(out), str(post_path)])
+        raw = np.load(raw_path)
+        post = np.load(post_path)
+        capsys.readouterr()
+        # the post-processed output is at least as close to the original
+        assert np.mean((post - field) ** 2) <= np.mean((raw - field) ** 2) + 1e-12
+
+    def test_sz2_block_size_option(self, tmp_path, field_file, capsys):
+        path, _ = field_file
+        out = tmp_path / "f.rpca"
+        main(["compress", str(path), str(out), "--codec", "sz2", "--block-size", "4",
+              "--error-bound", "0.01", "--relative"])
+        capsys.readouterr()
+        main(["info", str(out)])
+        info = json.loads(capsys.readouterr().out)
+        assert info["metadata"]["block_size"] == 4
+
+
+class TestInfoAndEvaluate:
+    def test_info_reports_ratio_and_shape(self, tmp_path, field_file, capsys):
+        path, field = field_file
+        out = tmp_path / "field.rpca"
+        main(["compress", str(path), str(out), "--codec", "sz3",
+              "--error-bound", "0.01", "--relative"])
+        capsys.readouterr()
+        assert main(["info", str(out)]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["codec"] == "sz3"
+        assert tuple(info["shape"]) == field.shape
+        assert info["compression_ratio"] > 1.0
+
+    def test_evaluate_prints_metrics(self, tmp_path, field_file, capsys):
+        path, field = field_file
+        noisy = tmp_path / "noisy.npy"
+        np.save(noisy, field + 0.01 * field.std())
+        assert main(["evaluate", str(path), str(noisy)]) == 0
+        out = capsys.readouterr().out
+        assert "PSNR" in out and "SSIM" in out and "max error" in out
+
+    def test_evaluate_shape_mismatch_exits(self, tmp_path, field_file):
+        path, _ = field_file
+        other = tmp_path / "other.npy"
+        np.save(other, np.zeros((4, 4)))
+        with pytest.raises(SystemExit):
+            main(["evaluate", str(path), str(other)])
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compress", "a.npy", "b.rpca", "--codec", "mgard",
+                                       "--error-bound", "0.1"])
+
+    def test_wrong_ndim_input_exits(self, tmp_path):
+        bad = tmp_path / "bad.npy"
+        np.save(bad, np.zeros((2, 2, 2, 2)))
+        with pytest.raises(SystemExit):
+            main(["compress", str(bad), str(tmp_path / "o.rpca"), "--error-bound", "0.1"])

@@ -1,0 +1,152 @@
+"""Unit tests for the coding substrates: quantizer, Huffman, lossless container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressors.errors import DecompressionError
+from repro.compressors.huffman import HuffmanCodec, huffman_decode, huffman_encode
+from repro.compressors.lossless import (
+    decode_float_array,
+    decode_int_array,
+    encode_float_array,
+    encode_int_array,
+    lossless_compress,
+    lossless_decompress,
+    pack_streams,
+    unpack_streams,
+)
+from repro.compressors.quantizer import LinearQuantizer
+
+
+class TestLinearQuantizer:
+    def test_reconstruction_within_bound(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=1000)
+        predictions = values + rng.normal(scale=0.3, size=1000)
+        q = LinearQuantizer()
+        eb = 0.01
+        out = q.quantize(values, predictions, eb)
+        assert np.abs(out.reconstructed - values).max() <= eb + 1e-12
+
+    def test_dequantize_matches_quantize(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=500)
+        predictions = np.zeros(500)
+        q = LinearQuantizer()
+        eb = 0.05
+        enc = q.quantize(values, predictions, eb)
+        dec, n_exact = q.dequantize(enc.codes, predictions, eb, enc.exact_values)
+        np.testing.assert_allclose(dec, enc.reconstructed)
+        assert n_exact == enc.exact_values.size
+
+    def test_overflow_goes_to_exact_values(self):
+        q = LinearQuantizer(radius=4)
+        values = np.array([100.0, 0.0])
+        predictions = np.array([0.0, 0.0])
+        out = q.quantize(values, predictions, 0.5)
+        assert out.codes[0] == q.sentinel
+        assert out.exact_values.size == 1
+        assert out.reconstructed[0] == 100.0
+
+    def test_zero_error_bound_raises(self):
+        with pytest.raises(ValueError):
+            LinearQuantizer().quantize(np.zeros(3), np.zeros(3), 0.0)
+
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(ValueError):
+            LinearQuantizer().quantize(np.zeros(3), np.zeros(4), 0.1)
+
+    def test_dequantize_missing_exact_values_raises(self):
+        q = LinearQuantizer(radius=4)
+        codes = np.array([q.sentinel, 0])
+        with pytest.raises(ValueError):
+            q.dequantize(codes, np.zeros(2), 0.1, np.zeros(0))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        eb=st.floats(min_value=1e-6, max_value=10.0),
+        scale=st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_property_error_bound_always_holds(self, eb, scale):
+        rng = np.random.default_rng(42)
+        values = scale * rng.normal(size=200)
+        predictions = scale * rng.normal(size=200)
+        out = LinearQuantizer().quantize(values, predictions, eb)
+        assert np.abs(out.reconstructed - values).max() <= eb * (1 + 1e-12)
+
+
+class TestHuffman:
+    def test_roundtrip_small(self):
+        symbols = np.array([1, 1, 2, 3, 3, 3, -5, 0, 0, 1])
+        decoded = huffman_decode(huffman_encode(symbols))
+        np.testing.assert_array_equal(decoded, symbols)
+
+    def test_roundtrip_single_symbol(self):
+        symbols = np.full(50, 7)
+        decoded = huffman_decode(huffman_encode(symbols))
+        np.testing.assert_array_equal(decoded, symbols)
+
+    def test_roundtrip_empty(self):
+        decoded = huffman_decode(huffman_encode(np.zeros(0, dtype=np.int64)))
+        assert decoded.size == 0
+
+    def test_skewed_distribution_compresses_well(self):
+        rng = np.random.default_rng(3)
+        symbols = np.where(rng.random(5000) < 0.95, 0, rng.integers(-10, 10, 5000))
+        encoded = HuffmanCodec().encode(symbols)
+        # 5000 int64 = 40000 bytes raw; the skew should give a large win.
+        assert len(encoded) < 5000
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        data=st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=300)
+    )
+    def test_property_roundtrip(self, data):
+        symbols = np.array(data, dtype=np.int64)
+        decoded = huffman_decode(huffman_encode(symbols))
+        np.testing.assert_array_equal(decoded, symbols)
+
+
+class TestLossless:
+    @pytest.mark.parametrize("backend", ["zlib", "lzma", "bz2", "store"])
+    def test_roundtrip_backends(self, backend):
+        raw = bytes(range(256)) * 10
+        assert lossless_decompress(lossless_compress(raw, backend=backend)) == raw
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError):
+            lossless_compress(b"abc", backend="zstd")
+
+    def test_empty_payload_raises(self):
+        with pytest.raises(DecompressionError):
+            lossless_decompress(b"")
+
+    def test_pack_unpack_streams(self):
+        streams = {"codes": b"12345", "exact": b"", "anchors": b"\x00" * 17}
+        assert unpack_streams(pack_streams(streams)) == streams
+
+    def test_unpack_bad_magic_raises(self):
+        with pytest.raises(DecompressionError):
+            unpack_streams(b"XXXX" + b"\x00" * 10)
+
+    def test_int_array_roundtrip_narrows_dtype(self):
+        arr = np.array([0, 1, -2, 3], dtype=np.int64)
+        blob = encode_int_array(arr)
+        np.testing.assert_array_equal(decode_int_array(blob), arr)
+        # int8 narrowing + zlib header should stay tiny
+        assert len(blob) < 40
+
+    def test_int_array_large_values(self):
+        arr = np.array([2**40, -(2**41)], dtype=np.int64)
+        np.testing.assert_array_equal(decode_int_array(encode_int_array(arr)), arr)
+
+    def test_float_array_roundtrip(self):
+        arr = np.array([1.5, -2.25, 3.125e-9])
+        np.testing.assert_allclose(decode_float_array(encode_float_array(arr)), arr)
+
+    def test_float_array_float32_dtype(self):
+        arr = np.array([1.5, -2.25])
+        out = decode_float_array(encode_float_array(arr, dtype="<f4"))
+        np.testing.assert_allclose(out, arr)

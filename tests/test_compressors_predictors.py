@@ -1,0 +1,128 @@
+"""Unit tests for the Lorenzo / regression predictors and the ZFP transform."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.lorenzo import lorenzo_predict_open_loop, lorenzo_roundtrip_closed_loop
+from repro.compressors.regression import (
+    design_matrix,
+    fit_mean_blocks,
+    fit_plane_blocks,
+    predict_plane_blocks,
+)
+from repro.compressors.transform import (
+    ZFP_BLOCK_SIZE,
+    forward_matrix,
+    forward_transform_blocks,
+    inverse_gain,
+    inverse_matrix,
+    inverse_transform_blocks,
+)
+
+
+class TestLorenzo:
+    def test_open_loop_1d_is_previous_value(self):
+        data = np.array([1.0, 2.0, 4.0, 8.0])
+        pred = lorenzo_predict_open_loop(data)
+        np.testing.assert_array_equal(pred, [0.0, 1.0, 2.0, 4.0])
+
+    def test_open_loop_2d_exact_for_bilinear(self):
+        """A bilinear (plane) field is predicted exactly by the 2-D Lorenzo stencil."""
+        i, j = np.meshgrid(np.arange(1, 9), np.arange(1, 9), indexing="ij")
+        data = (2.0 * i + 3.0 * j).astype(float)
+        pred = lorenzo_predict_open_loop(data)
+        np.testing.assert_allclose(pred[1:, 1:], data[1:, 1:])
+
+    def test_open_loop_3d_exact_for_trilinear(self):
+        i, j, k = np.meshgrid(np.arange(1, 6), np.arange(1, 6), np.arange(1, 6), indexing="ij")
+        data = (1.0 * i + 2.0 * j - 3.0 * k).astype(float)
+        pred = lorenzo_predict_open_loop(data)
+        np.testing.assert_allclose(pred[1:, 1:, 1:], data[1:, 1:, 1:])
+
+    @pytest.mark.parametrize("shape", [(40,), (12, 12), (6, 6, 6)])
+    def test_closed_loop_respects_error_bound(self, shape):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=shape)
+        eb = 0.01
+        codes, recon = lorenzo_roundtrip_closed_loop(data, eb)
+        assert recon.shape == data.shape
+        assert np.abs(recon - data).max() <= eb + 1e-12
+        assert codes.shape == data.shape
+
+    def test_closed_loop_invalid_eb(self):
+        with pytest.raises(ValueError):
+            lorenzo_roundtrip_closed_loop(np.zeros(4), 0.0)
+
+    def test_unsupported_ndim(self):
+        with pytest.raises(ValueError):
+            lorenzo_predict_open_loop(np.zeros((2, 2, 2, 2)))
+
+
+class TestRegression:
+    def test_design_matrix_shape(self):
+        X = design_matrix((4, 4, 4))
+        assert X.shape == (64, 4)
+        np.testing.assert_array_equal(X[:, 0], np.ones(64))
+
+    def test_plane_fit_recovers_exact_plane(self):
+        block_shape = (4, 4)
+        X = design_matrix(block_shape)
+        true_coeffs = np.array([[5.0, 1.5, -2.0]])
+        values = true_coeffs @ X.T
+        fitted = fit_plane_blocks(values, block_shape)
+        np.testing.assert_allclose(fitted, true_coeffs, atol=1e-10)
+
+    def test_predict_inverts_fit_for_planes(self):
+        block_shape = (4, 4, 4)
+        rng = np.random.default_rng(5)
+        coeffs = rng.normal(size=(10, 4))
+        values = predict_plane_blocks(coeffs, block_shape)
+        refit = fit_plane_blocks(values, block_shape)
+        np.testing.assert_allclose(refit, coeffs, atol=1e-9)
+
+    def test_constant_coefficient_is_block_mean(self):
+        block_shape = (4, 4)
+        rng = np.random.default_rng(7)
+        values = rng.normal(size=(6, 16))
+        coeffs = fit_plane_blocks(values, block_shape)
+        np.testing.assert_allclose(coeffs[:, 0], values.mean(axis=1), atol=1e-10)
+
+    def test_mean_blocks(self):
+        values = np.array([[1.0, 3.0], [2.0, 4.0]])
+        np.testing.assert_allclose(fit_mean_blocks(values), [[2.0], [3.0]])
+
+    def test_bad_shapes_raise(self):
+        with pytest.raises(ValueError):
+            fit_plane_blocks(np.zeros((3, 10)), (4, 4))
+        with pytest.raises(ValueError):
+            predict_plane_blocks(np.zeros((3, 7)), (4, 4))
+
+
+class TestZFPTransform:
+    def test_matrices_are_inverses(self):
+        np.testing.assert_allclose(forward_matrix() @ inverse_matrix(), np.eye(4), atol=1e-12)
+
+    def test_forward_inverse_roundtrip_3d(self):
+        rng = np.random.default_rng(11)
+        blocks = rng.normal(size=(20, 4, 4, 4))
+        coeffs = forward_transform_blocks(blocks)
+        restored = inverse_transform_blocks(coeffs)
+        np.testing.assert_allclose(restored, blocks, atol=1e-10)
+
+    def test_constant_block_concentrates_in_dc(self):
+        blocks = np.full((1, 4, 4), 3.0)
+        coeffs = forward_transform_blocks(blocks)
+        assert abs(coeffs[0, 0, 0] - 3.0) < 1e-12
+        assert np.abs(coeffs[0]).sum() == pytest.approx(3.0, abs=1e-10)
+
+    def test_inverse_gain_monotone_in_ndim(self):
+        assert inverse_gain(1) < inverse_gain(2) < inverse_gain(3)
+
+    def test_wrong_block_shape_raises(self):
+        with pytest.raises(ValueError):
+            forward_transform_blocks(np.zeros((2, 5, 4)))
+        with pytest.raises(ValueError):
+            inverse_gain(0)
+
+    def test_block_size_constant(self):
+        assert ZFP_BLOCK_SIZE == 4

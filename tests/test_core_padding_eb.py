@@ -1,0 +1,105 @@
+"""Unit tests for dynamic padding and the adaptive error-bound schedule."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive_eb import (
+    DEFAULT_ALPHA,
+    DEFAULT_BETA,
+    AdaptiveErrorBoundSchedule,
+    adaptive_level_error_bounds,
+)
+from repro.core.padding import (
+    PAD_MODES,
+    pad_small_dimensions,
+    padding_overhead,
+    should_pad,
+    unpad,
+)
+
+
+class TestPadding:
+    def test_pads_the_two_smallest_axes(self):
+        data = np.random.default_rng(0).random((8, 8, 64))
+        padded, info = pad_small_dimensions(data)
+        assert padded.shape == (9, 9, 64)
+        assert info.axes == (0, 1)
+
+    def test_unpad_restores_original(self):
+        data = np.random.default_rng(1).random((8, 8, 40))
+        padded, info = pad_small_dimensions(data, mode="linear")
+        restored = unpad(padded, info)
+        np.testing.assert_array_equal(restored, data)
+
+    def test_constant_mode_copies_last_layer(self):
+        data = np.arange(8, dtype=float).reshape(8, 1) * np.ones((8, 8))
+        padded, _ = pad_small_dimensions(data, mode="constant", n_axes=1)
+        np.testing.assert_array_equal(padded[-1], data[-1])
+
+    def test_linear_mode_extrapolates_linear_data_exactly(self):
+        x = np.arange(8, dtype=float)
+        data = np.add.outer(2.0 * x, 3.0 * x)  # plane: exactly linear along both axes
+        padded, _ = pad_small_dimensions(data, mode="linear", n_axes=2)
+        # the padded layer continues the linear trend exactly
+        np.testing.assert_allclose(padded[8, :8], 2.0 * 8 + 3.0 * x)
+        np.testing.assert_allclose(padded[:8, 8], 2.0 * x + 3.0 * 8)
+
+    def test_quadratic_mode_extrapolates_quadratic_exactly(self):
+        x = np.arange(8, dtype=float)
+        data = x**2
+        padded, _ = pad_small_dimensions(data, mode="quadratic", n_axes=1)
+        assert padded.shape == (9,)
+        np.testing.assert_allclose(padded[8], 64.0)
+
+    def test_pad_modes_constant_list(self):
+        assert set(PAD_MODES) == {"constant", "linear", "quadratic"}
+
+    def test_invalid_mode_raises(self):
+        with pytest.raises(ValueError):
+            pad_small_dimensions(np.zeros((4, 4)), mode="cubic")
+
+    def test_invalid_n_axes_raises(self):
+        with pytest.raises(ValueError):
+            pad_small_dimensions(np.zeros((4, 4)), n_axes=3)
+
+    def test_padding_overhead_matches_paper(self):
+        # (u+1)^2/u^2 - 1: 56% for u=4, ~13% for u=16 (§III-A).
+        assert padding_overhead(4) == pytest.approx(0.5625)
+        assert padding_overhead(16) == pytest.approx((17**2) / (16**2) - 1)
+
+    def test_should_pad_rule(self):
+        assert not should_pad(4)
+        assert should_pad(8)
+        assert should_pad(16)
+
+
+class TestAdaptiveErrorBound:
+    def test_finest_level_gets_full_bound(self):
+        schedule = adaptive_level_error_bounds()
+        assert schedule(1, 10, 1e-2) == pytest.approx(1e-2)
+
+    def test_early_levels_get_tighter_bounds(self):
+        schedule = adaptive_level_error_bounds()
+        ebs = [schedule(level, 10, 1.0) for level in range(1, 11)]
+        assert all(ebs[i] >= ebs[i + 1] - 1e-15 for i in range(len(ebs) - 1))
+
+    def test_beta_caps_the_reduction(self):
+        schedule = AdaptiveErrorBoundSchedule(alpha=2.25, beta=8.0)
+        assert schedule(10, 10, 1.0) == pytest.approx(1.0 / 8.0)
+
+    def test_paper_constants_are_defaults(self):
+        schedule = adaptive_level_error_bounds()
+        assert schedule.alpha == DEFAULT_ALPHA == 2.25
+        assert schedule.beta == DEFAULT_BETA == 8.0
+
+    def test_second_level_uses_alpha(self):
+        schedule = AdaptiveErrorBoundSchedule(alpha=2.0, beta=100.0)
+        assert schedule(2, 5, 1.0) == pytest.approx(0.5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AdaptiveErrorBoundSchedule(alpha=0.5)
+        with pytest.raises(ValueError):
+            AdaptiveErrorBoundSchedule(beta=0.5)
+        with pytest.raises(ValueError):
+            adaptive_level_error_bounds()(0, 5, 1.0)

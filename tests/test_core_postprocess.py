@@ -1,0 +1,222 @@
+"""Unit tests for error sampling, Bezier post-processing and the uncertainty model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import psnr
+from repro.compressors import SZ2Compressor, ZFPCompressor
+from repro.core.postprocess import (
+    DEFAULT_CANDIDATES,
+    PostProcessor,
+    bezier_boundary_smooth,
+)
+from repro.core.sampling import sample_compression_errors
+from repro.core.uncertainty import CompressionUncertaintyModel
+from repro.datasets import s3d_field, warpx_ez_field
+
+
+@pytest.fixture(scope="module")
+def warpx_small():
+    return warpx_ez_field((16, 16, 96), seed="pp-warpx")
+
+
+@pytest.fixture(scope="module")
+def s3d_small():
+    return s3d_field((32, 32, 32), seed="pp-s3d")
+
+
+class TestSampling:
+    def test_sampling_rate_respected(self, s3d_small):
+        sampled = sample_compression_errors(
+            s3d_small, ZFPCompressor(), error_bound=1.0, sampling_rate=0.015
+        )
+        # On small arrays a single minimum-size sample block may exceed the
+        # budget; the fraction must never exceed one such block.
+        one_block = np.prod(sampled.block_shape) / s3d_small.size
+        assert sampled.sample_fraction <= max(0.015, one_block) + 1e-9
+        assert sampled.n_samples > 0
+
+    def test_sampling_rate_respected_at_scale(self):
+        """At a larger grid the paper's < 1.5 % budget is honoured exactly."""
+        field = s3d_field((64, 64, 64), seed="pp-s3d-big")
+        sampled = sample_compression_errors(
+            field, ZFPCompressor(), error_bound=5.0, sampling_rate=0.015
+        )
+        assert sampled.sample_fraction <= 0.015 + 1e-9
+
+    def test_errors_within_bound(self, s3d_small):
+        eb = 2.0
+        sampled = sample_compression_errors(s3d_small, SZ2Compressor(block_size=4), eb)
+        assert sampled.max_abs_error() <= eb * (1 + 1e-9)
+
+    def test_block_shape_multiplier(self, s3d_small):
+        # generous budget: the requested multiplier is used as-is
+        sampled = sample_compression_errors(
+            s3d_small, ZFPCompressor(), 1.0, block_multiplier=3, base_block_size=4,
+            sampling_rate=0.2,
+        )
+        assert sampled.block_shape == (12, 12, 12)
+
+    def test_block_multiplier_shrinks_under_tight_budget(self, s3d_small):
+        # tight budget: the multiplier drops towards 2 so the sample stays small
+        sampled = sample_compression_errors(
+            s3d_small, ZFPCompressor(), 1.0, block_multiplier=3, base_block_size=4,
+            sampling_rate=0.015,
+        )
+        assert sampled.block_shape == (8, 8, 8)
+
+    def test_deterministic_given_seed(self, s3d_small):
+        a = sample_compression_errors(s3d_small, ZFPCompressor(), 1.0, seed="same")
+        b = sample_compression_errors(s3d_small, ZFPCompressor(), 1.0, seed="same")
+        np.testing.assert_array_equal(a.original_blocks, b.original_blocks)
+
+    def test_invalid_arguments(self, s3d_small):
+        with pytest.raises(ValueError):
+            sample_compression_errors(s3d_small, ZFPCompressor(), 0.0)
+        with pytest.raises(ValueError):
+            sample_compression_errors(s3d_small, ZFPCompressor(), 1.0, sampling_rate=0.0)
+
+
+class TestBezierSmooth:
+    def test_clamp_never_exceeds_intensity_times_eb(self):
+        rng = np.random.default_rng(0)
+        data = rng.random((16, 16))
+        eb, a = 0.05, 0.4
+        out = bezier_boundary_smooth(data, block_size=4, error_bound=eb, intensity=a)
+        assert np.abs(out - data).max() <= a * eb * (1 + 1e-12)
+
+    def test_zero_intensity_is_identity(self):
+        data = np.random.default_rng(1).random((12, 12, 12))
+        out = bezier_boundary_smooth(data, block_size=4, error_bound=0.1, intensity=0.0)
+        np.testing.assert_array_equal(out, data)
+
+    def test_only_boundary_points_change(self):
+        data = np.random.default_rng(2).random((16,))
+        out = bezier_boundary_smooth(data, block_size=4, error_bound=10.0, intensity=1.0)
+        changed = np.nonzero(out != data)[0]
+        # boundary indices for block size 4 on 16 points: 3,4,7,8,11,12 (15 has no right neighbour... 15 is last)
+        assert set(changed) <= {3, 4, 7, 8, 11, 12}
+
+    def test_reduces_blocking_artifact_on_smooth_signal(self):
+        """A smooth ramp with a per-block constant approximation has steps at block
+        boundaries; Bezier smoothing must bring it closer to the ramp."""
+        n = 64
+        truth = np.linspace(0, 1, n)
+        block = 8
+        blocky = np.repeat(truth.reshape(-1, block).mean(axis=1), block)
+        eb = float(np.abs(blocky - truth).max())
+        smoothed = bezier_boundary_smooth(blocky, block_size=block, error_bound=eb, intensity=0.5)
+        assert np.abs(smoothed - truth).sum() < np.abs(blocky - truth).sum()
+
+    def test_per_axis_intensity(self):
+        data = np.random.default_rng(3).random((8, 8))
+        out = bezier_boundary_smooth(
+            data, block_size=4, error_bound=1.0, intensity=[0.5, 0.0]
+        )
+        # axis 1 disabled: columns 3,4 may change only through axis-0 smoothing of rows 3,4
+        untouched_rows = [r for r in range(8) if r not in (3, 4)]
+        np.testing.assert_array_equal(out[untouched_rows][:, [1, 2, 5, 6]],
+                                      data[untouched_rows][:, [1, 2, 5, 6]])
+
+    def test_invalid_arguments(self):
+        data = np.zeros((8, 8))
+        with pytest.raises(ValueError):
+            bezier_boundary_smooth(data, block_size=1, error_bound=1.0)
+        with pytest.raises(ValueError):
+            bezier_boundary_smooth(data, block_size=4, error_bound=0.0)
+        with pytest.raises(ValueError):
+            bezier_boundary_smooth(data, block_size=4, error_bound=1.0, intensity=1.5)
+        with pytest.raises(ValueError):
+            bezier_boundary_smooth(data, block_size=4, error_bound=1.0, intensity=[0.1])
+
+
+class TestPostProcessor:
+    def test_default_candidates_match_paper(self):
+        assert DEFAULT_CANDIDATES["zfp"][0] == pytest.approx(0.005)
+        assert DEFAULT_CANDIDATES["zfp"][-1] == pytest.approx(0.05)
+        assert DEFAULT_CANDIDATES["sz2"][0] == pytest.approx(0.05)
+        assert DEFAULT_CANDIDATES["sz2"][-1] == pytest.approx(0.5)
+
+    def test_plan_selects_valid_intensities(self, warpx_small):
+        pp = PostProcessor("zfp")
+        value_range = warpx_small.max() - warpx_small.min()
+        plan = pp.plan(warpx_small, ZFPCompressor(), error_bound=0.02 * value_range)
+        assert len(plan.intensities) == 3
+        for a in plan.intensities:
+            assert a == 0.0 or a in plan.candidates
+        # small test grid: at most one minimum-size sample block
+        assert plan.sample_fraction <= 0.1
+
+    def test_postprocess_improves_zfp_psnr(self, warpx_small):
+        """Fig. 12 / Table I behaviour: dynamic post-processing improves PSNR."""
+        value_range = warpx_small.max() - warpx_small.min()
+        eb = 0.03 * value_range
+        pp = PostProcessor("zfp")
+        deco, processed, plan = pp.process(warpx_small, ZFPCompressor(), eb)
+        assert psnr(warpx_small, processed) >= psnr(warpx_small, deco)
+
+    def test_postprocess_improves_sz2_psnr(self, s3d_small):
+        value_range = s3d_small.max() - s3d_small.min()
+        eb = 0.02 * value_range
+        pp = PostProcessor("sz2")
+        deco, processed, plan = pp.process(s3d_small, SZ2Compressor(block_size=4), eb)
+        assert psnr(s3d_small, processed) >= psnr(s3d_small, deco) - 1e-9
+
+    def test_grid_strategy_not_worse_than_sgd(self, warpx_small):
+        value_range = warpx_small.max() - warpx_small.min()
+        eb = 0.03 * value_range
+        comp = ZFPCompressor()
+        sgd_plan = PostProcessor("zfp", strategy="sgd").plan(warpx_small, comp, eb)
+        grid_plan = PostProcessor("zfp", strategy="grid").plan(warpx_small, comp, eb)
+        assert grid_plan.gain_estimate >= sgd_plan.gain_estimate - 0.05
+
+    def test_apply_respects_overall_error_bound(self, warpx_small):
+        value_range = warpx_small.max() - warpx_small.min()
+        eb = 0.03 * value_range
+        pp = PostProcessor("zfp")
+        deco, processed, plan = pp.process(warpx_small, ZFPCompressor(), eb)
+        max_a = max(plan.intensities) if plan.intensities else 0.0
+        # the processed value may move at most a*eb per axis pass away from the
+        # decompressed value, and the decompressed value is within eb of the original
+        assert np.abs(processed - warpx_small).max() <= eb * (1 + 3 * max_a) * (1 + 1e-9)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            PostProcessor("jpeg")
+        with pytest.raises(ValueError):
+            PostProcessor("zfp", strategy="random")
+        with pytest.raises(ValueError):
+            PostProcessor("zfp", candidates=[])
+
+
+class TestUncertaintyModel:
+    def test_from_sampling_statistics(self, s3d_small):
+        model = CompressionUncertaintyModel.from_sampling(
+            s3d_small, ZFPCompressor(), error_bound=5.0
+        )
+        assert model.error_std() >= 0.0
+        assert abs(model.error_mean()) <= 5.0
+
+    def test_isovalue_conditioned_std_positive(self, s3d_small):
+        model = CompressionUncertaintyModel.from_sampling(
+            s3d_small, ZFPCompressor(), error_bound=5.0
+        )
+        isovalue = float(np.median(s3d_small))
+        assert model.isovalue_conditioned_std(isovalue) > 0.0
+
+    def test_crossing_probability_shape(self, s3d_small):
+        model = CompressionUncertaintyModel.from_sampling(
+            s3d_small, ZFPCompressor(), error_bound=5.0
+        )
+        deco = ZFPCompressor().roundtrip(s3d_small, 5.0).decompressed
+        prob = model.crossing_probability(deco, isovalue=float(np.median(s3d_small)))
+        assert prob.shape == tuple(s - 1 for s in s3d_small.shape)
+        assert prob.max() <= 1.0
+
+    def test_feature_recovery_runs(self, s3d_small):
+        eb = 0.2 * (s3d_small.max() - s3d_small.min())
+        model = CompressionUncertaintyModel.from_sampling(s3d_small, ZFPCompressor(), eb)
+        deco = ZFPCompressor().roundtrip(s3d_small, eb).decompressed
+        rec = model.feature_recovery(s3d_small, deco, isovalue=float(np.median(s3d_small)))
+        assert rec.original_cells > 0
+        assert 0.0 <= rec.recovery_rate <= 1.0

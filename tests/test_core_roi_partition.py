@@ -1,0 +1,165 @@
+"""Unit tests for ROI extraction, unit-block partitioning and merge arrangements."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import ssim
+from repro.core.partition import (
+    adjacency_merge,
+    extract_unit_blocks,
+    linear_merge,
+    scatter_unit_blocks,
+    split_merged,
+    stack_merge,
+)
+from repro.core.roi import extract_roi, roi_preview_field
+from repro.datasets import nyx_density_field
+
+
+class TestROIExtraction:
+    def test_two_levels_and_valid_partition(self, noisy_field_3d):
+        result = extract_roi(noisy_field_3d, roi_fraction=0.3, block_size=8)
+        assert result.hierarchy.n_levels == 2
+        assert result.hierarchy.is_valid_partition()
+
+    def test_roi_fraction_controls_fine_density(self, noisy_field_3d):
+        result = extract_roi(noisy_field_3d, roi_fraction=0.25, block_size=8)
+        assert result.hierarchy.levels[0].density == pytest.approx(0.25, abs=0.05)
+
+    def test_storage_reduction_increases_with_smaller_roi(self, noisy_field_3d):
+        small = extract_roi(noisy_field_3d, roi_fraction=0.15, block_size=8)
+        large = extract_roi(noisy_field_3d, roi_fraction=0.75, block_size=8)
+        assert small.storage_reduction > large.storage_reduction
+
+    def test_roi_preserves_original_values_inside_roi(self, noisy_field_3d):
+        result = extract_roi(noisy_field_3d, roi_fraction=0.3, block_size=8)
+        preview = roi_preview_field(result)
+        np.testing.assert_array_equal(preview[result.roi_mask], noisy_field_3d[result.roi_mask])
+
+    def test_fig4_quality_small_roi_high_ssim(self):
+        """Fig. 4: a small range-based ROI keeps visual fidelity very high on Nyx."""
+        field = nyx_density_field((64, 64, 64), seed="fig4-test")
+        result = extract_roi(field, roi_fraction=0.15, block_size=8)
+        preview = roi_preview_field(result, order="linear")
+        assert ssim(field, preview) > 0.95
+
+    def test_block_size_must_be_power_of_two_ge_8(self, noisy_field_3d):
+        with pytest.raises(ValueError):
+            extract_roi(noisy_field_3d, block_size=6)
+        with pytest.raises(ValueError):
+            extract_roi(noisy_field_3d, block_size=4)
+
+    def test_roi_fraction_out_of_range(self, noisy_field_3d):
+        with pytest.raises(ValueError):
+            extract_roi(noisy_field_3d, roi_fraction=1.5)
+
+
+class TestUnitBlocks:
+    def _level(self):
+        rng = np.random.default_rng(0)
+        data = rng.random((32, 32, 32))
+        mask = np.zeros_like(data, dtype=bool)
+        mask[:16, :, :] = True  # half the domain occupied
+        return data, mask
+
+    def test_extract_occupied_only(self):
+        data, mask = self._level()
+        blocks = extract_unit_blocks(data, mask, unit_size=16)
+        # the occupied region is 16 x 32 x 32 = 4 unit blocks of 16^3
+        assert blocks.n_blocks == (16 // 16) * (32 // 16) * (32 // 16)
+
+    def test_extract_all_blocks_without_mask(self):
+        data, _ = self._level()
+        blocks = extract_unit_blocks(data, None, unit_size=16)
+        assert blocks.n_blocks == 8
+
+    def test_block_values_match_source(self):
+        data, mask = self._level()
+        blocks = extract_unit_blocks(data, mask, unit_size=8)
+        for block, coord in zip(blocks.blocks, blocks.coords):
+            sl = tuple(slice(int(c) * 8, (int(c) + 1) * 8) for c in coord)
+            np.testing.assert_array_equal(block, data[sl])
+
+    def test_scatter_inverts_extract(self):
+        data, mask = self._level()
+        blocks = extract_unit_blocks(data, mask, unit_size=8)
+        restored = scatter_unit_blocks(blocks)
+        np.testing.assert_array_equal(restored[mask], data[mask])
+        # unoccupied region is filled with the fill value
+        assert (restored[~mask] == 0).all()
+
+    def test_non_divisible_unit_raises(self):
+        with pytest.raises(ValueError):
+            extract_unit_blocks(np.zeros((10, 10, 10)), None, unit_size=8)
+
+    def test_requested_unit_capped_to_smallest_axis(self):
+        blocks = extract_unit_blocks(np.zeros((8, 8, 8)), None, unit_size=16)
+        assert blocks.unit_size == 8
+        assert blocks.n_blocks == 1
+
+    def test_empty_mask_raises(self):
+        data, _ = self._level()
+        with pytest.raises(ValueError):
+            extract_unit_blocks(data, np.zeros_like(data, dtype=bool), unit_size=8)
+
+
+class TestArrangements:
+    def _blocks(self, n_occupied_rows=16, unit=8):
+        rng = np.random.default_rng(1)
+        data = rng.random((32, 32, 32))
+        mask = np.zeros_like(data, dtype=bool)
+        mask[:n_occupied_rows] = True
+        return extract_unit_blocks(data, mask, unit_size=unit)
+
+    def test_linear_merge_shape_and_roundtrip(self):
+        bs = self._blocks()
+        merged, arrangement = linear_merge(bs)
+        assert merged.shape == (8, 8, 8 * bs.n_blocks)
+        restored = split_merged(merged, arrangement)
+        np.testing.assert_array_equal(restored, bs.blocks)
+
+    def test_stack_merge_near_cubic_and_roundtrip(self):
+        bs = self._blocks()
+        merged, arrangement = stack_merge(bs)
+        # aspect ratio of the stacked array should be far more balanced than linear
+        assert max(merged.shape) / min(merged.shape) <= 4
+        restored = split_merged(merged, arrangement)
+        np.testing.assert_array_equal(restored, bs.blocks)
+
+    def test_adjacency_merge_roundtrip(self):
+        bs = self._blocks()
+        segments, arrangement = adjacency_merge(bs)
+        assert sum(arrangement.segments) == bs.n_blocks
+        restored = split_merged(segments, arrangement)
+        np.testing.assert_array_equal(restored, bs.blocks)
+
+    def test_adjacency_merge_splits_non_neighbouring_blocks(self):
+        """Two occupied corners far apart must land in different segments."""
+        data = np.random.default_rng(2).random((32, 32, 32))
+        mask = np.zeros_like(data, dtype=bool)
+        mask[:8, :8, :8] = True
+        mask[24:, 24:, 24:] = True
+        bs = extract_unit_blocks(data, mask, unit_size=8)
+        _, arrangement = adjacency_merge(bs)
+        assert len(arrangement.segments) >= 2
+
+    def test_split_adjacency_requires_list(self):
+        bs = self._blocks()
+        _, arrangement = adjacency_merge(bs)
+        with pytest.raises(TypeError):
+            split_merged(np.zeros((8, 8, 8)), arrangement)
+
+    @settings(max_examples=15, deadline=None)
+    @given(rows=st.integers(min_value=8, max_value=32).filter(lambda r: r % 8 == 0))
+    def test_property_all_arrangements_lossless(self, rows):
+        rng = np.random.default_rng(rows)
+        data = rng.random((32, 32, 32))
+        mask = np.zeros_like(data, dtype=bool)
+        mask[:rows] = True
+        bs = extract_unit_blocks(data, mask, unit_size=8)
+        for merge in (linear_merge, stack_merge, adjacency_merge):
+            merged, arrangement = merge(bs)
+            restored = split_merged(merged, arrangement)
+            np.testing.assert_array_equal(restored, bs.blocks)

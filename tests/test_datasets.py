@@ -1,0 +1,133 @@
+"""Unit tests for the synthetic dataset generators and the Table III registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    available_datasets,
+    gaussian_blobs,
+    gaussian_random_field,
+    get_dataset,
+    hurricane_field,
+    nyx_density_field,
+    rayleigh_taylor_field,
+    s3d_field,
+    smooth_wave_field,
+    warpx_ez_field,
+)
+from repro.datasets.registry import DATASET_TABLE
+
+
+class TestSyntheticPrimitives:
+    def test_grf_zero_mean_unit_variance(self):
+        field = gaussian_random_field((32, 32, 32), seed=1)
+        assert abs(field.mean()) < 1e-10
+        assert field.std() == pytest.approx(1.0, rel=1e-6)
+
+    def test_grf_spectral_index_controls_smoothness(self):
+        smooth = gaussian_random_field((32, 32), spectral_index=-4.0, seed=2)
+        rough = gaussian_random_field((32, 32), spectral_index=-1.0, seed=2)
+        grad_smooth = np.abs(np.gradient(smooth)[0]).mean()
+        grad_rough = np.abs(np.gradient(rough)[0]).mean()
+        assert grad_rough > grad_smooth
+
+    def test_grf_deterministic_per_seed(self):
+        a = gaussian_random_field((16, 16), seed="x")
+        b = gaussian_random_field((16, 16), seed="x")
+        np.testing.assert_array_equal(a, b)
+
+    def test_blobs_positive_and_localised(self):
+        field = gaussian_blobs((32, 32, 32), n_blobs=3, seed=3)
+        assert (field >= 0).all()
+        assert field.max() > 10 * np.median(field)
+
+    def test_wave_field_range(self):
+        field = smooth_wave_field((16, 16, 16))
+        assert field.max() <= 1.0 + 1e-9
+        assert field.min() >= -1.0 - 1e-9
+
+
+class TestApplicationGenerators:
+    def test_nyx_positive_mean_one(self):
+        rho = nyx_density_field((32, 32, 32), seed=1)
+        assert (rho > 0).all()
+        assert rho.mean() == pytest.approx(1.0, rel=1e-9)
+
+    def test_nyx_heavy_tail(self):
+        """Halos should push the maximum far above the mean (over-densities)."""
+        rho = nyx_density_field((32, 32, 32), seed=2)
+        assert rho.max() > 10.0
+
+    def test_warpx_energy_concentrated_around_pulse(self):
+        field = warpx_ez_field((16, 16, 128), pulse_position=0.5, noise_level=0.0)
+        energy = (field**2).sum(axis=(0, 1))
+        assert energy[40:90].sum() > 0.9 * energy.sum()
+
+    def test_rt_density_bounds(self):
+        rho = rayleigh_taylor_field((32, 32, 32), heavy_density=3.0, light_density=1.0)
+        assert rho.min() >= 0.1
+        assert rho.max() <= 3.0 * 1.6
+
+    def test_rt_stratification(self):
+        rho = rayleigh_taylor_field((32, 32, 32), mixing_strength=0.0)
+        bottom = rho[:, :, :4].mean()
+        top = rho[:, :, -4:].mean()
+        assert top > bottom
+
+    def test_hurricane_eye_is_calm(self):
+        field = hurricane_field((64, 64, 8), eye_position=(0.5, 0.5), background_level=0.0)
+        eye = field[31:33, 31:33, 0].mean()
+        ring = field[31:33, 17:19, 0].mean()  # roughly at the vortex radius
+        assert ring > eye
+
+    def test_s3d_temperature_range(self):
+        temp = s3d_field((32, 32, 32), unburnt_value=300.0, burnt_value=1800.0)
+        assert temp.min() > 100.0
+        assert temp.max() < 2100.0
+
+    def test_s3d_front_separates_burnt_and_unburnt(self):
+        temp = s3d_field((32, 32, 32), turbulence_level=0.0)
+        assert temp[:, :, -2:].mean() > 1500.0
+        assert temp[:, :, :2].mean() < 600.0
+
+
+class TestRegistry:
+    def test_table_iii_datasets_present(self):
+        names = set(available_datasets())
+        assert {"nyx-t1", "warpx", "rt", "nyx-t2", "hurricane", "nyx-t3", "s3d"} == names
+
+    @pytest.mark.parametrize("name", sorted(DATASET_TABLE))
+    def test_tiny_generation_and_structure(self, name):
+        ds = get_dataset(name, size="tiny")
+        spec = DATASET_TABLE[name]
+        assert ds.field.shape == spec.shapes["tiny"]
+        if spec.kind == "uniform":
+            assert ds.hierarchy is None
+        else:
+            assert ds.hierarchy is not None
+            assert ds.hierarchy.n_levels == spec.n_levels
+            assert ds.hierarchy.is_valid_partition()
+
+    def test_level_densities_match_table_iii(self):
+        ds = get_dataset("rt", size="tiny")
+        densities = ds.level_densities()
+        for measured, expected in zip(densities, (0.15, 0.31, 0.54)):
+            assert measured == pytest.approx(expected, abs=0.06)
+
+    def test_custom_shape(self):
+        ds = get_dataset("s3d", shape=(16, 16, 16))
+        assert ds.field.shape == (16, 16, 16)
+        assert ds.size == "custom"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            get_dataset("miranda")
+
+    def test_unknown_size_raises(self):
+        with pytest.raises(ValueError):
+            get_dataset("s3d", size="huge")
+
+    def test_seed_override_changes_field(self):
+        a = get_dataset("s3d", size="tiny").field
+        b = get_dataset("s3d", size="tiny", seed=123).field
+        assert not np.allclose(a, b)

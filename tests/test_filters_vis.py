@@ -1,0 +1,162 @@
+"""Unit tests for the image-filter baselines and the visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import psnr
+from repro.filters import anisotropic_diffusion, gaussian_blur, median_smooth
+from repro.vis import (
+    cell_crossings,
+    crossing_probability,
+    crossing_probability_monte_carlo,
+    extract_isosurface_points,
+    extract_slice,
+    feature_recovery,
+    isosurface_cell_count,
+    normalize_for_display,
+    render_slice_rgb,
+)
+from repro.vis.slicing import zoom_region
+
+
+class TestFilters:
+    def test_gaussian_blur_reduces_noise_on_noise_only(self):
+        rng = np.random.default_rng(0)
+        clean = np.outer(np.linspace(0, 1, 32), np.linspace(0, 1, 32))
+        noisy = clean + 0.2 * rng.standard_normal(clean.shape)
+        assert psnr(clean, gaussian_blur(noisy, 1.0)) > psnr(clean, noisy)
+
+    def test_filters_over_smooth_error_bounded_data(self):
+        """Table I behaviour: filters reduce PSNR of error-bounded decompressed data."""
+        rng = np.random.default_rng(1)
+        original = np.cumsum(np.cumsum(rng.random((24, 24, 24)), axis=0), axis=1)
+        eb = 0.01 * (original.max() - original.min())
+        decompressed = original + rng.uniform(-eb, eb, original.shape)
+        base = psnr(original, decompressed)
+        assert psnr(original, gaussian_blur(decompressed, 1.0)) < base
+        assert psnr(original, median_smooth(decompressed, 3)) < base
+
+    def test_anisotropic_diffusion_preserves_mean(self):
+        rng = np.random.default_rng(2)
+        data = rng.random((16, 16))
+        out = anisotropic_diffusion(data, n_iterations=5)
+        assert out.mean() == pytest.approx(data.mean(), rel=1e-6)
+
+    def test_anisotropic_diffusion_smooths(self):
+        rng = np.random.default_rng(3)
+        data = rng.standard_normal((32, 32))
+        out = anisotropic_diffusion(data, n_iterations=10, kappa=10.0)
+        assert out.std() < data.std()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            gaussian_blur(np.zeros((4, 4)), 0.0)
+        with pytest.raises(ValueError):
+            median_smooth(np.zeros((4, 4)), 1)
+        with pytest.raises(ValueError):
+            anisotropic_diffusion(np.zeros((4, 4)), n_iterations=0)
+
+
+class TestSlicing:
+    def test_extract_slice_fraction_and_index(self):
+        vol = np.arange(4 * 4 * 4, dtype=float).reshape(4, 4, 4)
+        np.testing.assert_array_equal(extract_slice(vol, axis=2, position=0.0), vol[:, :, 0])
+        np.testing.assert_array_equal(extract_slice(vol, axis=0, position=3), vol[3])
+
+    def test_extract_slice_out_of_range(self):
+        with pytest.raises(IndexError):
+            extract_slice(np.zeros((4, 4, 4)), axis=0, position=9)
+
+    def test_normalize_clips_to_unit_interval(self):
+        img = np.array([[-1.0, 0.5], [2.0, 1.0]])
+        out = normalize_for_display(img, vmin=0.0, vmax=1.0)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_normalize_constant_image(self):
+        out = normalize_for_display(np.full((4, 4), 3.0))
+        assert (out == 0).all()
+
+    def test_render_rgb_shape_and_range(self):
+        img = np.random.default_rng(4).random((8, 8))
+        rgb = render_slice_rgb(img)
+        assert rgb.shape == (8, 8, 3)
+        assert rgb.min() >= 0.0 and rgb.max() <= 1.0
+
+    def test_zoom_region_crops_centre(self):
+        img = np.arange(100, dtype=float).reshape(10, 10)
+        zoomed = zoom_region(img, zoom=2.0)
+        assert zoomed.shape == (5, 5)
+
+
+class TestIsosurface:
+    def test_plane_isosurface_cell_count(self):
+        """A linear ramp crossing the isovalue once gives one layer of crossed cells."""
+        n = 8
+        field = np.broadcast_to(np.arange(n, dtype=float)[:, None, None], (n, n, n)).copy()
+        crossings = cell_crossings(field, isovalue=3.5)
+        assert crossings.shape == (n - 1, n - 1, n - 1)
+        assert crossings.sum() == (n - 1) ** 2
+        assert crossings[3].all()
+
+    def test_no_crossing_outside_range(self):
+        field = np.random.default_rng(5).random((8, 8, 8))
+        assert isosurface_cell_count(field, isovalue=10.0) == 0
+
+    def test_isosurface_points_on_plane(self):
+        n = 8
+        field = np.broadcast_to(np.arange(n, dtype=float)[:, None, None], (n, n, n)).copy()
+        pts = extract_isosurface_points(field, isovalue=3.25)
+        assert pts.shape[1] == 3
+        np.testing.assert_allclose(pts[:, 0], 3.25)
+
+    def test_2d_supported(self):
+        field = np.add.outer(np.arange(6.0), np.zeros(6))
+        assert cell_crossings(field, 2.5).shape == (5, 5)
+
+
+class TestProbabilisticMC:
+    def test_zero_uncertainty_matches_deterministic(self):
+        field = np.random.default_rng(6).random((10, 10, 10))
+        prob = crossing_probability(field, 0.0, isovalue=0.5)
+        det = cell_crossings(field, 0.5)
+        np.testing.assert_array_equal(prob > 0.5, det)
+
+    def test_probability_bounds(self):
+        field = np.random.default_rng(7).random((8, 8, 8))
+        prob = crossing_probability(field, 0.1, isovalue=0.5)
+        assert (prob >= 0).all() and (prob <= 1).all()
+
+    def test_closed_form_matches_monte_carlo(self):
+        rng = np.random.default_rng(8)
+        field = rng.random((8, 8))
+        sigma = 0.15
+        closed = crossing_probability(field, sigma, isovalue=0.5)
+        mc = crossing_probability_monte_carlo(field, sigma, isovalue=0.5, n_samples=400)
+        assert np.abs(closed - mc).mean() < 0.05
+
+    def test_far_from_isovalue_low_probability(self):
+        field = np.zeros((6, 6, 6))
+        prob = crossing_probability(field, 0.01, isovalue=5.0)
+        assert prob.max() < 1e-6
+
+    def test_negative_sigma_raises(self):
+        with pytest.raises(ValueError):
+            crossing_probability(np.zeros((4, 4)), -1.0, isovalue=0.0)
+
+    def test_feature_recovery_detects_pruned_surface(self):
+        """Fig. 14 scenario: compression pushes values below the isovalue and the
+        probabilistic map recovers the lost feature cells."""
+        original = np.zeros((8, 8, 8))
+        original[3:5, 3:5, 3:5] = 1.0  # small feature above the isovalue
+        decompressed = np.clip(original - 0.6, 0.0, None)  # error prunes it
+        rec = feature_recovery(original, decompressed, std_field=0.4, isovalue=0.5,
+                               probability_threshold=0.05)
+        assert rec.missing_cells > 0
+        assert rec.recovered_cells > 0
+        assert 0.0 < rec.recovery_rate <= 1.0
+
+    def test_feature_recovery_trivial_when_nothing_missing(self):
+        field = np.random.default_rng(9).random((8, 8, 8))
+        rec = feature_recovery(field, field, std_field=0.01, isovalue=0.5)
+        assert rec.missing_cells == 0
+        assert rec.recovery_rate == 1.0

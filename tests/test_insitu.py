@@ -1,0 +1,125 @@
+"""Unit tests for the in-situ pipeline, container I/O and scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.amr.simulation import CollapsingDensitySimulation, TravelingPulseSimulation
+from repro.core.mr_compressor import MultiResolutionCompressor
+from repro.core.sz3mr import SZ3MRCompressor
+from repro.compressors import SZ3Compressor
+from repro.insitu import (
+    InSituPipeline,
+    parallel_map,
+    read_compressed_array,
+    read_compressed_hierarchy,
+    write_compressed_array,
+    write_compressed_hierarchy,
+)
+
+
+class TestScheduler:
+    def test_preserves_order(self):
+        items = list(range(20))
+        assert parallel_map(lambda x: x * x, items, max_workers=4) == [x * x for x in items]
+
+    def test_serial_path(self):
+        assert parallel_map(lambda x: x + 1, [1, 2, 3], max_workers=1) == [2, 3, 4]
+
+    def test_exceptions_propagate(self):
+        def boom(x):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            parallel_map(boom, [1, 2], max_workers=2)
+
+
+class TestContainerIO:
+    def test_compressed_array_roundtrip(self, tmp_path, smooth_field_3d):
+        comp = SZ3Compressor().compress(smooth_field_3d, 1e-3)
+        path = tmp_path / "field.rpca"
+        nbytes = write_compressed_array(path, comp)
+        assert path.stat().st_size == nbytes
+        restored = read_compressed_array(path)
+        recon = SZ3Compressor().decompress(restored)
+        assert np.abs(recon - smooth_field_3d).max() <= 1e-3 * (1 + 1e-9)
+
+    def test_compressed_hierarchy_roundtrip(self, tmp_path, small_hierarchy):
+        mrc = SZ3MRCompressor(unit_size=8)
+        comp = mrc.compress_hierarchy(small_hierarchy, 0.02)
+        path = tmp_path / "snapshot.rpmh"
+        write_compressed_hierarchy(path, comp)
+        restored = read_compressed_hierarchy(path)
+        assert restored.compression_ratio == pytest.approx(comp.compression_ratio, rel=1e-6)
+        deco = mrc.decompress_hierarchy(restored, small_hierarchy)
+        for orig, new in zip(small_hierarchy.levels, deco.levels):
+            assert np.abs(orig.data - new.data)[orig.mask].max() <= 0.02 * (1 + 1e-9)
+
+    def test_bad_file_raises(self, tmp_path):
+        path = tmp_path / "junk.rpmh"
+        path.write_bytes(b"not a container")
+        from repro.compressors.errors import DecompressionError
+
+        with pytest.raises(DecompressionError):
+            read_compressed_hierarchy(path)
+
+
+class TestInSituPipeline:
+    def test_amr_simulation_run(self, tmp_path):
+        sim = CollapsingDensitySimulation(shape=(16, 16, 16), block_size=8)
+        pipeline = InSituPipeline(SZ3MRCompressor(unit_size=8), output_dir=tmp_path)
+        reports = pipeline.run(sim, n_steps=2, error_bound=0.2)
+        assert len(reports) == 2
+        for report in reports:
+            assert report.compression_ratio > 1.0
+            assert report.psnr is not None and report.psnr > 20
+            assert report.output_path is not None and report.output_path.exists()
+            assert report.preprocess_time >= 0.0
+            assert report.compress_write_time > 0.0
+
+    def test_uniform_simulation_uses_roi(self, tmp_path):
+        sim = TravelingPulseSimulation(shape=(16, 16, 64))
+        pipeline = InSituPipeline(
+            SZ3MRCompressor(unit_size=8),
+            output_dir=tmp_path,
+            roi_fraction=0.5,
+            roi_block_size=8,
+        )
+        reports = pipeline.run(sim, n_steps=1, error_bound=0.02)
+        assert reports[0].compression_ratio > 1.0
+
+    def test_no_output_dir_skips_writing(self):
+        sim = CollapsingDensitySimulation(shape=(16, 16, 16), block_size=8)
+        pipeline = InSituPipeline(SZ3MRCompressor(unit_size=8), output_dir=None)
+        report = pipeline.run(sim, n_steps=1, error_bound=0.2)[0]
+        assert report.output_path is None
+
+    def test_aggregate_timings(self):
+        sim = CollapsingDensitySimulation(shape=(16, 16, 16), block_size=8)
+        pipeline = InSituPipeline(SZ3MRCompressor(unit_size=8), compute_quality=False)
+        reports = pipeline.run(sim, n_steps=3, error_bound=0.2)
+        totals = InSituPipeline.aggregate_timings(reports)
+        assert totals["total"] == pytest.approx(
+            totals["pre-process"] + totals["compress+write"], rel=1e-6
+        )
+
+    def test_parallel_level_encoding_matches_serial(self):
+        sim = CollapsingDensitySimulation(shape=(16, 16, 16), block_size=8, seed=3)
+        serial = InSituPipeline(SZ3MRCompressor(unit_size=8), max_workers=1, compute_quality=False)
+        parallel = InSituPipeline(SZ3MRCompressor(unit_size=8), max_workers=2, compute_quality=False)
+        snap = next(iter(sim.run(1)))
+        r1 = serial.process_snapshot(snap, error_bound=0.2)
+        r2 = parallel.process_snapshot(snap, error_bound=0.2)
+        assert r1.compression_ratio == pytest.approx(r2.compression_ratio, rel=1e-6)
+
+    def test_amric_vs_ours_preprocess_comparison_runs(self):
+        """Table IV machinery: both pipelines produce comparable timing phases."""
+        sim = CollapsingDensitySimulation(shape=(16, 16, 16), block_size=8, seed=4)
+        snap = next(iter(sim.run(1)))
+        ours = InSituPipeline(SZ3MRCompressor(unit_size=8), compute_quality=False)
+        amric = InSituPipeline(
+            MultiResolutionCompressor(compressor="sz3", arrangement="stack", unit_size=8),
+            compute_quality=False,
+        )
+        for pipe in (ours, amric):
+            report = pipe.process_snapshot(snap, error_bound=0.2)
+            assert set(report.timings.phases) == {"pre-process", "compress+write"}

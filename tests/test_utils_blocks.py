@@ -1,0 +1,157 @@
+"""Unit tests for repro.utils.blocks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.blocks import (
+    assemble_blocks,
+    block_index_grid,
+    block_reduce_mean,
+    block_reduce_range,
+    block_view,
+    downsample_mean,
+    iter_block_slices,
+    num_blocks,
+    pad_to_multiple,
+    upsample_nearest,
+    upsample_trilinear,
+)
+
+
+class TestPadToMultiple:
+    def test_no_padding_needed_returns_same_object(self):
+        data = np.zeros((8, 8, 8))
+        assert pad_to_multiple(data, 4) is data
+
+    def test_pads_to_next_multiple(self):
+        data = np.ones((5, 7, 9))
+        padded = pad_to_multiple(data, 4)
+        assert padded.shape == (8, 8, 12)
+
+    def test_edge_mode_replicates_boundary(self):
+        data = np.arange(6, dtype=float)
+        padded = pad_to_multiple(data, 4)
+        assert padded.shape == (8,)
+        assert padded[-1] == data[-1]
+        assert padded[-2] == data[-1]
+
+    def test_per_axis_block_size(self):
+        data = np.zeros((5, 6))
+        padded = pad_to_multiple(data, (4, 3))
+        assert padded.shape == (8, 6)
+
+    def test_invalid_block_size_raises(self):
+        with pytest.raises(ValueError):
+            pad_to_multiple(np.zeros((4, 4)), 0)
+
+
+class TestBlockView:
+    def test_roundtrip_3d(self):
+        data = np.arange(4 * 4 * 8, dtype=float).reshape(4, 4, 8)
+        bv = block_view(data, (2, 2, 4))
+        assert bv.shape == (2, 2, 2, 2, 2, 4)
+        restored = assemble_blocks(bv)
+        np.testing.assert_array_equal(restored, data)
+
+    def test_blocks_contain_correct_values(self):
+        data = np.arange(16, dtype=float).reshape(4, 4)
+        bv = block_view(data, 2)
+        np.testing.assert_array_equal(bv[0, 0], data[:2, :2])
+        np.testing.assert_array_equal(bv[1, 1], data[2:, 2:])
+
+    def test_non_divisible_shape_raises(self):
+        with pytest.raises(ValueError):
+            block_view(np.zeros((5, 4)), 4)
+
+    def test_assemble_with_crop(self):
+        data = np.arange(5 * 6, dtype=float).reshape(5, 6)
+        padded = pad_to_multiple(data, 4)
+        bv = block_view(padded, 4)
+        restored = assemble_blocks(bv, out_shape=data.shape)
+        np.testing.assert_array_equal(restored, data)
+
+    def test_assemble_odd_axes_raises(self):
+        with pytest.raises(ValueError):
+            assemble_blocks(np.zeros((2, 2, 2)))
+
+
+class TestBlockReductions:
+    def test_range_of_constant_blocks_is_zero(self):
+        data = np.ones((8, 8))
+        np.testing.assert_array_equal(block_reduce_range(data, 4), np.zeros((2, 2)))
+
+    def test_range_detects_varying_block(self):
+        data = np.zeros((8, 8))
+        data[:4, :4] = np.arange(16).reshape(4, 4)
+        ranges = block_reduce_range(data, 4)
+        assert ranges[0, 0] == 15
+        assert ranges[1, 1] == 0
+
+    def test_mean_matches_numpy(self):
+        data = np.arange(64, dtype=float).reshape(8, 8)
+        means = block_reduce_mean(data, 4)
+        np.testing.assert_allclose(means[0, 0], data[:4, :4].mean())
+
+    def test_num_blocks_ceil_division(self):
+        assert num_blocks((5, 8, 9), 4) == (2, 2, 3)
+
+    def test_block_index_grid_covers_all(self):
+        grid = block_index_grid((8, 8), 4)
+        assert grid.shape == (4, 2)
+        assert set(map(tuple, grid)) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+
+class TestResampling:
+    def test_downsample_mean_averages(self):
+        data = np.array([[1.0, 3.0], [5.0, 7.0]])
+        np.testing.assert_allclose(downsample_mean(data, 2), [[4.0]])
+
+    def test_upsample_nearest_repeats(self):
+        data = np.array([[1.0, 2.0]])
+        up = upsample_nearest(data, 2)
+        assert up.shape == (2, 4)
+        np.testing.assert_array_equal(up[0], [1, 1, 2, 2])
+
+    def test_down_then_up_preserves_mean(self):
+        rng = np.random.default_rng(1)
+        data = rng.random((8, 8, 8))
+        down = downsample_mean(data, 2)
+        up = upsample_nearest(down, 2)
+        assert up.shape == data.shape
+        np.testing.assert_allclose(up.mean(), data.mean(), rtol=1e-12)
+
+    def test_upsample_trilinear_shape(self):
+        data = np.random.default_rng(2).random((4, 4, 4))
+        up = upsample_trilinear(data, 2)
+        assert up.shape == (8, 8, 8)
+
+    def test_upsample_trilinear_explicit_shape(self):
+        data = np.random.default_rng(3).random((4, 5, 6))
+        up = upsample_trilinear(data, 2, out_shape=(8, 10, 12))
+        assert up.shape == (8, 10, 12)
+
+
+class TestIterBlockSlices:
+    def test_covers_whole_domain_once(self):
+        shape = (6, 10)
+        seen = np.zeros(shape, dtype=int)
+        for sl in iter_block_slices(shape, 4):
+            seen[sl] += 1
+        assert (seen == 1).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    nx=st.integers(min_value=2, max_value=12),
+    ny=st.integers(min_value=2, max_value=12),
+    b=st.integers(min_value=1, max_value=6),
+)
+def test_property_pad_block_view_roundtrip(nx, ny, b):
+    """pad -> block_view -> assemble -> crop is the identity for any shape."""
+    rng = np.random.default_rng(nx * 100 + ny * 10 + b)
+    data = rng.random((nx, ny))
+    padded = pad_to_multiple(data, b)
+    restored = assemble_blocks(block_view(padded, b), out_shape=data.shape)
+    np.testing.assert_array_equal(restored, data)

@@ -1,0 +1,118 @@
+"""Unit tests for repro.utils.timer, rng and validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import default_rng, seed_from_name
+from repro.utils.timer import Timer, TimingBreakdown
+from repro.utils.validation import (
+    ensure_array,
+    ensure_in_range,
+    ensure_positive,
+    ensure_power_of_two,
+    is_power_of_two,
+)
+
+
+class TestTimer:
+    def test_context_manager_records_elapsed(self):
+        with Timer() as t:
+            sum(range(10000))
+        assert t.elapsed > 0
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_elapsed_accumulates(self):
+        t = Timer()
+        t.start()
+        t.stop()
+        first = t.elapsed
+        t.start()
+        t.stop()
+        assert t.elapsed >= first
+
+
+class TestTimingBreakdown:
+    def test_phase_context_manager(self):
+        tb = TimingBreakdown()
+        with tb.phase("compress"):
+            sum(range(1000))
+        assert "compress" in tb
+        assert tb["compress"] > 0
+
+    def test_same_phase_accumulates(self):
+        tb = TimingBreakdown()
+        tb.add("io", 1.0)
+        tb.add("io", 2.0)
+        assert tb["io"] == pytest.approx(3.0)
+        assert tb.total() == pytest.approx(3.0)
+
+    def test_merge_combines_phases(self):
+        a = TimingBreakdown()
+        a.add("x", 1.0)
+        b = TimingBreakdown()
+        b.add("x", 2.0)
+        b.add("y", 3.0)
+        merged = a.merge(b)
+        assert merged["x"] == pytest.approx(3.0)
+        assert merged["y"] == pytest.approx(3.0)
+
+    def test_format_table_mentions_total(self):
+        tb = TimingBreakdown()
+        tb.add("a", 0.5)
+        assert "total" in tb.format_table()
+
+
+class TestRng:
+    def test_same_name_same_stream(self):
+        a = default_rng("abc").standard_normal(5)
+        b = default_rng("abc").standard_normal(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_names_different_streams(self):
+        a = default_rng("abc").standard_normal(5)
+        b = default_rng("abd").standard_normal(5)
+        assert not np.allclose(a, b)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert default_rng(gen) is gen
+
+    def test_seed_from_name_is_stable(self):
+        assert seed_from_name("x") == seed_from_name("x")
+        assert seed_from_name("x") != seed_from_name("y")
+
+
+class TestValidation:
+    def test_ensure_array_rejects_nan(self):
+        with pytest.raises(ValueError):
+            ensure_array(np.array([1.0, np.nan]))
+
+    def test_ensure_array_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            ensure_array(np.zeros((2, 2)), ndim=3)
+
+    def test_ensure_array_accepts_ndim_tuple(self):
+        out = ensure_array(np.zeros((2, 2)), ndim=(2, 3))
+        assert out.shape == (2, 2)
+
+    def test_ensure_positive(self):
+        assert ensure_positive(1.5) == 1.5
+        with pytest.raises(ValueError):
+            ensure_positive(0.0)
+
+    def test_ensure_in_range(self):
+        assert ensure_in_range(0.5, 0, 1) == 0.5
+        with pytest.raises(ValueError):
+            ensure_in_range(2.0, 0, 1)
+
+    def test_power_of_two(self):
+        assert is_power_of_two(8)
+        assert not is_power_of_two(6)
+        assert ensure_power_of_two(16) == 16
+        with pytest.raises(ValueError):
+            ensure_power_of_two(12)
+        with pytest.raises(ValueError):
+            ensure_power_of_two(2, minimum=4)

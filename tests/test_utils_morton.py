@@ -1,0 +1,69 @@
+"""Unit tests for repro.utils.morton."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.morton import (
+    morton_decode3d,
+    morton_encode2d,
+    morton_encode3d,
+    morton_order,
+)
+
+
+class TestMortonEncode3D:
+    def test_origin_is_zero(self):
+        assert morton_encode3d(np.array([0]), np.array([0]), np.array([0]))[0] == 0
+
+    def test_known_small_codes(self):
+        # Bit interleaving: (1,0,0) -> 1, (0,1,0) -> 2, (0,0,1) -> 4.
+        assert morton_encode3d(np.array([1]), np.array([0]), np.array([0]))[0] == 1
+        assert morton_encode3d(np.array([0]), np.array([1]), np.array([0]))[0] == 2
+        assert morton_encode3d(np.array([0]), np.array([0]), np.array([1]))[0] == 4
+
+    def test_codes_unique_on_grid(self):
+        n = 8
+        ii, jj, kk = np.meshgrid(np.arange(n), np.arange(n), np.arange(n), indexing="ij")
+        codes = morton_encode3d(ii.ravel(), jj.ravel(), kk.ravel())
+        assert len(np.unique(codes)) == n**3
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            morton_encode3d(np.array([-1]), np.array([0]), np.array([0]))
+
+    def test_too_large_raises(self):
+        with pytest.raises(ValueError):
+            morton_encode3d(np.array([1 << 22]), np.array([0]), np.array([0]))
+
+
+class TestMortonDecode3D:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        i=st.integers(min_value=0, max_value=(1 << 21) - 1),
+        j=st.integers(min_value=0, max_value=(1 << 21) - 1),
+        k=st.integers(min_value=0, max_value=(1 << 21) - 1),
+    )
+    def test_property_encode_decode_roundtrip(self, i, j, k):
+        code = morton_encode3d(np.array([i]), np.array([j]), np.array([k]))
+        di, dj, dk = morton_decode3d(code)
+        assert (di[0], dj[0], dk[0]) == (i, j, k)
+
+
+class TestMortonOrder:
+    def test_is_a_permutation(self):
+        order = morton_order((4, 4, 4))
+        assert sorted(order.tolist()) == list(range(64))
+
+    def test_locality_first_eight_form_a_cube(self):
+        """The first 8 points of the z-curve on a 4^3 grid are the 2^3 corner cube."""
+        order = morton_order((4, 4, 4))
+        coords = np.array(np.unravel_index(order[:8], (4, 4, 4))).T
+        assert coords.max() <= 1
+
+    def test_2d_encode_unique(self):
+        n = 16
+        ii, jj = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        codes = morton_encode2d(ii.ravel(), jj.ravel())
+        assert len(np.unique(codes)) == n * n

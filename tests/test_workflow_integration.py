@@ -1,0 +1,132 @@
+"""Integration tests: the end-to-end workflow facade and cross-module properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import psnr, ssim
+from repro.core.workflow import MultiResolutionWorkflow
+from repro.datasets import get_dataset
+from repro.datasets.synthetic import gaussian_random_field
+
+
+class TestWorkflowUniform:
+    @pytest.fixture(scope="class")
+    def result(self):
+        ds = get_dataset("warpx", size="tiny")
+        wf = MultiResolutionWorkflow(
+            compressor="sz3", roi_fraction=0.5, roi_block_size=8, unit_size=8,
+            postprocess=True, uncertainty=True,
+        )
+        value_range = ds.field.max() - ds.field.min()
+        return ds, wf.compress_uniform(ds.field, error_bound=0.01 * value_range)
+
+    def test_compression_ratio_positive(self, result):
+        _, res = result
+        assert res.compression_ratio > 1.0
+
+    def test_roi_attached(self, result):
+        _, res = result
+        assert res.roi is not None
+        assert res.roi.hierarchy.n_levels == 2
+
+    def test_reconstruction_quality(self, result):
+        ds, res = result
+        assert res.psnr > 25.0
+        assert 0.0 < res.ssim <= 1.0
+        assert res.decompressed_field.shape == ds.field.shape
+
+    def test_postprocess_not_worse(self, result):
+        _, res = result
+        assert res.psnr_processed is not None
+        assert res.psnr_processed >= res.psnr - 0.5
+
+    def test_uncertainty_model_present(self, result):
+        _, res = result
+        assert res.uncertainty is not None
+        assert res.uncertainty.error_std() >= 0.0
+
+    def test_best_field_prefers_processed(self, result):
+        _, res = result
+        assert res.best_field is res.processed_field
+
+
+class TestWorkflowAMR:
+    def test_amr_input_path(self):
+        ds = get_dataset("nyx-t1", size="tiny")
+        wf = MultiResolutionWorkflow(compressor="sz3", unit_size=8, postprocess=False)
+        res = wf.compress_hierarchy(ds.hierarchy, error_bound=0.5)
+        assert res.roi is None
+        assert res.compression_ratio > 1.0
+        assert res.psnr > 20.0
+
+    def test_blockwise_codecs_supported(self):
+        ds = get_dataset("nyx-t1", size="tiny")
+        for codec in ("sz2", "zfp"):
+            wf = MultiResolutionWorkflow(compressor=codec, unit_size=8, postprocess=True)
+            res = wf.compress_hierarchy(ds.hierarchy, error_bound=0.5)
+            assert res.compression_ratio > 1.0
+            assert res.psnr_processed >= res.psnr - 0.5
+
+    def test_original_field_reference(self):
+        ds = get_dataset("nyx-t1", size="tiny")
+        wf = MultiResolutionWorkflow(compressor="sz3", unit_size=8, postprocess=False)
+        res = wf.compress_hierarchy(ds.hierarchy, 0.5, original_field=ds.field)
+        # PSNR against the original uniform data includes the ROI restriction loss,
+        # so it can only be lower than against the hierarchy's own reconstruction.
+        res_self = wf.compress_hierarchy(ds.hierarchy, 0.5)
+        assert res.psnr <= res_self.psnr + 1e-6
+
+
+class TestCrossModuleConsistency:
+    def test_workflow_matches_manual_pipeline(self):
+        """The facade must produce the same compressed stream as calling the
+        engine directly with the same configuration."""
+        from repro.core.mr_compressor import MultiResolutionCompressor
+        from repro.core.roi import extract_roi
+
+        ds = get_dataset("hurricane", size="tiny")
+        eb = 0.02 * (ds.field.max() - ds.field.min())
+
+        wf = MultiResolutionWorkflow(
+            compressor="sz3", roi_fraction=0.35, roi_block_size=8, unit_size=8,
+            postprocess=False,
+        )
+        res = wf.compress_uniform(ds.field, eb)
+
+        manual_roi = extract_roi(ds.field, roi_fraction=0.35, block_size=8)
+        manual = MultiResolutionCompressor(
+            compressor="sz3", arrangement="linear", padding="auto",
+            adaptive_eb=True, unit_size=8,
+        ).compress_hierarchy(manual_roi.hierarchy, eb)
+        assert res.compressed.nbytes_compressed == manual.nbytes_compressed
+
+    def test_rate_distortion_monotonicity_full_workflow(self):
+        ds = get_dataset("s3d", size="tiny")
+        wf = MultiResolutionWorkflow(compressor="sz3", unit_size=8, postprocess=False)
+        value_range = ds.field.max() - ds.field.min()
+        loose = wf.compress_uniform(ds.field, 0.05 * value_range)
+        tight = wf.compress_uniform(ds.field, 0.001 * value_range)
+        assert loose.compression_ratio > tight.compression_ratio
+        assert loose.psnr < tight.psnr
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    roi_fraction=st.floats(min_value=0.2, max_value=0.8),
+    eb_rel=st.floats(min_value=1e-3, max_value=5e-2),
+)
+def test_property_workflow_roi_cells_error_bounded(roi_fraction, eb_rel):
+    """Property: inside the ROI the end-to-end error of the (non post-processed)
+    workflow never exceeds the absolute error bound."""
+    field = gaussian_random_field((32, 32, 32), spectral_index=-2.5, seed="wf-prop")
+    eb = eb_rel * float(field.max() - field.min())
+    wf = MultiResolutionWorkflow(
+        compressor="sz3", roi_fraction=roi_fraction, roi_block_size=8, unit_size=8,
+        postprocess=False,
+    )
+    res = wf.compress_uniform(field, eb)
+    roi_mask = res.roi.roi_mask
+    err = np.abs(res.decompressed_field - field)[roi_mask].max()
+    assert err <= eb * (1 + 1e-9)
