@@ -1,0 +1,179 @@
+"""Store throughput — parallel block encode and random-access read latency.
+
+Not a figure from the paper: this benchmark characterises the new
+:mod:`repro.store` subsystem against the v1 whole-container path it
+supersedes, on a >=256^3 synthetic field (override the edge length with
+``REPRO_BENCH_STORE_SIZE`` for quick local runs).
+
+Two questions are answered:
+
+1. **Encode throughput** — MB/s of per-block encoding through the codec
+   engine, serial vs. multi-worker (process pool, chunked submission).  On a
+   multi-core host the multi-worker path must reach >= 1.5x serial; on a
+   single core the rows are still printed but the speedup assertion is
+   vacuous (there is nothing to scale onto).
+2. **Random-access latency** — wall time and bytes touched to read a small
+   ROI from the block store vs. inflating the v1 container whole, plus the
+   decode-call accounting that proves only intersecting blocks were touched.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from _helpers import format_table
+from repro.core.mr_compressor import MultiResolutionCompressor
+from repro.core.partition import extract_unit_blocks
+from repro.datasets.synthetic import smooth_wave_field
+from repro.insitu.io import read_compressed_hierarchy, write_compressed_hierarchy
+from repro.insitu.scheduler import default_workers
+from repro.store import BlockLevel, CodecEngine, ContainerReader, write_container
+
+EDGE = int(os.environ.get("REPRO_BENCH_STORE_SIZE", "256"))
+UNIT = 16
+EB = 1e-3
+ROI_EDGE = 32
+
+
+def _field() -> np.ndarray:
+    return smooth_wave_field((EDGE, EDGE, EDGE), frequencies=(3.0, 5.0, 2.0))
+
+
+def _encode_rows(field):
+    block_set = extract_unit_blocks(field, unit_size=UNIT)
+    nbytes = field.nbytes
+    workers = default_workers()
+    configs = [("serial x1", CodecEngine(executor="serial"))]
+    if workers > 1:
+        configs.append(
+            (f"process x{workers}", CodecEngine(executor="process", max_workers=workers))
+        )
+    else:
+        # Single-core host: still exercise the pool machinery so the row is
+        # honest about its overhead, but no speedup is physically possible.
+        configs.append(("process x2 (1 core)", CodecEngine(executor="process", max_workers=2)))
+
+    rows, times = [], {}
+    payloads = None
+    for label, engine in configs:
+        start = time.perf_counter()
+        payloads = engine.encode_blocks(block_set.blocks, EB)
+        elapsed = time.perf_counter() - start
+        times[label] = elapsed
+        rows.append([label, elapsed, nbytes / elapsed / 1e6, len(payloads)])
+    speedup = times[configs[0][0]] / times[configs[1][0]]
+    return block_set, payloads, rows, speedup, workers
+
+
+def _random_access_rows(tmp_path, field, block_set, payloads):
+    # v2 block store container.
+    v2_path = tmp_path / "field.rps2"
+    write_container(
+        v2_path,
+        [
+            BlockLevel(
+                level=0,
+                level_shape=block_set.level_shape,
+                unit_size=block_set.unit_size,
+                coords=block_set.coords,
+                payloads=payloads,
+            )
+        ],
+        error_bound=EB,
+        codec="sz3",
+    )
+    # v1 whole-container path for the same data (one merged level payload).
+    from repro.core.mr_compressor import CompressedHierarchy
+
+    mrc = MultiResolutionCompressor(unit_size=UNIT)
+    v1_path = tmp_path / "field.rpmh"
+    v1_level = mrc.compress_level(field, None, EB)
+    write_compressed_hierarchy(
+        v1_path, CompressedHierarchy(levels=[v1_level], error_bound=EB)
+    )
+
+    lo = (EDGE - ROI_EDGE) // 2
+    bbox = ((lo, lo + ROI_EDGE),) * 3
+    sl = tuple(slice(a, b) for a, b in bbox)
+    expected_blocks = int(
+        np.prod([-(-hi // UNIT) - lo_ // UNIT for lo_, hi in bbox])
+    )
+
+    reader = ContainerReader(v2_path)
+    start = time.perf_counter()
+    roi = reader.read_roi(bbox)
+    t_v2 = time.perf_counter() - start
+    assert np.abs(roi - field[sl]).max() <= EB * (1 + 1e-9)
+
+    start = time.perf_counter()
+    restored = read_compressed_hierarchy(v1_path)
+    full = mrc.decompress_level(restored.levels[0])
+    t_v1 = time.perf_counter() - start
+    assert np.abs(full[sl] - field[sl]).max() <= EB * (1 + 1e-9)
+
+    total_blocks = reader.level_info(0).n_blocks
+    rows = [
+        [
+            "v2 read_roi",
+            t_v2,
+            reader.stats["blocks_decoded"],
+            total_blocks,
+            reader.stats["payload_bytes_read"],
+        ],
+        ["v1 whole container", t_v1, total_blocks, total_blocks, v1_path.stat().st_size],
+    ]
+    return rows, t_v1, t_v2, reader.stats["blocks_decoded"], total_blocks, expected_blocks
+
+
+def _run(tmp_path):
+    field = _field()
+    block_set, payloads, enc_rows, speedup, workers = _encode_rows(field)
+    ra_rows, t_v1, t_v2, touched, total, expected = _random_access_rows(
+        tmp_path, field, block_set, payloads
+    )
+    return {
+        "enc_rows": enc_rows,
+        "speedup": speedup,
+        "workers": workers,
+        "ra_rows": ra_rows,
+        "t_v1": t_v1,
+        "t_v2": t_v2,
+        "touched": touched,
+        "total": total,
+        "expected": expected,
+    }
+
+
+@pytest.mark.slow
+def test_store_throughput(benchmark, report, tmp_path):
+    results = benchmark.pedantic(_run, args=(tmp_path,), rounds=1, iterations=1)
+    report(
+        format_table(
+            f"Store encode throughput — {EDGE}^3 field, unit {UNIT}, sz3 @ eb {EB}",
+            ["engine", "time [s]", "MB/s", "blocks"],
+            results["enc_rows"],
+        )
+    )
+    report(
+        format_table(
+            f"Random access — {ROI_EDGE}^3 ROI out of {EDGE}^3",
+            ["path", "time [s]", "blocks decoded", "blocks total", "bytes read"],
+            results["ra_rows"],
+        )
+    )
+    report(
+        f"multi-worker speedup: {results['speedup']:.2f}x on {results['workers']} core(s); "
+        f"roi latency {results['t_v2']:.3f}s vs whole-container {results['t_v1']:.3f}s"
+    )
+    # Shape assertions: random access must touch only the intersecting blocks
+    # and beat inflating the container whole; the parallel-encode speedup is
+    # only demanded when the host actually has cores to scale onto.
+    assert results["touched"] == results["expected"]
+    assert results["touched"] < results["total"]
+    assert results["t_v2"] < results["t_v1"]
+    if results["workers"] > 1:
+        assert results["speedup"] >= 1.5

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# One verification entry point for builders and CI: byte-compile the package,
+# then run the tier-1 test suite.  Extra arguments are passed to pytest
+# (e.g. `scripts/check.sh -m "not slow"` to skip benchmark-adjacent tests).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+python -m compileall -q src
+python -m pytest -x -q "$@"

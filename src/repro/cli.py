@@ -10,9 +10,18 @@ way a downstream user would exercise the compressors without writing Python:
 
 ``--postprocess`` stores the sampled Bezier post-processing plan inside the
 compressed container so ``decompress`` can apply it without access to the
-original data.  The multi-resolution workflow (ROI extraction, SZ3MR over AMR
-hierarchies) is exposed through the Python API; the CLI intentionally covers
-the single-array path only.
+original data.
+
+The block-indexed store (:mod:`repro.store`) is exposed through a ``store``
+command group:
+
+* ``repro store ls ROOT`` — list the catalog;
+* ``repro store get ROOT FIELD STEP out.npy [--level L]`` — decode one level;
+* ``repro store roi ROOT FIELD STEP out.npy --bbox 0:16,8:24,0:32`` —
+  decode a sub-region, touching only the intersecting blocks.
+
+The multi-resolution compression workflow itself (ROI extraction, SZ3MR over
+AMR hierarchies) is exposed through the Python API.
 """
 
 from __future__ import annotations
@@ -80,6 +89,33 @@ def build_parser() -> argparse.ArgumentParser:
     ev = sub.add_parser("evaluate", help="compare two .npy fields (PSNR, SSIM, max error)")
     ev.add_argument("original", type=Path)
     ev.add_argument("reconstruction", type=Path)
+
+    store = sub.add_parser("store", help="query a block-indexed compressed store (repro.store)")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    ls = store_sub.add_parser("ls", help="list the catalog of a store directory")
+    ls.add_argument("root", type=Path, help="store directory (holds manifest.json)")
+
+    get = store_sub.add_parser("get", help="decode one level of a stored snapshot to .npy")
+    get.add_argument("root", type=Path, help="store directory")
+    get.add_argument("field", help="field name")
+    get.add_argument("step", type=int, help="timestep")
+    get.add_argument("output", type=Path, help="output .npy file")
+    get.add_argument("--level", type=int, default=0, help="resolution level (default 0, finest)")
+
+    roi = store_sub.add_parser(
+        "roi", help="decode a sub-region, touching only the intersecting blocks"
+    )
+    roi.add_argument("root", type=Path, help="store directory")
+    roi.add_argument("field", help="field name")
+    roi.add_argument("step", type=int, help="timestep")
+    roi.add_argument("output", type=Path, help="output .npy file")
+    roi.add_argument(
+        "--bbox",
+        required=True,
+        help="per-axis lo:hi cell ranges, comma-separated (e.g. 0:16,8:24,0:32)",
+    )
+    roi.add_argument("--level", type=int, default=0, help="resolution level (default 0, finest)")
     return parser
 
 
@@ -119,8 +155,17 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_container_or_exit(path: Path):
+    from repro.compressors.errors import DecompressionError
+
+    try:
+        return read_compressed_array(path)
+    except DecompressionError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
 def _cmd_decompress(args: argparse.Namespace) -> int:
-    compressed = read_compressed_array(args.input)
+    compressed = _read_container_or_exit(args.input)
     compressor = get_compressor(compressed.codec)
     field = compressor.decompress(compressed)
 
@@ -141,7 +186,7 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
-    compressed = read_compressed_array(args.input)
+    compressed = _read_container_or_exit(args.input)
     summary = {
         "codec": compressed.codec,
         "shape": list(compressed.shape),
@@ -170,6 +215,70 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_bbox(spec: str) -> tuple:
+    """Parse ``"0:16,8:24,0:32"`` into ``((0, 16), (8, 24), (0, 32))``."""
+    pairs = []
+    for part in spec.split(","):
+        lo, sep, hi = part.partition(":")
+        if not sep:
+            raise SystemExit(f"error: bad bbox axis {part!r}; expected lo:hi")
+        try:
+            pairs.append((int(lo), int(hi)))
+        except ValueError:
+            raise SystemExit(f"error: bad bbox axis {part!r}; expected integer lo:hi")
+    return tuple(pairs)
+
+
+def _open_store(root: Path):
+    from repro.store import MANIFEST_NAME, Store
+
+    if not root.is_dir():
+        raise SystemExit(f"error: {root} is not a store directory")
+    if not (root / MANIFEST_NAME).exists():
+        raise SystemExit(f"error: {root} is not a store (no {MANIFEST_NAME})")
+    try:
+        return Store(root)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.compressors.errors import DecompressionError
+
+    store = _open_store(args.root)
+    if args.store_command == "ls":
+        print(store.summary())
+        return 0
+    try:
+        reader = store.get(args.field, args.step)
+        if args.store_command == "get":
+            field = reader.read_level(args.level)
+            np.save(args.output, field)
+            print(
+                f"decoded {args.field} step {args.step} level {args.level} -> "
+                f"{args.output}, shape {field.shape} "
+                f"({reader.stats['blocks_decoded']} blocks)"
+            )
+        else:  # roi
+            bbox = _parse_bbox(args.bbox)
+            try:
+                field = reader.read_roi(bbox, level=args.level)
+            except ValueError as exc:
+                raise SystemExit(f"error: {exc}")
+            np.save(args.output, field)
+            total = reader.level_info(args.level).n_blocks
+            print(
+                f"decoded roi {args.bbox} of {args.field} step {args.step} level "
+                f"{args.level} -> {args.output}, shape {field.shape} "
+                f"(decoded {reader.stats['blocks_decoded']}/{total} blocks)"
+            )
+        return 0
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
+    except DecompressionError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -179,6 +288,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "decompress": _cmd_decompress,
         "info": _cmd_info,
         "evaluate": _cmd_evaluate,
+        "store": _cmd_store,
     }
     return handlers[args.command](args)
 

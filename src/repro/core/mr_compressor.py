@@ -181,16 +181,28 @@ class MultiResolutionCompressor:
                 options.setdefault(
                     "level_error_bounds", adaptive_level_error_bounds(self.alpha, self.beta)
                 )
+            self._codec_options = options
             return SZ3Compressor(**options)
         if self.compressor_kind == "sz2":
             options.setdefault("block_size", _SZ2_MULTIRES_BLOCK)
+            self._codec_options = options
             return SZ2Compressor(**options)
+        self._codec_options = options
         return ZFPCompressor(**options)
 
     @property
     def codec(self) -> Compressor:
         """The underlying single-array compressor."""
         return self._codec
+
+    def codec_spec(self) -> Tuple[str, Dict]:
+        """Registry name and resolved constructor options of the codec.
+
+        The pair is plain picklable data, so a worker process (or the
+        :mod:`repro.store` codec engine) can rebuild an identical codec with
+        ``get_compressor(kind, **options)`` without shipping this object.
+        """
+        return self.compressor_kind, dict(self._codec_options)
 
     def _padding_enabled(self, unit_size: int) -> bool:
         if self.arrangement != "linear" or self.compressor_kind != "sz3":
@@ -239,6 +251,39 @@ class MultiResolutionCompressor:
             unit_size=u,
             n_blocks=block_set.n_blocks,
         )
+
+    # -- per-block API (the substrate of the repro.store v2 container) ----------
+    def prepare_unit_blocks(
+        self,
+        level_data: np.ndarray,
+        mask: Optional[np.ndarray],
+        unit_size: Optional[int] = None,
+    ) -> UnitBlockSet:
+        """Cut one level into Morton-ordered unit blocks without merging them.
+
+        Unlike :meth:`prepare_level` the blocks are kept separate so each can
+        be encoded into its own payload; that is what gives the block store
+        random access (decode only the blocks a query touches) at the price
+        of per-block compression overhead.
+        """
+        u = unit_size if unit_size is not None else self.unit_size
+        return extract_unit_blocks(level_data, mask=mask, unit_size=u)
+
+    def encode_unit_blocks(
+        self, block_set: UnitBlockSet, error_bound: float
+    ) -> List[CompressedArray]:
+        """Encode every unit block into its own standalone payload, serially.
+
+        For pool-backed batch encoding use
+        :class:`repro.store.engine.CodecEngine`, which rebuilds this codec in
+        its workers from :meth:`codec_spec`.
+        """
+        eb = float(error_bound)
+        return [self._codec.compress(block, eb) for block in block_set.blocks]
+
+    def decode_unit_block(self, compressed: CompressedArray) -> np.ndarray:
+        """Decode one standalone unit-block payload back to its array."""
+        return self._codec.decompress(compressed)
 
     def encode_prepared(self, prepared: PreparedLevel, error_bound: float) -> CompressedLevel:
         """Encode a prepared level with the underlying error-bounded compressor."""

@@ -1,4 +1,4 @@
-"""Compressed-container file I/O.
+"""Compressed-container file I/O (format v1).
 
 A minimal self-describing on-disk format for compressed arrays and compressed
 multi-resolution hierarchies, standing in for the HDF5 / AMReX plotfile
@@ -6,6 +6,13 @@ output of the real applications.  The format is a JSON header (level
 structure, arrangement bookkeeping) followed by the concatenated
 :class:`~repro.compressors.base.CompressedArray` blobs, so files remain
 readable without any state from the writing process.
+
+This v1 format compresses each level into one merged payload and can only be
+decompressed whole; the block-level v2 format with random access lives in
+:mod:`repro.store`.  Both readers validate magic and format version and
+raise :class:`~repro.compressors.errors.DecompressionError` naming the
+offending path on truncated or foreign files; v1 containers stay readable
+alongside v2.
 """
 
 from __future__ import annotations
@@ -32,6 +39,8 @@ __all__ = [
 ]
 
 _HIER_MAGIC = b"RPMH"  # "RePro Multi-resolution Hierarchy"
+_STORE_MAGIC = b"RPS2"  # v2 block container (repro.store) — detected for clear errors
+_HIER_FORMAT_VERSION = 1
 
 
 def write_compressed_array(path: Union[str, Path], compressed: CompressedArray) -> int:
@@ -45,7 +54,19 @@ def write_compressed_array(path: Union[str, Path], compressed: CompressedArray) 
 
 def read_compressed_array(path: Union[str, Path]) -> CompressedArray:
     """Read a compressed array written by :func:`write_compressed_array`."""
-    return CompressedArray.from_bytes(Path(path).read_bytes())
+    path = Path(path)
+    try:
+        blob = path.read_bytes()
+    except OSError as exc:
+        raise DecompressionError(f"{path}: cannot read compressed array ({exc})") from exc
+    try:
+        return CompressedArray.from_bytes(blob)
+    except DecompressionError as exc:
+        raise DecompressionError(f"{path}: {exc}") from exc
+    except (struct.error, json.JSONDecodeError, UnicodeDecodeError, KeyError, IndexError) as exc:
+        raise DecompressionError(
+            f"{path}: truncated or corrupt compressed-array container ({exc!r})"
+        ) from exc
 
 
 def _level_header(level: CompressedLevel) -> dict:
@@ -70,6 +91,7 @@ def _level_header(level: CompressedLevel) -> dict:
 def write_compressed_hierarchy(path: Union[str, Path], compressed: CompressedHierarchy) -> int:
     """Write a compressed hierarchy to ``path``; returns the bytes written."""
     header = {
+        "format_version": _HIER_FORMAT_VERSION,
         "error_bound": compressed.error_bound,
         "metadata": compressed.metadata,
         "levels": [_level_header(lvl) for lvl in compressed.levels],
@@ -87,59 +109,116 @@ def write_compressed_hierarchy(path: Union[str, Path], compressed: CompressedHie
     return len(blob)
 
 
-def read_compressed_hierarchy(path: Union[str, Path]) -> CompressedHierarchy:
-    """Read a compressed hierarchy written by :func:`write_compressed_hierarchy`."""
-    blob = Path(path).read_bytes()
-    if blob[:4] != _HIER_MAGIC:
-        raise DecompressionError("not a compressed-hierarchy file (bad magic)")
+def _check_hierarchy_head(path: Path, blob: bytes) -> dict:
+    """Validate magic/version and return the parsed v1 header."""
+    if len(blob) < 8:
+        raise DecompressionError(
+            f"{path}: truncated container ({len(blob)} bytes, need at least 8)"
+        )
+    magic = blob[:4]
+    if magic == _STORE_MAGIC:
+        raise DecompressionError(
+            f"{path}: this is a v2 block-store container; open it with "
+            "repro.store.ContainerReader (or `repro store`) instead"
+        )
+    if magic != _HIER_MAGIC:
+        raise DecompressionError(
+            f"{path}: not a compressed-hierarchy file (bad magic {magic!r})"
+        )
     (header_len,) = struct.unpack_from("<I", blob, 4)
-    header = json.loads(blob[8 : 8 + header_len].decode("utf-8"))
+    if 8 + header_len > len(blob):
+        raise DecompressionError(
+            f"{path}: truncated container header (claims {header_len} bytes, "
+            f"file holds {len(blob) - 8})"
+        )
+    try:
+        header = json.loads(blob[8 : 8 + header_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise DecompressionError(f"{path}: corrupt container header ({exc})") from exc
+    version = int(header.get("format_version", _HIER_FORMAT_VERSION))
+    if version != _HIER_FORMAT_VERSION:
+        raise DecompressionError(
+            f"{path}: unsupported hierarchy-container format version {version} "
+            f"(this reader supports {_HIER_FORMAT_VERSION})"
+        )
+    return header
+
+
+def read_compressed_hierarchy(path: Union[str, Path]) -> CompressedHierarchy:
+    """Read a compressed hierarchy written by :func:`write_compressed_hierarchy`.
+
+    Raises :class:`DecompressionError` naming ``path`` when the file is
+    truncated, foreign, or a v2 block-store container.
+    """
+    path = Path(path)
+    try:
+        blob = path.read_bytes()
+    except OSError as exc:
+        raise DecompressionError(f"{path}: cannot read container ({exc})") from exc
+    header = _check_hierarchy_head(path, blob)
+    (header_len,) = struct.unpack_from("<I", blob, 4)
     offset = 8 + header_len
 
-    levels = []
-    for lvl_header in header["levels"]:
-        coords_size = int(lvl_header["coords_size"])
-        coords_payload = blob[offset : offset + coords_size]
-        offset += coords_size
-        payloads = []
-        for size in lvl_header["payload_sizes"]:
-            payloads.append(CompressedArray.from_bytes(blob[offset : offset + int(size)]))
-            offset += int(size)
-        arr = lvl_header["arrangement"]
-        arrangement = Arrangement(
-            kind=arr["kind"],
-            unit_size=int(arr["unit_size"]),
-            ndim=int(arr["ndim"]),
-            n_blocks=int(arr["n_blocks"]),
-            layout=tuple(arr.get("layout", ())),
-            segments=tuple(arr.get("segments", ())),
-        )
-        pad = lvl_header["pad_info"]
-        pad_info = (
-            None
-            if pad is None
-            else PadInfo(
-                axes=tuple(int(a) for a in pad["axes"]),
-                original_shape=tuple(int(s) for s in pad["original_shape"]),
-                mode=pad["mode"],
+    try:
+        levels = []
+        for lvl_header in header["levels"]:
+            coords_size = int(lvl_header["coords_size"])
+            coords_payload = blob[offset : offset + coords_size]
+            if len(coords_payload) < coords_size:
+                raise DecompressionError(
+                    f"{path}: truncated coords payload for level {lvl_header.get('level')}"
+                )
+            offset += coords_size
+            payloads = []
+            for size in lvl_header["payload_sizes"]:
+                size = int(size)
+                if offset + size > len(blob):
+                    raise DecompressionError(
+                        f"{path}: truncated block payload for level {lvl_header.get('level')}"
+                    )
+                payloads.append(CompressedArray.from_bytes(blob[offset : offset + size]))
+                offset += size
+            arr = lvl_header["arrangement"]
+            arrangement = Arrangement(
+                kind=arr["kind"],
+                unit_size=int(arr["unit_size"]),
+                ndim=int(arr["ndim"]),
+                n_blocks=int(arr["n_blocks"]),
+                layout=tuple(arr.get("layout", ())),
+                segments=tuple(arr.get("segments", ())),
             )
-        )
-        levels.append(
-            CompressedLevel(
-                level=int(lvl_header["level"]),
-                payloads=payloads,
-                arrangement=arrangement,
-                pad_info=pad_info,
-                coords_payload=coords_payload,
-                level_shape=tuple(int(s) for s in lvl_header["level_shape"]),
-                unit_size=int(lvl_header["unit_size"]),
-                nbytes_original=int(lvl_header["nbytes_original"]),
+            pad = lvl_header["pad_info"]
+            pad_info = (
+                None
+                if pad is None
+                else PadInfo(
+                    axes=tuple(int(a) for a in pad["axes"]),
+                    original_shape=tuple(int(s) for s in pad["original_shape"]),
+                    mode=pad["mode"],
+                )
             )
+            levels.append(
+                CompressedLevel(
+                    level=int(lvl_header["level"]),
+                    payloads=payloads,
+                    arrangement=arrangement,
+                    pad_info=pad_info,
+                    coords_payload=coords_payload,
+                    level_shape=tuple(int(s) for s in lvl_header["level_shape"]),
+                    unit_size=int(lvl_header["unit_size"]),
+                    nbytes_original=int(lvl_header["nbytes_original"]),
+                )
+            )
+        if offset != len(blob):
+            raise DecompressionError(f"{path}: trailing bytes after the last level payload")
+        return CompressedHierarchy(
+            levels=levels,
+            error_bound=float(header["error_bound"]),
+            metadata=header.get("metadata", {}),
         )
-    if offset != len(blob):
-        raise DecompressionError("trailing bytes after the last level payload")
-    return CompressedHierarchy(
-        levels=levels,
-        error_bound=float(header["error_bound"]),
-        metadata=header.get("metadata", {}),
-    )
+    except DecompressionError:
+        raise
+    except (struct.error, json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError, ValueError) as exc:
+        raise DecompressionError(
+            f"{path}: truncated or corrupt hierarchy container ({exc!r})"
+        ) from exc

@@ -38,7 +38,12 @@ __all__ = ["InSituPipeline", "StepReport"]
 
 @dataclass
 class StepReport:
-    """Per-timestep outcome of the in-situ pipeline."""
+    """Per-timestep outcome of the in-situ pipeline.
+
+    ``compressed`` holds the in-memory v1 hierarchy when the step went
+    through the whole-level path; store-backed steps keep only the on-disk
+    container (``output_path``) and leave it ``None``.
+    """
 
     step: int
     field_name: str
@@ -46,7 +51,7 @@ class StepReport:
     psnr: Optional[float]
     timings: TimingBreakdown
     output_path: Optional[Path]
-    compressed: CompressedHierarchy = field(repr=False, default=None)
+    compressed: Optional[CompressedHierarchy] = field(repr=False, default=None)
 
     @property
     def preprocess_time(self) -> float:
@@ -72,13 +77,33 @@ class InSituPipeline:
         roi_block_size: int = 8,
         compute_quality: bool = True,
         max_workers: int = 1,
+        store=None,
     ) -> None:
+        """``store`` (a :class:`repro.store.Store`) switches the output path
+        from one v1 whole-level container per step (``output_dir``) to
+        appending block-indexed v2 containers to the store catalog; quality
+        metrics are then computed by reading the container back, so the
+        reported PSNR is what an analysis consumer will actually see."""
         self.compressor = compressor
         self.output_dir = Path(output_dir) if output_dir is not None else None
         self.roi_fraction = float(roi_fraction)
         self.roi_block_size = int(roi_block_size)
         self.compute_quality = bool(compute_quality)
         self.max_workers = int(max_workers)
+        self.store = store
+        if store is not None:
+            # Store-backed steps are encoded by the store's compressor/engine;
+            # a silently different codec would make the reported quality
+            # describe something the user never configured.
+            ours = (compressor.codec_spec(), compressor.unit_size)
+            theirs = (store.compressor.codec_spec(), store.compressor.unit_size)
+            if ours != theirs:
+                raise ValueError(
+                    "pipeline and store compressors disagree "
+                    f"({compressor.describe()} unit {compressor.unit_size} vs "
+                    f"{store.compressor.describe()} unit {store.compressor.unit_size}); "
+                    "construct the Store with the same compressor"
+                )
 
     # -- single snapshot ---------------------------------------------------------
     def process_snapshot(self, snapshot: SimulationSnapshot, error_bound: float) -> StepReport:
@@ -95,35 +120,60 @@ class InSituPipeline:
                     roi_fraction=self.roi_fraction,
                     block_size=self.roi_block_size,
                 ).hierarchy
-            prepared = [
-                self.compressor.prepare_level(lvl.data, lvl.mask, level_index=lvl.level)
-                for lvl in hierarchy.levels
-            ]
+            # The store path blocks the levels itself (per-block payloads), so
+            # merged-level preparation is only needed for the v1 container.
+            prepared = (
+                []
+                if self.store is not None
+                else [
+                    self.compressor.prepare_level(lvl.data, lvl.mask, level_index=lvl.level)
+                    for lvl in hierarchy.levels
+                ]
+            )
 
         # Compress and write.
         with timings.phase("compress+write"):
-            levels = parallel_map(
-                lambda p: self.compressor.encode_prepared(p, error_bound),
-                prepared,
-                max_workers=self.max_workers,
-            )
-            compressed = CompressedHierarchy(
-                levels=levels,
-                error_bound=float(error_bound),
-                metadata={
-                    "step": snapshot.step,
-                    "field": snapshot.field_name,
-                    "compressor": self.compressor.describe(),
-                },
-            )
-            output_path = None
-            if self.output_dir is not None:
-                output_path = self.output_dir / f"{snapshot.field_name}_step{snapshot.step:05d}.rpmh"
-                write_compressed_hierarchy(output_path, compressed)
+            if self.store is not None:
+                entry = self.store.append(
+                    snapshot.field_name,
+                    snapshot.step,
+                    hierarchy,
+                    error_bound,
+                    overwrite=True,
+                )
+                compressed = None
+                compression_ratio = entry.compression_ratio
+                output_path = self.store.root / entry.path
+            else:
+                levels = parallel_map(
+                    lambda p: self.compressor.encode_prepared(p, error_bound),
+                    prepared,
+                    max_workers=self.max_workers,
+                )
+                compressed = CompressedHierarchy(
+                    levels=levels,
+                    error_bound=float(error_bound),
+                    metadata={
+                        "step": snapshot.step,
+                        "field": snapshot.field_name,
+                        "compressor": self.compressor.describe(),
+                    },
+                )
+                compression_ratio = compressed.compression_ratio
+                output_path = None
+                if self.output_dir is not None:
+                    output_path = self.output_dir / f"{snapshot.field_name}_step{snapshot.step:05d}.rpmh"
+                    write_compressed_hierarchy(output_path, compressed)
 
         quality = None
         if self.compute_quality:
-            decompressed = self.compressor.decompress_hierarchy(compressed, hierarchy)
+            if compressed is not None:
+                decompressed = self.compressor.decompress_hierarchy(compressed, hierarchy)
+            else:
+                reader = self.store.get(snapshot.field_name, snapshot.step)
+                decompressed = hierarchy.copy_with_data(
+                    [reader.read_level(lvl.level) for lvl in hierarchy.levels]
+                )
             reference = (
                 hierarchy.to_uniform()
                 if snapshot.is_amr
@@ -134,7 +184,7 @@ class InSituPipeline:
         return StepReport(
             step=snapshot.step,
             field_name=snapshot.field_name,
-            compression_ratio=compressed.compression_ratio,
+            compression_ratio=compression_ratio,
             psnr=quality,
             timings=timings,
             output_path=output_path,

@@ -1,0 +1,252 @@
+"""``Store``: a catalog of block containers across fields and timesteps.
+
+A store is a directory holding one ``.rps2`` container per ``(field, step)``
+pair plus a ``manifest.json`` catalog (schema in :mod:`repro.store`), giving
+simulation output the append-as-you-go semantics of a plotfile directory
+while every container stays individually random-accessible.  The
+:class:`~repro.insitu.pipeline.InSituPipeline` appends one entry per
+timestep; post-hoc analysis iterates the catalog and issues block or ROI
+queries without ever inflating a whole timestep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.amr.grid import AMRHierarchy
+from repro.core.mr_compressor import MultiResolutionCompressor
+from repro.store.engine import CodecEngine
+from repro.store.format import BlockLevel, ContainerReader, write_container
+
+__all__ = ["Store", "StoreEntry", "MANIFEST_NAME", "MANIFEST_VERSION"]
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+
+@dataclass
+class StoreEntry:
+    """One catalog row: a compressed ``(field, step)`` container."""
+
+    field: str
+    step: int
+    path: str  # store-relative container path
+    error_bound: float
+    codec: str
+    n_levels: int
+    n_blocks: int
+    nbytes_original: int
+    nbytes_compressed: int
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.nbytes_original / max(1, self.nbytes_compressed)
+
+    @property
+    def key(self) -> str:
+        return f"{self.field}/{self.step:05d}"
+
+
+def _entry_key(field: str, step: int) -> str:
+    return f"{field}/{int(step):05d}"
+
+
+class Store:
+    """Chunked, indexed compressed-array store rooted at a directory.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created (with an empty manifest) if missing.
+    compressor:
+        :class:`MultiResolutionCompressor` whose codec and unit size define
+        how appended data is blocked and encoded (default: SZ3, unit 16).
+    engine:
+        :class:`CodecEngine` used to batch block encode/decode; defaults to
+        a serial engine matching ``compressor``.  Pass a thread/process
+        engine to scale appends and reads with cores.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        compressor: Optional[MultiResolutionCompressor] = None,
+        engine: Optional[CodecEngine] = None,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.compressor = compressor or MultiResolutionCompressor()
+        self.engine = engine or CodecEngine.from_compressor(self.compressor)
+        self._entries: Dict[str, StoreEntry] = {}
+        self._load_manifest()
+
+    # -- manifest -------------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    def _load_manifest(self) -> None:
+        # A missing manifest is an empty store; it is only materialised by the
+        # first append, so read-only operations never write into a directory
+        # that was not already a store.
+        if not self.manifest_path.exists():
+            return
+        try:
+            raw = json.loads(self.manifest_path.read_text("utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"{self.manifest_path}: corrupt store manifest ({exc})") from exc
+        if raw.get("format") != "repro-store-manifest":
+            raise ValueError(f"{self.manifest_path}: not a store manifest")
+        if int(raw.get("version", 0)) != MANIFEST_VERSION:
+            raise ValueError(
+                f"{self.manifest_path}: unsupported manifest version {raw.get('version')}"
+            )
+        self._entries = {
+            key: StoreEntry(**value) for key, value in raw.get("entries", {}).items()
+        }
+
+    def _write_manifest(self) -> None:
+        payload = {
+            "format": "repro-store-manifest",
+            "version": MANIFEST_VERSION,
+            "entries": {key: asdict(e) for key, e in sorted(self._entries.items())},
+        }
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True), "utf-8")
+        os.replace(tmp, self.manifest_path)
+
+    # -- write path -----------------------------------------------------------
+    def append(
+        self,
+        field: str,
+        step: int,
+        data: Union[AMRHierarchy, np.ndarray],
+        error_bound: float,
+        unit_size: Optional[int] = None,
+        overwrite: bool = False,
+    ) -> StoreEntry:
+        """Compress a snapshot into a new container and catalog it.
+
+        ``data`` is either an :class:`AMRHierarchy` (one container level per
+        resolution level, occupied blocks only) or a plain uniform array
+        (stored as a single fully-occupied level).  Appending an existing
+        ``(field, step)`` raises unless ``overwrite=True``.
+        """
+        key = _entry_key(field, step)
+        if key in self._entries and not overwrite:
+            raise ValueError(f"store already holds {key}; pass overwrite=True to replace")
+
+        if isinstance(data, AMRHierarchy):
+            level_inputs = [(lvl.level, lvl.data, lvl.mask) for lvl in data.levels]
+        else:
+            level_inputs = [(0, np.asarray(data, dtype=np.float64), None)]
+
+        eb = float(error_bound)
+        block_levels: List[BlockLevel] = []
+        for level_index, level_data, mask in level_inputs:
+            block_set = self.compressor.prepare_unit_blocks(
+                level_data, mask, unit_size=unit_size
+            )
+            payloads = self.engine.encode_blocks(block_set.blocks, eb)
+            block_levels.append(
+                BlockLevel(
+                    level=level_index,
+                    level_shape=block_set.level_shape,
+                    unit_size=block_set.unit_size,
+                    coords=block_set.coords,
+                    payloads=payloads,
+                )
+            )
+
+        rel_path = Path(field) / f"step{int(step):05d}.rps2"
+        write_container(
+            self.root / rel_path,
+            block_levels,
+            error_bound=eb,
+            codec=self.compressor.describe(),
+            metadata={"field": str(field), "step": int(step)},
+        )
+        reader = ContainerReader(self.root / rel_path)
+        entry = StoreEntry(
+            field=str(field),
+            step=int(step),
+            path=str(rel_path),
+            error_bound=eb,
+            codec=self.compressor.describe(),
+            n_levels=len(block_levels),
+            n_blocks=reader.n_blocks,
+            nbytes_original=reader.nbytes_original,
+            nbytes_compressed=reader.nbytes_compressed,
+        )
+        self._entries[key] = entry
+        self._write_manifest()
+        return entry
+
+    # -- catalog queries ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple[str, int]) -> bool:
+        field, step = key
+        return _entry_key(field, step) in self._entries
+
+    def __iter__(self) -> Iterator[StoreEntry]:
+        return iter(self.entries())
+
+    def entries(self) -> List[StoreEntry]:
+        """All catalog rows, ordered by field then step."""
+        return [self._entries[k] for k in sorted(self._entries)]
+
+    def fields(self) -> List[str]:
+        return sorted({e.field for e in self._entries.values()})
+
+    def steps(self, field: str) -> List[int]:
+        return sorted(e.step for e in self._entries.values() if e.field == str(field))
+
+    def entry(self, field: str, step: int) -> StoreEntry:
+        key = _entry_key(field, step)
+        try:
+            return self._entries[key]
+        except KeyError as exc:
+            raise KeyError(
+                f"store has no entry {key}; fields: {self.fields()}"
+            ) from exc
+
+    # -- read path ------------------------------------------------------------
+    def get(self, field: str, step: int) -> ContainerReader:
+        """Open a random-access reader over one container."""
+        entry = self.entry(field, step)
+        return ContainerReader(self.root / entry.path, engine=self.engine)
+
+    def read_level(self, field: str, step: int, level: int = 0) -> np.ndarray:
+        """Decode one whole level of one snapshot."""
+        return self.get(field, step).read_level(level)
+
+    def read_roi(
+        self,
+        field: str,
+        step: int,
+        bbox: Sequence[Sequence[int]],
+        level: int = 0,
+    ) -> np.ndarray:
+        """Decode a sub-region of one snapshot, touching only its blocks."""
+        return self.get(field, step).read_roi(bbox, level=level)
+
+    def summary(self) -> str:
+        """Fixed-width catalog listing (what ``repro store ls`` prints)."""
+        lines = [f"store {self.root} — {len(self)} entries"]
+        header = f"{'field':<16} {'step':>6} {'levels':>6} {'blocks':>7} {'ratio':>8}  path"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for e in self.entries():
+            lines.append(
+                f"{e.field:<16} {e.step:>6d} {e.n_levels:>6d} {e.n_blocks:>7d} "
+                f"{e.compression_ratio:>7.2f}x  {e.path}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Parallel codec engine: batched block encode/decode through a pool.
+
+Per-block encoding is embarrassingly parallel but the blocks are small
+(a 16^3 float64 block is 32 KiB), so submitting them one at a time to a
+process pool drowns the work in pickling and task dispatch.  The engine
+therefore *chunks* the blocks — each pool task encodes a contiguous slice of
+the block array with a codec rebuilt once per chunk — and flattens the
+results back into file order.  The same batching drives decode, so
+random-access reads that touch many blocks also scale with cores.
+
+The workers are module-level functions operating on plain picklable data
+(codec registry name + options, NumPy block arrays, payload byte strings),
+which is what allows the ``"process"`` executor; ``"thread"`` suits codecs
+that release the GIL, and ``"serial"`` is the zero-overhead default used by
+tests and single-core hosts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compressors.base import CompressedArray, Compressor, get_compressor
+from repro.insitu.scheduler import EXECUTORS, default_workers, parallel_map
+
+__all__ = ["CodecEngine", "decode_payloads"]
+
+#: Upper bound on blocks per pool task; keeps per-task payloads a few MiB.
+_MAX_CHUNK = 128
+
+
+def _encode_chunk(task: Tuple[str, dict, float, np.ndarray]) -> List[bytes]:
+    """Worker: encode a chunk of unit blocks into standalone payload blobs."""
+    kind, options, error_bound, blocks = task
+    codec = get_compressor(kind, **options)
+    return [codec.compress(block, error_bound).to_bytes() for block in blocks]
+
+
+def decode_payloads(payloads: Sequence[bytes]) -> List[np.ndarray]:
+    """Decode standalone per-block payload blobs back to block arrays.
+
+    The single serial decode loop shared by the engine's pool workers and by
+    engine-less readers (:class:`~repro.store.format.ContainerReader`), so
+    decode semantics cannot diverge between the two paths.  Module-level and
+    picklable on purpose: it doubles as the process-pool chunk worker.
+    """
+    codecs: Dict[str, Compressor] = {}
+    out = []
+    for blob in payloads:
+        compressed = CompressedArray.from_bytes(blob)
+        codec = codecs.get(compressed.codec)
+        if codec is None:
+            codec = codecs[compressed.codec] = get_compressor(compressed.codec)
+        out.append(codec.decompress(compressed))
+    return out
+
+
+class CodecEngine:
+    """Batch per-block encode/decode through a serial/thread/process backend.
+
+    Parameters
+    ----------
+    codec:
+        Compressor registry name (``"sz3"``, ``"sz2"``, ``"zfp"``).
+    codec_options:
+        Constructor options for the codec; must be picklable for the process
+        backend.
+    executor:
+        ``"serial"`` (default), ``"thread"`` or ``"process"`` — see
+        :func:`repro.insitu.scheduler.parallel_map`.
+    max_workers:
+        Pool size; defaults to the core count.
+    chunksize:
+        Blocks per pool task; by default sized so every worker gets about
+        four tasks (capped at 128 blocks), which balances load against
+        dispatch overhead.
+    """
+
+    def __init__(
+        self,
+        codec: str = "sz3",
+        codec_options: Optional[dict] = None,
+        executor: str = "serial",
+        max_workers: Optional[int] = None,
+        chunksize: Optional[int] = None,
+    ) -> None:
+        if executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        self.codec = str(codec)
+        self.codec_options = dict(codec_options or {})
+        self.executor = executor
+        self.max_workers = default_workers() if max_workers is None else int(max_workers)
+        self.chunksize = None if chunksize is None else max(1, int(chunksize))
+        # Validate the codec spec eagerly (raises UnknownCompressorError).
+        get_compressor(self.codec, **self.codec_options)
+
+    @classmethod
+    def from_compressor(cls, compressor, **kwargs) -> "CodecEngine":
+        """Build an engine matching a :class:`MultiResolutionCompressor` codec."""
+        kind, options = compressor.codec_spec()
+        return cls(codec=kind, codec_options=options, **kwargs)
+
+    # -- batching -------------------------------------------------------------
+    def _chunk_bounds(self, n_items: int) -> List[Tuple[int, int]]:
+        if self.chunksize is not None:
+            size = self.chunksize
+        else:
+            size = -(-n_items // max(1, self.max_workers * 4))
+            size = max(1, min(size, _MAX_CHUNK))
+        return [(start, min(start + size, n_items)) for start in range(0, n_items, size)]
+
+    def _run(self, fn, tasks: list) -> list:
+        chunks = parallel_map(
+            fn, tasks, max_workers=self.max_workers, executor=self.executor
+        )
+        return [item for chunk in chunks for item in chunk]
+
+    # -- public API -----------------------------------------------------------
+    def encode_blocks(self, blocks: np.ndarray, error_bound: float) -> List[bytes]:
+        """Encode ``(n, u, u[, u])`` unit blocks into per-block payload blobs."""
+        blocks = np.asarray(blocks, dtype=np.float64)
+        eb = float(error_bound)
+        tasks = [
+            (self.codec, self.codec_options, eb, blocks[a:b])
+            for a, b in self._chunk_bounds(blocks.shape[0])
+        ]
+        return self._run(_encode_chunk, tasks)
+
+    def decode_blocks(self, payloads: Sequence[bytes]) -> List[np.ndarray]:
+        """Decode per-block payload blobs back into block arrays (file order)."""
+        payloads = list(payloads)
+        tasks = [payloads[a:b] for a, b in self._chunk_bounds(len(payloads))]
+        return self._run(decode_payloads, tasks)
+
+    def describe(self) -> str:
+        """Short configuration string (mirrors ``MultiResolutionCompressor.describe``)."""
+        return f"{self.codec}@{self.executor}x{self.max_workers}"

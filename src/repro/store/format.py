@@ -1,0 +1,366 @@
+"""Block-level container format v2 (``.rps2``) — write once, read any block.
+
+Unlike the v1 hierarchy container (:mod:`repro.insitu.io`), which compresses
+each resolution level into one monolithic merged-array payload, v2 encodes
+every Morton-ordered unit block into its own standalone payload and records a
+per-block ``(level, coords, offset, length)`` index in the file head.  A
+reader can therefore decode exactly the blocks a query touches: a halo
+neighbourhood, an isosurface ROI, or a single coarse level — without
+inflating the rest of the timestep.
+
+File layout (see :mod:`repro.store` for the full diagram)::
+
+    b"RPS2" | u32 header_len | JSON header | block index | payload ... payload
+
+The JSON header carries the format version, error bound, codec description,
+free-form metadata and the per-level geometry (shape, unit size, block count,
+original bytes); the binary index is documented in
+:mod:`repro.store.index`; each payload is a self-describing
+:class:`~repro.compressors.base.CompressedArray` blob, so containers remain
+decodable without any state from the writing process.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.compressors.errors import DecompressionError
+from repro.core.partition import UnitBlockSet, scatter_unit_blocks
+from repro.store.index import RECORD_BYTES, BlockIndex
+from repro.store.query import (
+    BBox,
+    bbox_to_block_range,
+    normalize_bbox,
+    paste_slices,
+)
+from repro.utils.morton import morton_encode2d, morton_encode3d
+
+__all__ = ["BlockLevel", "LevelInfo", "ContainerReader", "write_container", "STORE_MAGIC"]
+
+STORE_MAGIC = b"RPS2"  # "RePro Store v2"
+FORMAT_VERSION = 2
+
+
+def _morton_codes(coords: np.ndarray) -> np.ndarray:
+    if coords.shape[1] == 3:
+        return morton_encode3d(coords[:, 0], coords[:, 1], coords[:, 2])
+    return morton_encode2d(coords[:, 0], coords[:, 1])
+
+
+@dataclass
+class BlockLevel:
+    """Per-block payloads of one resolution level, ready to be written.
+
+    ``coords`` row *i* is the unit-block coordinate of ``payloads[i]``; the
+    writer re-sorts both by Morton code so the on-disk order is always the
+    space-filling-curve order regardless of how the caller produced them.
+    """
+
+    level: int
+    level_shape: Tuple[int, ...]
+    unit_size: int
+    coords: np.ndarray
+    payloads: List[bytes]
+
+    def __post_init__(self) -> None:
+        self.coords = np.asarray(self.coords, dtype=np.int64)
+        if self.coords.shape[0] != len(self.payloads):
+            raise ValueError(
+                f"level {self.level}: {self.coords.shape[0]} coords but "
+                f"{len(self.payloads)} payloads"
+            )
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.payloads)
+
+    @property
+    def nbytes_original(self) -> int:
+        return self.n_blocks * (int(self.unit_size) ** len(self.level_shape)) * 8
+
+
+@dataclass
+class LevelInfo:
+    """Geometry of one level as recorded in a container header."""
+
+    level: int
+    level_shape: Tuple[int, ...]
+    unit_size: int
+    n_blocks: int
+    nbytes_original: int
+
+    @property
+    def ndim(self) -> int:
+        return len(self.level_shape)
+
+
+def write_container(
+    path: Union[str, Path],
+    levels: Sequence[BlockLevel],
+    error_bound: float,
+    codec: str = "",
+    metadata: Optional[Dict] = None,
+) -> int:
+    """Write a v2 block container; returns the number of bytes written."""
+    if not levels:
+        raise ValueError("a container needs at least one level")
+    ordered: List[BlockLevel] = []
+    for lvl in sorted(levels, key=lambda l: int(l.level)):
+        order = np.argsort(_morton_codes(lvl.coords), kind="stable")
+        ordered.append(
+            BlockLevel(
+                level=int(lvl.level),
+                level_shape=tuple(int(s) for s in lvl.level_shape),
+                unit_size=int(lvl.unit_size),
+                coords=lvl.coords[order],
+                payloads=[lvl.payloads[i] for i in order],
+            )
+        )
+
+    index = BlockIndex.build(
+        (lvl.level, lvl.coords, [len(p) for p in lvl.payloads]) for lvl in ordered
+    )
+    header = {
+        "format": "repro-store-container",
+        "format_version": FORMAT_VERSION,
+        "error_bound": float(error_bound),
+        "codec": str(codec),
+        "metadata": dict(metadata or {}),
+        "n_entries": index.n_entries,
+        "levels": [
+            {
+                "level": lvl.level,
+                "level_shape": list(lvl.level_shape),
+                "unit_size": lvl.unit_size,
+                "n_blocks": lvl.n_blocks,
+                "nbytes_original": lvl.nbytes_original,
+            }
+            for lvl in ordered
+        ],
+    }
+    header_blob = json.dumps(header, sort_keys=True).encode("utf-8")
+    parts = [STORE_MAGIC, struct.pack("<I", len(header_blob)), header_blob, index.to_bytes()]
+    for lvl in ordered:
+        parts.extend(lvl.payloads)
+    blob = b"".join(parts)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(blob)
+    return len(blob)
+
+
+class ContainerReader:
+    """Random-access reader over one v2 container.
+
+    Opening a reader parses only the header and the block index (two small
+    reads); payloads are fetched lazily with per-block seeks, so the cost of
+    a query is proportional to the blocks it touches, not to the container.
+    ``stats`` counts decoded blocks and payload bytes read — the tests assert
+    partial decodes through it, and ``store roi`` reports it to the user.
+
+    Parameters
+    ----------
+    path:
+        A ``.rps2`` container produced by :func:`write_container`.
+    engine:
+        Optional :class:`~repro.store.engine.CodecEngine` used to decode
+        fetched payloads in parallel; decoding is serial (with a cached
+        codec) when omitted.
+    """
+
+    def __init__(self, path: Union[str, Path], engine=None) -> None:
+        self.path = Path(path)
+        self.engine = engine
+        self.stats: Dict[str, int] = {"blocks_decoded": 0, "payload_bytes_read": 0}
+
+        try:
+            with self.path.open("rb") as fh:
+                head = fh.read(8)
+                if len(head) < 8:
+                    raise DecompressionError(f"{self.path}: truncated container head")
+                if head[:4] != STORE_MAGIC:
+                    raise DecompressionError(
+                        f"{self.path}: not a v2 block container (bad magic {head[:4]!r})"
+                    )
+                (header_len,) = struct.unpack_from("<I", head, 4)
+                header_blob = fh.read(header_len)
+                if len(header_blob) < header_len:
+                    raise DecompressionError(f"{self.path}: truncated container header")
+                try:
+                    header = json.loads(header_blob.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise DecompressionError(
+                        f"{self.path}: corrupt container header ({exc})"
+                    ) from exc
+                version = int(header.get("format_version", 0))
+                if version != FORMAT_VERSION:
+                    raise DecompressionError(
+                        f"{self.path}: unsupported container format version {version} "
+                        f"(this reader supports {FORMAT_VERSION})"
+                    )
+                n_entries = int(header["n_entries"])
+                index_blob = fh.read(n_entries * RECORD_BYTES)
+                try:
+                    self._index = BlockIndex.from_bytes(index_blob, n_entries)
+                except DecompressionError as exc:
+                    raise DecompressionError(f"{self.path}: {exc}") from exc
+        except OSError as exc:
+            raise DecompressionError(f"{self.path}: cannot read container ({exc})") from exc
+
+        self._header = header
+        self._data_start = 8 + header_len + n_entries * RECORD_BYTES
+        self._levels = {
+            int(lvl["level"]): LevelInfo(
+                level=int(lvl["level"]),
+                level_shape=tuple(int(s) for s in lvl["level_shape"]),
+                unit_size=int(lvl["unit_size"]),
+                n_blocks=int(lvl["n_blocks"]),
+                nbytes_original=int(lvl["nbytes_original"]),
+            )
+            for lvl in header["levels"]
+        }
+
+    # -- header accessors -----------------------------------------------------
+    @property
+    def error_bound(self) -> float:
+        return float(self._header["error_bound"])
+
+    @property
+    def codec(self) -> str:
+        return str(self._header.get("codec", ""))
+
+    @property
+    def metadata(self) -> Dict:
+        return dict(self._header.get("metadata", {}))
+
+    @property
+    def levels(self) -> List[LevelInfo]:
+        """Per-level geometry, ordered fine to coarse."""
+        return [self._levels[k] for k in sorted(self._levels)]
+
+    @property
+    def index(self) -> BlockIndex:
+        return self._index
+
+    @property
+    def n_blocks(self) -> int:
+        return self._index.n_entries
+
+    @property
+    def nbytes_compressed(self) -> int:
+        """Container size: header + index + all payloads."""
+        return self._data_start + self._index.nbytes_payloads
+
+    @property
+    def nbytes_original(self) -> int:
+        return sum(info.nbytes_original for info in self._levels.values())
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.nbytes_original / max(1, self.nbytes_compressed)
+
+    def level_info(self, level: int) -> LevelInfo:
+        try:
+            return self._levels[int(level)]
+        except KeyError as exc:
+            raise KeyError(
+                f"{self.path}: no level {level}; available: {sorted(self._levels)}"
+            ) from exc
+
+    # -- payload access -------------------------------------------------------
+    def _fetch_payloads(self, positions: np.ndarray) -> List[bytes]:
+        payloads = []
+        with self.path.open("rb") as fh:
+            for pos in positions:
+                offset = int(self._index.offsets[pos])
+                length = int(self._index.lengths[pos])
+                fh.seek(self._data_start + offset)
+                blob = fh.read(length)
+                if len(blob) < length:
+                    raise DecompressionError(
+                        f"{self.path}: truncated payload at index entry {int(pos)}"
+                    )
+                payloads.append(blob)
+        self.stats["payload_bytes_read"] += sum(len(p) for p in payloads)
+        return payloads
+
+    def _decode_payloads(self, payloads: List[bytes]) -> List[np.ndarray]:
+        self.stats["blocks_decoded"] += len(payloads)
+        if self.engine is not None:
+            return self.engine.decode_blocks(payloads)
+        from repro.store.engine import decode_payloads
+
+        return decode_payloads(payloads)
+
+    # -- queries --------------------------------------------------------------
+    def read_blocks(self, level: int, region: Optional[BBox] = None) -> UnitBlockSet:
+        """Decode the blocks of one level, optionally restricted to a region.
+
+        ``region`` is a half-open range of *unit-block coordinates* per axis;
+        only index entries inside it are fetched and decoded.  Returns a
+        :class:`~repro.core.partition.UnitBlockSet` carrying the decoded
+        blocks and their coordinates (Morton file order).
+        """
+        info = self.level_info(level)
+        positions = self._index.select(info.level, info.ndim, region)
+        coords = self._index.coords[positions, : info.ndim]
+        decoded = self._decode_payloads(self._fetch_payloads(positions))
+        if decoded:
+            blocks = np.stack(decoded, axis=0)
+        else:
+            blocks = np.empty((0,) + (info.unit_size,) * info.ndim, dtype=np.float64)
+        return UnitBlockSet(
+            blocks=blocks,
+            coords=coords.astype(np.int64),
+            unit_size=info.unit_size,
+            level_shape=info.level_shape,
+        )
+
+    def read_level(self, level: int, fill_value: float = 0.0) -> np.ndarray:
+        """Decode one whole level into its full-domain array."""
+        block_set = self.read_blocks(level)
+        if block_set.n_blocks == 0:
+            return np.full(block_set.level_shape, float(fill_value), dtype=np.float64)
+        return scatter_unit_blocks(block_set, fill_value=fill_value)
+
+    def read_roi(
+        self, bbox: Sequence[Sequence[int]], level: int = 0, fill_value: float = 0.0
+    ) -> np.ndarray:
+        """Decode a cell-space sub-region, touching only intersecting blocks.
+
+        ``bbox`` is a per-axis ``(lo, hi)`` half-open cell range in the
+        level's own resolution; the result has shape ``hi - lo`` per axis.
+        Cells inside the bbox but outside any occupied block are
+        ``fill_value`` (they belong to other levels of the hierarchy).
+        """
+        info = self.level_info(level)
+        bbox = normalize_bbox(bbox, info.level_shape)
+        block_range = bbox_to_block_range(bbox, info.unit_size)
+        block_set = self.read_blocks(level, region=block_range)
+        out = np.full(
+            tuple(hi - lo for lo, hi in bbox), float(fill_value), dtype=np.float64
+        )
+        for block, coord in zip(block_set.blocks, block_set.coords):
+            dst, src = paste_slices(coord, info.unit_size, bbox)
+            out[dst] = block[src]
+        return out
+
+    def describe(self) -> Dict:
+        """Header summary as plain data (what ``repro store ls`` prints)."""
+        return {
+            "path": str(self.path),
+            "codec": self.codec,
+            "error_bound": self.error_bound,
+            "n_levels": len(self._levels),
+            "n_blocks": self.n_blocks,
+            "nbytes_original": self.nbytes_original,
+            "nbytes_compressed": self.nbytes_compressed,
+            "compression_ratio": round(self.compression_ratio, 3),
+            "metadata": self.metadata,
+        }

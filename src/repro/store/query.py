@@ -1,0 +1,96 @@
+"""Region / bounding-box arithmetic for block-indexed containers.
+
+All queries against the v2 block store reduce to the same few integer
+operations: normalise a cell-space bounding box against a level shape, turn
+it into a half-open range of unit-block coordinates, select the index entries
+whose blocks intersect that range, and compute the destination/source slice
+pairs used to paste each decoded block into the query output.  Keeping that
+arithmetic here (pure functions over plain tuples and arrays) keeps the
+format reader small and makes the intersection logic unit-testable without
+any file I/O.
+
+A *bbox* is a tuple of per-axis ``(lo, hi)`` pairs in cell coordinates,
+half-open like Python slices; a *block range* is the same structure in
+unit-block coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "BBox",
+    "normalize_bbox",
+    "bbox_to_block_range",
+    "blocks_in_range",
+    "block_cell_slices",
+    "paste_slices",
+]
+
+BBox = Tuple[Tuple[int, int], ...]
+
+
+def normalize_bbox(bbox: Sequence[Sequence[int]], shape: Sequence[int]) -> BBox:
+    """Validate and clamp a cell-space bounding box against ``shape``.
+
+    Accepts any sequence of ``(lo, hi)`` pairs (one per axis, half-open);
+    returns a canonical tuple-of-tuples.  Raises ``ValueError`` for the wrong
+    number of axes, an empty axis, or a box entirely outside the domain.
+    """
+    shape = tuple(int(s) for s in shape)
+    if len(bbox) != len(shape):
+        raise ValueError(f"bbox has {len(bbox)} axes but the level is {len(shape)}-dimensional")
+    out = []
+    for axis, (pair, n) in enumerate(zip(bbox, shape)):
+        lo, hi = (int(pair[0]), int(pair[1]))
+        lo = max(0, lo)
+        hi = min(n, hi)
+        if lo >= hi:
+            raise ValueError(
+                f"bbox axis {axis} is empty after clamping to [0, {n}): ({pair[0]}, {pair[1]})"
+            )
+        out.append((lo, hi))
+    return tuple(out)
+
+
+def bbox_to_block_range(bbox: BBox, unit_size: int) -> BBox:
+    """Half-open unit-block coordinate range covering a cell-space bbox."""
+    u = int(unit_size)
+    return tuple((lo // u, -(-hi // u)) for lo, hi in bbox)
+
+
+def blocks_in_range(coords: np.ndarray, block_range: BBox) -> np.ndarray:
+    """Boolean mask over ``coords`` (n, ndim) selecting blocks inside a range."""
+    coords = np.asarray(coords)
+    keep = np.ones(coords.shape[0], dtype=bool)
+    for axis, (lo, hi) in enumerate(block_range):
+        keep &= (coords[:, axis] >= lo) & (coords[:, axis] < hi)
+    return keep
+
+
+def block_cell_slices(coord: Sequence[int], unit_size: int) -> Tuple[slice, ...]:
+    """Cell-space slices covered by the unit block at ``coord``."""
+    u = int(unit_size)
+    return tuple(slice(int(c) * u, (int(c) + 1) * u) for c in coord)
+
+
+def paste_slices(
+    coord: Sequence[int], unit_size: int, bbox: BBox
+) -> Tuple[Tuple[slice, ...], Tuple[slice, ...]]:
+    """Destination (bbox-relative) and source (block-relative) paste slices.
+
+    For a block at ``coord`` intersecting ``bbox``, returns the slice pair
+    such that ``out[dst] = block[src]`` copies exactly the overlapping cells
+    into an output array shaped like the bbox.
+    """
+    u = int(unit_size)
+    dst, src = [], []
+    for c, (lo, hi) in zip(coord, bbox):
+        start = int(c) * u
+        a = max(start, lo)
+        b = min(start + u, hi)
+        dst.append(slice(a - lo, b - lo))
+        src.append(slice(a - start, b - start))
+    return tuple(dst), tuple(src)

@@ -95,6 +95,71 @@ class TestInfoAndEvaluate:
             main(["evaluate", str(path), str(other)])
 
 
+class TestStoreCommands:
+    @pytest.fixture()
+    def populated_store(self, tmp_path, field_file):
+        from repro.core.mr_compressor import MultiResolutionCompressor
+        from repro.store import Store
+
+        _, field = field_file
+        root = tmp_path / "store"
+        store = Store(root, MultiResolutionCompressor(unit_size=8))
+        store.append("pressure", 2, field, 0.01)
+        return root, field
+
+    def test_store_ls(self, populated_store, capsys):
+        root, _ = populated_store
+        assert main(["store", "ls", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "pressure" in out and "1 entries" in out
+
+    def test_store_get_decodes_level(self, tmp_path, populated_store, capsys):
+        root, field = populated_store
+        out_path = tmp_path / "level0.npy"
+        assert main(["store", "get", str(root), "pressure", "2", str(out_path)]) == 0
+        recon = np.load(out_path)
+        assert recon.shape == field.shape
+        assert np.abs(recon - field).max() <= 0.01 * (1 + 1e-9)
+
+    def test_store_roi_touches_only_intersecting_blocks(self, tmp_path, populated_store, capsys):
+        root, field = populated_store
+        out_path = tmp_path / "roi.npy"
+        assert main([
+            "store", "roi", str(root), "pressure", "2", str(out_path),
+            "--bbox", "0:8,0:8,0:8",
+        ]) == 0
+        out = capsys.readouterr().out
+        # 24^3 at unit 8 is 27 blocks; the bbox covers exactly one.
+        assert "decoded 1/27 blocks" in out
+        roi = np.load(out_path)
+        assert roi.shape == (8, 8, 8)
+        assert np.abs(roi - field[:8, :8, :8]).max() <= 0.01 * (1 + 1e-9)
+
+    def test_store_missing_entry_exits(self, populated_store, tmp_path):
+        root, _ = populated_store
+        with pytest.raises(SystemExit):
+            main(["store", "get", str(root), "density", "0", str(tmp_path / "o.npy")])
+
+    def test_store_bad_bbox_exits(self, populated_store, tmp_path):
+        root, _ = populated_store
+        with pytest.raises(SystemExit):
+            main(["store", "roi", str(root), "pressure", "2", str(tmp_path / "o.npy"),
+                  "--bbox", "0-8,0-8"])
+
+    def test_store_not_a_directory_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["store", "ls", str(tmp_path / "missing")])
+
+    def test_store_ls_rejects_plain_directory_without_mutating_it(self, tmp_path):
+        plain = tmp_path / "not_a_store"
+        plain.mkdir()
+        (plain / "somefile.txt").write_text("hello")
+        with pytest.raises(SystemExit, match="manifest"):
+            main(["store", "ls", str(plain)])
+        # A read-only query must not leave a manifest behind.
+        assert sorted(p.name for p in plain.iterdir()) == ["somefile.txt"]
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,154 @@
+"""Parametrized v1 container round trips and hardened-reader error paths.
+
+Covers every merge arrangement (linear / stack / adjacency) crossed with the
+padded and unpadded preparation paths, which is the full matrix of level
+encodings :mod:`repro.insitu.io` has to serialise, plus the corruption
+handling added to the v1 readers (truncation, foreign files, version skew,
+v2 containers opened with the v1 reader).
+"""
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.compressors.errors import DecompressionError
+from repro.core.mr_compressor import MultiResolutionCompressor
+from repro.insitu.io import (
+    read_compressed_array,
+    read_compressed_hierarchy,
+    write_compressed_hierarchy,
+)
+from repro.store import BlockLevel, write_container
+
+EB = 0.05
+
+
+@pytest.mark.parametrize("arrangement", ["linear", "stack", "adjacency"])
+@pytest.mark.parametrize("padding", [True, False], ids=["padded", "unpadded"])
+def test_hierarchy_io_roundtrip_all_arrangements(
+    tmp_path, small_hierarchy, arrangement, padding
+):
+    """Write/read must be lossless for every arrangement x padding combination.
+
+    Padding only engages on the linear+SZ3 path (the paper's rule); for the
+    other arrangements the flag is accepted and ignored, so the parametrization
+    still exercises both preparation code paths everywhere it exists.
+    """
+    mrc = MultiResolutionCompressor(
+        compressor="sz3", arrangement=arrangement, padding=padding, unit_size=8
+    )
+    compressed = mrc.compress_hierarchy(small_hierarchy, EB)
+    path = tmp_path / f"{arrangement}_{padding}.rpmh"
+    nbytes = write_compressed_hierarchy(path, compressed)
+    assert path.stat().st_size == nbytes
+
+    restored = read_compressed_hierarchy(path)
+    assert restored.compression_ratio == pytest.approx(
+        compressed.compression_ratio, rel=1e-6
+    )
+    for lvl, restored_lvl in zip(compressed.levels, restored.levels):
+        assert restored_lvl.arrangement.kind == arrangement
+        assert (restored_lvl.pad_info is not None) == (lvl.pad_info is not None)
+
+    decompressed = mrc.decompress_hierarchy(restored, small_hierarchy)
+    for orig, new in zip(small_hierarchy.levels, decompressed.levels):
+        assert np.abs(orig.data - new.data)[orig.mask].max() <= EB * (1 + 1e-9)
+
+
+def test_padding_engages_only_on_linear(small_hierarchy):
+    padded = MultiResolutionCompressor(arrangement="linear", padding=True, unit_size=8)
+    stacked = MultiResolutionCompressor(arrangement="stack", padding=True, unit_size=8)
+    comp_padded = padded.compress_hierarchy(small_hierarchy, EB)
+    comp_stacked = stacked.compress_hierarchy(small_hierarchy, EB)
+    assert any(lvl.pad_info is not None for lvl in comp_padded.levels)
+    assert all(lvl.pad_info is None for lvl in comp_stacked.levels)
+
+
+class TestHardenedReaders:
+    @pytest.fixture()
+    def v1_file(self, tmp_path, small_hierarchy):
+        mrc = MultiResolutionCompressor(unit_size=8)
+        path = tmp_path / "good.rpmh"
+        write_compressed_hierarchy(path, mrc.compress_hierarchy(small_hierarchy, EB))
+        return path
+
+    def test_truncated_file_names_path(self, tmp_path, v1_file):
+        blob = v1_file.read_bytes()
+        cut = tmp_path / "cut.rpmh"
+        cut.write_bytes(blob[: int(len(blob) * 0.6)])
+        with pytest.raises(DecompressionError, match=str(cut)):
+            read_compressed_hierarchy(cut)
+
+    def test_header_longer_than_file(self, tmp_path):
+        path = tmp_path / "lying.rpmh"
+        path.write_bytes(b"RPMH" + struct.pack("<I", 10**6) + b"{}")
+        with pytest.raises(DecompressionError, match="truncated container header"):
+            read_compressed_hierarchy(path)
+
+    def test_garbage_header_json(self, tmp_path):
+        body = b"this is not json at all"
+        path = tmp_path / "garbage.rpmh"
+        path.write_bytes(b"RPMH" + struct.pack("<I", len(body)) + body)
+        with pytest.raises(DecompressionError, match="corrupt container header"):
+            read_compressed_hierarchy(path)
+
+    def test_foreign_file(self, tmp_path):
+        path = tmp_path / "foreign.rpmh"
+        path.write_bytes(b"\x89PNG\r\n\x1a\n" + b"\x00" * 32)
+        with pytest.raises(DecompressionError, match="bad magic"):
+            read_compressed_hierarchy(path)
+
+    def test_tiny_file(self, tmp_path):
+        path = tmp_path / "tiny.rpmh"
+        path.write_bytes(b"RP")
+        with pytest.raises(DecompressionError, match="truncated"):
+            read_compressed_hierarchy(path)
+
+    def test_version_skew_rejected(self, tmp_path):
+        body = json.dumps({"format_version": 7, "levels": []}).encode()
+        path = tmp_path / "future.rpmh"
+        path.write_bytes(b"RPMH" + struct.pack("<I", len(body)) + body)
+        with pytest.raises(DecompressionError, match="format version 7"):
+            read_compressed_hierarchy(path)
+
+    def test_v2_container_redirects_to_store(self, tmp_path, smooth_field_3d):
+        mrc = MultiResolutionCompressor(unit_size=8)
+        block_set = mrc.prepare_unit_blocks(smooth_field_3d, mask=None)
+        payloads = [p.to_bytes() for p in mrc.encode_unit_blocks(block_set, EB)]
+        path = tmp_path / "v2.rps2"
+        write_container(
+            path,
+            [
+                BlockLevel(
+                    level=0,
+                    level_shape=block_set.level_shape,
+                    unit_size=block_set.unit_size,
+                    coords=block_set.coords,
+                    payloads=payloads,
+                )
+            ],
+            error_bound=EB,
+        )
+        with pytest.raises(DecompressionError, match="repro.store"):
+            read_compressed_hierarchy(path)
+
+    def test_v1_files_remain_readable(self, v1_file, small_hierarchy):
+        mrc = MultiResolutionCompressor(unit_size=8)
+        restored = read_compressed_hierarchy(v1_file)
+        decompressed = mrc.decompress_hierarchy(restored, small_hierarchy)
+        for orig, new in zip(small_hierarchy.levels, decompressed.levels):
+            assert np.abs(orig.data - new.data)[orig.mask].max() <= EB * (1 + 1e-9)
+
+    def test_missing_file_names_path(self, tmp_path):
+        path = tmp_path / "absent.rpmh"
+        with pytest.raises(DecompressionError, match=str(path)):
+            read_compressed_hierarchy(path)
+
+    def test_truncated_compressed_array(self, tmp_path):
+        body = json.dumps({"codec": "sz3"}).encode()
+        path = tmp_path / "cut.rpca"
+        path.write_bytes(b"RPCA" + struct.pack("<I", len(body) + 50) + body)
+        with pytest.raises(DecompressionError, match=str(path)):
+            read_compressed_array(path)

@@ -1,0 +1,221 @@
+"""Tests for the v2 block container format: round trips and random access."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.compressors.errors import DecompressionError
+from repro.core.mr_compressor import MultiResolutionCompressor
+from repro.datasets.synthetic import smooth_wave_field
+from repro.insitu.io import write_compressed_hierarchy
+from repro.store import BlockLevel, ContainerReader, write_container
+from repro.store.format import STORE_MAGIC
+from repro.utils.morton import morton_encode3d
+
+EB = 0.02
+
+
+def _container_from_uniform(tmp_path, field, unit_size=8, name="field.rps2"):
+    """Encode a uniform field into a single-level v2 container."""
+    mrc = MultiResolutionCompressor(unit_size=unit_size)
+    block_set = mrc.prepare_unit_blocks(field, mask=None)
+    payloads = [p.to_bytes() for p in mrc.encode_unit_blocks(block_set, EB)]
+    path = tmp_path / name
+    write_container(
+        path,
+        [
+            BlockLevel(
+                level=0,
+                level_shape=block_set.level_shape,
+                unit_size=block_set.unit_size,
+                coords=block_set.coords,
+                payloads=payloads,
+            )
+        ],
+        error_bound=EB,
+        codec=mrc.describe(),
+    )
+    return path
+
+
+@pytest.fixture(scope="module")
+def uniform_field():
+    return smooth_wave_field((32, 32, 32), frequencies=(2.0, 3.0, 1.0))
+
+
+class TestRoundTrip:
+    def test_full_level_roundtrip(self, tmp_path, uniform_field):
+        path = _container_from_uniform(tmp_path, uniform_field)
+        reader = ContainerReader(path)
+        recon = reader.read_level(0)
+        assert recon.shape == uniform_field.shape
+        assert np.abs(recon - uniform_field).max() <= EB * (1 + 1e-9)
+
+    def test_hierarchy_roundtrip_with_masks(self, tmp_path, small_hierarchy):
+        mrc = MultiResolutionCompressor(unit_size=8)
+        levels = []
+        for lvl in small_hierarchy.levels:
+            block_set = mrc.prepare_unit_blocks(lvl.data, lvl.mask)
+            payloads = [p.to_bytes() for p in mrc.encode_unit_blocks(block_set, EB)]
+            levels.append(
+                BlockLevel(
+                    level=lvl.level,
+                    level_shape=block_set.level_shape,
+                    unit_size=block_set.unit_size,
+                    coords=block_set.coords,
+                    payloads=payloads,
+                )
+            )
+        path = tmp_path / "hier.rps2"
+        write_container(path, levels, error_bound=EB, codec=mrc.describe())
+        reader = ContainerReader(path)
+        assert [info.level for info in reader.levels] == [0, 1]
+        for lvl in small_hierarchy.levels:
+            recon = reader.read_level(lvl.level)
+            assert np.abs(recon - lvl.data)[lvl.mask].max() <= EB * (1 + 1e-9)
+
+    def test_2d_roundtrip(self, tmp_path, smooth_field_2d):
+        path = _container_from_uniform(tmp_path, smooth_field_2d, name="f2d.rps2")
+        reader = ContainerReader(path)
+        recon = reader.read_level(0)
+        assert np.abs(recon - smooth_field_2d).max() <= EB * (1 + 1e-9)
+
+    def test_header_accounting(self, tmp_path, uniform_field):
+        path = _container_from_uniform(tmp_path, uniform_field)
+        reader = ContainerReader(path)
+        assert reader.error_bound == pytest.approx(EB)
+        assert reader.n_blocks == 64  # 32^3 / 8^3
+        assert reader.nbytes_original == uniform_field.nbytes
+        assert reader.nbytes_compressed == path.stat().st_size
+        assert reader.compression_ratio > 1.0
+
+    def test_blocks_are_morton_ordered_on_disk(self, tmp_path, uniform_field):
+        path = _container_from_uniform(tmp_path, uniform_field)
+        index = ContainerReader(path).index
+        codes = morton_encode3d(index.coords[:, 0], index.coords[:, 1], index.coords[:, 2])
+        assert (np.diff(codes.astype(np.int64)) > 0).all()
+
+
+class TestRandomAccess:
+    def test_roi_decodes_only_intersecting_blocks(self, tmp_path, uniform_field):
+        path = _container_from_uniform(tmp_path, uniform_field)
+        reader = ContainerReader(path)
+        # 32^3, unit 8: this bbox spans 1 x 1 x 2 unit blocks out of 64.
+        roi = reader.read_roi(((0, 8), (0, 8), (0, 16)))
+        assert roi.shape == (8, 8, 16)
+        assert reader.stats["blocks_decoded"] == 2
+        assert np.abs(roi - uniform_field[:8, :8, :16]).max() <= EB * (1 + 1e-9)
+
+    def test_unaligned_roi(self, tmp_path, uniform_field):
+        path = _container_from_uniform(tmp_path, uniform_field)
+        reader = ContainerReader(path)
+        # Straddles block boundaries on every axis: 2 x 2 x 2 blocks touched.
+        roi = reader.read_roi(((4, 12), (6, 10), (7, 9)))
+        assert roi.shape == (8, 4, 2)
+        assert reader.stats["blocks_decoded"] == 8
+        assert np.abs(roi - uniform_field[4:12, 6:10, 7:9]).max() <= EB * (1 + 1e-9)
+
+    def test_roi_clamps_to_domain(self, tmp_path, uniform_field):
+        path = _container_from_uniform(tmp_path, uniform_field)
+        roi = ContainerReader(path).read_roi(((-5, 8), (0, 8), (24, 99)))
+        assert roi.shape == (8, 8, 8)
+
+    def test_empty_roi_rejected(self, tmp_path, uniform_field):
+        path = _container_from_uniform(tmp_path, uniform_field)
+        with pytest.raises(ValueError):
+            ContainerReader(path).read_roi(((8, 8), (0, 8), (0, 8)))
+
+    def test_read_blocks_region_query(self, tmp_path, uniform_field):
+        path = _container_from_uniform(tmp_path, uniform_field)
+        reader = ContainerReader(path)
+        block_set = reader.read_blocks(0, region=((0, 2), (0, 1), (0, 4)))
+        assert block_set.n_blocks == 8
+        assert (block_set.coords[:, 0] < 2).all()
+        assert (block_set.coords[:, 1] == 0).all()
+
+    def test_roi_outside_mask_is_fill_value(self, tmp_path, small_hierarchy):
+        mrc = MultiResolutionCompressor(unit_size=8)
+        lvl = small_hierarchy.levels[0]
+        block_set = mrc.prepare_unit_blocks(lvl.data, lvl.mask)
+        payloads = [p.to_bytes() for p in mrc.encode_unit_blocks(block_set, EB)]
+        path = tmp_path / "masked.rps2"
+        write_container(
+            path,
+            [
+                BlockLevel(
+                    level=0,
+                    level_shape=block_set.level_shape,
+                    unit_size=block_set.unit_size,
+                    coords=block_set.coords,
+                    payloads=payloads,
+                )
+            ],
+            error_bound=EB,
+        )
+        reader = ContainerReader(path)
+        occupied = {tuple(c) for c in block_set.coords}
+        # Find an unoccupied unit block and query exactly its extent.
+        free = next(
+            c
+            for c in np.ndindex(4, 4, 4)
+            if c not in occupied
+        )
+        bbox = tuple((ci * 8, (ci + 1) * 8) for ci in free)
+        roi = reader.read_roi(bbox, fill_value=-1.0)
+        assert reader.stats["blocks_decoded"] == 0
+        assert (roi == -1.0).all()
+
+    def test_missing_level_raises(self, tmp_path, uniform_field):
+        path = _container_from_uniform(tmp_path, uniform_field)
+        with pytest.raises(KeyError):
+            ContainerReader(path).read_level(5)
+
+
+class TestCorruption:
+    def test_v1_container_rejected_with_clear_error(self, tmp_path, small_hierarchy):
+        mrc = MultiResolutionCompressor(unit_size=8)
+        comp = mrc.compress_hierarchy(small_hierarchy, EB)
+        path = tmp_path / "v1.rpmh"
+        write_compressed_hierarchy(path, comp)
+        with pytest.raises(DecompressionError, match="magic"):
+            ContainerReader(path)
+
+    def test_truncated_head(self, tmp_path):
+        path = tmp_path / "tiny.rps2"
+        path.write_bytes(STORE_MAGIC)
+        with pytest.raises(DecompressionError, match=str(path)):
+            ContainerReader(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "cut.rps2"
+        path.write_bytes(STORE_MAGIC + struct.pack("<I", 4096) + b"{}")
+        with pytest.raises(DecompressionError, match="truncated"):
+            ContainerReader(path)
+
+    def test_truncated_index(self, tmp_path, uniform_field):
+        full = _container_from_uniform(tmp_path, uniform_field)
+        blob = full.read_bytes()
+        (header_len,) = struct.unpack_from("<I", blob, 4)
+        cut = tmp_path / "cut_index.rps2"
+        cut.write_bytes(blob[: 8 + header_len + 16])
+        with pytest.raises(DecompressionError, match="index"):
+            ContainerReader(cut)
+
+    def test_truncated_payload(self, tmp_path, uniform_field):
+        full = _container_from_uniform(tmp_path, uniform_field)
+        blob = full.read_bytes()
+        cut = tmp_path / "cut_payload.rps2"
+        cut.write_bytes(blob[:-64])
+        reader = ContainerReader(cut)  # header + index still parse
+        with pytest.raises(DecompressionError, match="payload"):
+            reader.read_level(0)
+
+    def test_unsupported_version(self, tmp_path):
+        import json
+
+        header = json.dumps({"format_version": 99}).encode()
+        path = tmp_path / "future.rps2"
+        path.write_bytes(STORE_MAGIC + struct.pack("<I", len(header)) + header)
+        with pytest.raises(DecompressionError, match="version 99"):
+            ContainerReader(path)
