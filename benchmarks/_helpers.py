@@ -5,17 +5,26 @@ the experiment on the scaled-down synthetic datasets, prints the same rows /
 series the paper reports next to the paper's own numbers, and asserts only
 the *shape* of the result (who wins, what improves) — absolute values differ
 because the substrate is a NumPy reimplementation on laptop-sized grids.
+
+:func:`record_bench` persists a benchmark's numbers as ``BENCH_<name>.json``
+with the resolved :class:`repro.api.WorkflowConfig` of every measured
+variant written alongside (``BENCH_<name>.config.json``), recording codec,
+bound and input provenance so each variant is re-runnable via ``repro run``.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Callable, Dict, List, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.analysis import psnr, ssim
+from repro.api import CodecSpec, ErrorBound, WorkflowConfig
 from repro.core.mr_compressor import MultiResolutionCompressor
 from repro.datasets import get_dataset
 
@@ -28,10 +37,15 @@ __all__ = [
     "find_error_bound_for_cr",
     "format_table",
     "RDPoint",
+    "resolved_workflow_config",
+    "record_bench",
 ]
 
 #: Grid size used by the benchmarks ("small" = 64-class grids, seconds per sweep).
 BENCH_SIZE = "small"
+
+#: Where BENCH_*.json result + config dumps land (kept out of version control).
+RESULTS_DIR = Path(os.environ.get("REPRO_BENCH_RESULTS", Path(__file__).parent / "results"))
 
 
 @lru_cache(maxsize=None)
@@ -130,6 +144,50 @@ def find_error_bound_for_cr(
         else:
             hi = mid
     return float(np.sqrt(lo * hi))
+
+
+def resolved_workflow_config(
+    compressor: MultiResolutionCompressor,
+    error_bound: Union[float, ErrorBound],
+    **workflow_fields,
+) -> WorkflowConfig:
+    """Capture a live compressor + bound as a replayable :class:`WorkflowConfig`."""
+    return WorkflowConfig(
+        codec=CodecSpec.from_compressor(compressor),
+        error_bound=ErrorBound.coerce(error_bound),
+        **workflow_fields,
+    )
+
+
+def record_bench(
+    name: str,
+    payload,
+    configs: Optional[Mapping[str, WorkflowConfig]] = None,
+) -> Path:
+    """Dump a benchmark's numbers (and the configs that produced them) to disk.
+
+    Writes ``BENCH_<name>.json`` under :data:`RESULTS_DIR`; when ``configs``
+    maps variant labels to :class:`WorkflowConfig`, the resolved config JSON
+    lands next to it as ``BENCH_<name>.config.json``.  Each dumped config
+    records one representative bound (sweeps store the per-point absolute
+    bounds in the result file itself) plus the codec and input, so a variant
+    re-runs via ``repro run`` after extracting it from the mapping.  Returns
+    the result-file path.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    result_path = RESULTS_DIR / f"BENCH_{name}.json"
+    result_path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str), "utf-8")
+    if configs:
+        config_path = RESULTS_DIR / f"BENCH_{name}.config.json"
+        config_path.write_text(
+            json.dumps(
+                {label: cfg.to_dict() for label, cfg in configs.items()},
+                indent=2,
+                sort_keys=True,
+            ),
+            "utf-8",
+        )
+    return result_path
 
 
 def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> str:

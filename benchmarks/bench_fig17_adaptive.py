@@ -12,7 +12,16 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from _helpers import dataset, format_table, psnr_at_cr, relative_error_bounds, sweep_hierarchy
+from _helpers import (
+    dataset,
+    format_table,
+    psnr_at_cr,
+    record_bench,
+    relative_error_bounds,
+    resolved_workflow_config,
+    sweep_hierarchy,
+)
+from repro.api import ErrorBound
 from repro.core.mr_compressor import MultiResolutionCompressor
 from repro.core.sz3mr import SZ3MRCompressor
 
@@ -54,6 +63,24 @@ def test_fig17_adaptive_rate_distortion(benchmark, report, dataset_name):
             ["variant"] + [f"eb={f:g}R" for f in EB_FRACTIONS],
             rows,
         )
+    )
+    record_bench(
+        f"fig17_{dataset_name}",
+        {
+            name: [
+                {"error_bound": p.error_bound, "cr": p.compression_ratio, "psnr": p.psnr}
+                for p in points
+            ]
+            for name, points in curves.items()
+        },
+        configs={
+            name: resolved_workflow_config(
+                factory(),
+                ErrorBound.rel(EB_FRACTIONS[len(EB_FRACTIONS) // 2]),
+                input={"kind": "dataset", "name": dataset_name},
+            )
+            for name, factory in VARIANTS.items()
+        },
     )
 
     # Shape check: at a matched high compression ratio (where the paper's gains

@@ -12,7 +12,16 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from _helpers import dataset, format_table, psnr_at_cr, relative_error_bounds, sweep_hierarchy
+from _helpers import (
+    dataset,
+    format_table,
+    psnr_at_cr,
+    record_bench,
+    relative_error_bounds,
+    resolved_workflow_config,
+    sweep_hierarchy,
+)
+from repro.api import ErrorBound
 from repro.core.sz3mr import sz3mr_variants
 
 EB_FRACTIONS = (0.001, 0.002, 0.005, 0.01, 0.02, 0.04)
@@ -43,6 +52,24 @@ def test_fig18_offline_amr_rate_distortion(benchmark, report, dataset_name):
             ["variant"] + [f"eb={f:g}R" for f in EB_FRACTIONS],
             rows,
         )
+    )
+    record_bench(
+        f"fig18_{dataset_name}",
+        {
+            name: [
+                {"error_bound": p.error_bound, "cr": p.compression_ratio, "psnr": p.psnr}
+                for p in points
+            ]
+            for name, points in curves.items()
+        },
+        configs={
+            name: resolved_workflow_config(
+                mrc,
+                ErrorBound.rel(EB_FRACTIONS[len(EB_FRACTIONS) // 2]),
+                input={"kind": "dataset", "name": dataset_name},
+            )
+            for name, mrc in sz3mr_variants(include_tac=True).items()
+        },
     )
 
     # Compare at a matched ratio inside the range the paper evaluates (CR up to

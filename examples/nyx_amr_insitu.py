@@ -2,10 +2,10 @@
 """In-situ compression of an AMR cosmology simulation (Nyx-like scenario).
 
 Drives the toy collapsing-density AMR simulation for several timesteps
-through the in-situ pipeline, writing one compressed container per step, and
-compares the paper's SZ3MR configuration against the AMRIC baseline on
-compression ratio, quality, and output-time breakdown (the Table IV / Fig. 15
-scenario at laptop scale).
+through a declarative :class:`repro.Pipeline` (source -> compress -> v1
+container sink), comparing the paper's SZ3MR configuration against the AMRIC
+baseline on compression ratio, quality, and output-time breakdown (the
+Table IV / Fig. 15 scenario at laptop scale).
 
 Run with:  python examples/nyx_amr_insitu.py
 """
@@ -15,24 +15,30 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
+import repro
 from repro.amr.simulation import CollapsingDensitySimulation
-from repro.core.mr_compressor import MultiResolutionCompressor
-from repro.core.sz3mr import SZ3MRCompressor
 from repro.insitu import InSituPipeline, read_compressed_hierarchy
 
 N_STEPS = 4
-ERROR_BOUND_FRACTION = 0.01  # of the initial field's value range
+
+VARIANTS = {
+    "sz3mr": repro.CodecSpec.sz3mr(),
+    "amric": repro.CodecSpec(kind="sz3", arrangement="stack"),
+}
 
 
-def run_pipeline(name: str, compressor, output_dir: Path) -> None:
+def run_pipeline(name: str, codec: "repro.CodecSpec", output_dir: Path) -> None:
     simulation = CollapsingDensitySimulation(
         shape=(64, 64, 64), block_size=8, fractions=[0.18, 0.82], seed="nyx-insitu-example"
     )
-    value_range = float(simulation.current_field.max() - simulation.current_field.min())
-    pipeline = InSituPipeline(compressor, output_dir=output_dir / name)
-    reports = pipeline.run(simulation, N_STEPS, error_bound=ERROR_BOUND_FRACTION * value_range)
+    # The rel bound tracks each snapshot's value range as the collapse deepens.
+    reports = (
+        repro.Pipeline(codec, repro.ErrorBound.rel(0.01))
+        .sink_dir(output_dir / name)
+        .run(simulation, N_STEPS)
+    )
 
-    print(f"\n=== {name} ({compressor.describe()}) ===")
+    print(f"\n=== {name} ({codec.build().describe()}) ===")
     for report in reports:
         print(
             f"  step {report.step}: CR={report.compression_ratio:6.1f}  "
@@ -55,12 +61,8 @@ def run_pipeline(name: str, compressor, output_dir: Path) -> None:
 def main() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         output_dir = Path(tmp)
-        run_pipeline("sz3mr", SZ3MRCompressor(), output_dir)
-        run_pipeline(
-            "amric",
-            MultiResolutionCompressor(compressor="sz3", arrangement="stack"),
-            output_dir,
-        )
+        for name, codec in VARIANTS.items():
+            run_pipeline(name, codec, output_dir)
 
 
 if __name__ == "__main__":

@@ -12,6 +12,7 @@ Run with:  python examples/postprocess_blockwise.py
 from __future__ import annotations
 
 from repro.analysis import psnr, ssim
+from repro.api import ErrorBound
 from repro.compressors import SZ2Compressor, ZFPCompressor
 from repro.core.postprocess import PostProcessor, bezier_boundary_smooth
 from repro.datasets import s3d_field
@@ -20,14 +21,13 @@ from repro.filters import gaussian_blur, median_smooth
 
 def main() -> None:
     field = s3d_field(shape=(64, 64, 64), seed="postprocess-example")
-    value_range = float(field.max() - field.min())
-    error_bound = 0.02 * value_range
 
     for name, compressor, kind in (
         ("ZFP", ZFPCompressor(), "zfp"),
         ("SZ2", SZ2Compressor(block_size=4), "sz2"),
     ):
-        result = compressor.roundtrip(field, error_bound)
+        result = compressor.roundtrip(field, ErrorBound.rel(0.02))
+        error_bound = result.compressed.error_bound
         decompressed = result.decompressed
 
         postprocessor = PostProcessor(kind)

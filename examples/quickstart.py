@@ -1,43 +1,45 @@
 #!/usr/bin/env python
-"""Quickstart: compress a uniform scientific field with the full workflow.
+"""Quickstart: compress a uniform scientific field through the repro.api facade.
 
 The example generates a small synthetic Nyx-like cosmology density field,
-runs the end-to-end workflow of the paper (ROI extraction -> multi-resolution
-conversion -> SZ3MR compression -> error-bounded Bezier post-processing) and
-prints the resulting compression ratio and quality metrics.
+declares the paper's end-to-end workflow (ROI extraction -> multi-resolution
+conversion -> SZ3MR compression -> error-bounded Bezier post-processing) as a
+typed :class:`repro.WorkflowConfig`, runs it, and prints the resulting
+compression ratio and quality metrics.  The same config serialises to JSON
+and replays from the command line: ``repro run quickstart_config.json``.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro.core.workflow import MultiResolutionWorkflow
+import json
+
+import repro
 from repro.datasets import nyx_density_field
 
 
 def main() -> None:
     # 1. A uniform field (stand-in for one field of a simulation snapshot).
     field = nyx_density_field(shape=(64, 64, 64), seed="quickstart")
-    value_range = float(field.max() - field.min())
 
-    # 2. Configure the workflow: SZ3MR (padding + adaptive error bounds),
-    #    50% ROI at full resolution, Bezier post-processing on.
-    workflow = MultiResolutionWorkflow(
-        compressor="sz3",
+    # 2. Declare the run: SZ3MR (padding + adaptive error bounds), 50% ROI at
+    #    full resolution, Bezier post-processing on, 1%-of-value-range bound.
+    config = repro.WorkflowConfig(
+        codec=repro.CodecSpec.sz3mr(unit_size=16),
+        error_bound=repro.ErrorBound.rel(0.01),
         roi_fraction=0.5,
         roi_block_size=8,
-        unit_size=16,
         postprocess=True,
         uncertainty=True,
     )
 
-    # 3. Compress under an absolute error bound (1% of the value range here).
-    error_bound = 0.01 * value_range
-    result = workflow.compress_uniform(field, error_bound)
+    # 3. Run the workflow.  The ErrorBound spec is resolved against the data.
+    result = repro.run_workflow(field, config)
 
     # 4. Inspect the outcome.
     print(f"grid                : {field.shape}")
-    print(f"error bound         : {error_bound:.4g} (1% of value range)")
+    print(f"error bound         : {result.error_bound:.4g} ({config.error_bound.describe()})")
     print(f"ROI storage saving  : {result.roi.storage_reduction:.2f}x before compression")
     print(f"compression ratio   : {result.compression_ratio:.1f}x")
     print(f"PSNR  (decompressed): {result.psnr:.2f} dB")
@@ -49,6 +51,10 @@ def main() -> None:
     # 5. The reconstructed field is a plain NumPy array ready for analysis.
     reconstruction = result.best_field
     print(f"reconstruction mean : {reconstruction.mean():.4f} (original {field.mean():.4f})")
+
+    # 6. The whole run is declarative: this JSON replays it bit-for-bit via
+    #    `repro run config.json --input field.npy`.
+    print(f"replayable config   : {json.dumps(config.to_dict(), sort_keys=True)[:72]}...")
 
 
 if __name__ == "__main__":

@@ -1,12 +1,12 @@
 #!/usr/bin/env python
 """Random-access reads from a block-indexed compressed store.
 
-The example simulates a short in-situ run that appends every timestep to a
-:class:`repro.store.Store` (block-level v2 containers + JSON catalog), then
-plays the post-hoc analyst: list the catalog, decode one small region of
-interest from the latest step, and show that only the unit blocks
-intersecting the query were decompressed — the rest of the timestep stays
-compressed on disk.
+The example simulates a short in-situ run declared through the
+:class:`repro.Pipeline` builder with a store sink (block-level v2 containers
++ JSON catalog), then plays the post-hoc analyst: list the catalog, decode
+one small region of interest from the latest step, and show that only the
+unit blocks intersecting the query were decompressed — the rest of the
+timestep stays compressed on disk.
 
 Run with:  python examples/store_random_access.py
 """
@@ -18,20 +18,23 @@ from pathlib import Path
 
 import numpy as np
 
+import repro
 from repro.amr.simulation import CollapsingDensitySimulation
-from repro.core.sz3mr import SZ3MRCompressor
-from repro.insitu import InSituPipeline
-from repro.store import Store
 
 
 def main() -> None:
     with tempfile.TemporaryDirectory() as tmp:
-        # 1. In-situ: every step is appended to the store as it is produced.
+        # 1. In-situ: every step is appended to the store as it is produced,
+        #    declared as a repro.api pipeline with a store sink.
         sim = CollapsingDensitySimulation(shape=(32, 32, 32), block_size=8, seed=7)
-        store = Store(Path(tmp) / "run", SZ3MRCompressor(unit_size=8))
-        pipeline = InSituPipeline(SZ3MRCompressor(unit_size=8), store=store)
+        codec = repro.CodecSpec.sz3mr(unit_size=8)
+        store = repro.open_store(Path(tmp) / "run", codec)
         error_bound = 0.1
-        reports = pipeline.run(sim, n_steps=3, error_bound=error_bound)
+        reports = (
+            repro.Pipeline(codec, repro.ErrorBound.abs(error_bound))
+            .sink_store(store)
+            .run(sim, n_steps=3)
+        )
 
         print("catalog after the run:")
         print(store.summary())

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import ErrorBound
 from repro.compressors import ZFPCompressor
 from repro.core.uncertainty import CompressionUncertaintyModel
 from repro.datasets import hurricane_field
@@ -21,11 +22,11 @@ from repro.vis import cell_crossings, crossing_probability, extract_isosurface_p
 
 def main() -> None:
     field = hurricane_field(shape=(64, 64, 16), seed="uncertainty-example")
-    value_range = float(field.max() - field.min())
-    error_bound = 0.08 * value_range  # aggressive compression, like the paper's CR=240
 
     compressor = ZFPCompressor()
-    result = compressor.roundtrip(field, error_bound)
+    # Aggressive compression, like the paper's CR=240.
+    result = compressor.roundtrip(field, ErrorBound.rel(0.08))
+    error_bound = result.compressed.error_bound
     decompressed = result.decompressed
     print(f"compression ratio          : {result.compression_ratio:.1f}x")
 

@@ -13,15 +13,13 @@ Run with:  python examples/warpx_adaptive_roi.py
 from __future__ import annotations
 
 from repro.analysis import psnr, ssim
-from repro.core.mr_compressor import MultiResolutionCompressor
+from repro.api import CodecSpec, ErrorBound
 from repro.core.roi import extract_roi
-from repro.core.sz3mr import SZ3MRCompressor
 from repro.datasets import warpx_ez_field
 
 
 def main() -> None:
     field = warpx_ez_field(shape=(32, 32, 256), seed="warpx-example")
-    value_range = float(field.max() - field.min())
 
     # Uniform -> adaptive: keep the 50% most important blocks at full resolution.
     roi = extract_roi(field, roi_fraction=0.5, block_size=8)
@@ -29,15 +27,13 @@ def main() -> None:
           f"storage reduction {roi.storage_reduction:.2f}x before compression")
 
     variants = {
-        "Baseline-SZ3": MultiResolutionCompressor(
-            compressor="sz3", arrangement="linear", padding=False, adaptive_eb=False
-        ),
-        "SZ3MR (pad+eb)": SZ3MRCompressor(),
+        "Baseline-SZ3": CodecSpec(kind="sz3", padding=False).build(),
+        "SZ3MR (pad+eb)": CodecSpec.sz3mr().build(),
     }
 
     print(f"\n{'eb (rel)':>10} {'variant':>16} {'CR':>8} {'PSNR':>8} {'SSIM':>8}")
     for fraction in (0.005, 0.01, 0.02, 0.04):
-        eb = fraction * value_range
+        eb = ErrorBound.rel(fraction)
         for name, compressor in variants.items():
             compressed, decompressed = compressor.roundtrip_hierarchy(roi.hierarchy, eb)
             reconstruction = decompressed.to_uniform()

@@ -5,16 +5,79 @@ Visualization" (Wang et al., SC 2024).
 
 The package is organised as a set of substrates (error-bounded lossy
 compressors, an AMR data model, synthetic dataset generators, analysis
-metrics, an in-situ pipeline) plus the paper's contributions layered on top
-(ROI-based uniform-to-adaptive conversion, SZ3MR, error-bounded Bezier
-post-processing, and compression-uncertainty modelling for probabilistic
-isosurface visualization).
+metrics, an in-situ pipeline, a block-indexed compressed store) plus the
+paper's contributions layered on top (ROI-based uniform-to-adaptive
+conversion, SZ3MR, error-bounded Bezier post-processing, and
+compression-uncertainty modelling for probabilistic isosurface
+visualization).
 
-Most users only need :mod:`repro.core.workflow`, which exposes the
-end-to-end :class:`~repro.core.workflow.MultiResolutionWorkflow` facade, and
-:mod:`repro.datasets` for synthetic stand-ins of the paper's datasets.
+Most users only need :mod:`repro.api` — the typed, config-driven facade —
+whose essentials are re-exported here::
+
+    import repro
+
+    result = repro.run_workflow(field, repro.WorkflowConfig(
+        codec=repro.CodecSpec.sz3mr(),
+        error_bound=repro.ErrorBound.rel(0.01),
+    ))
+    store = repro.open_store("run_dir")
+
+plus :mod:`repro.datasets` for synthetic stand-ins of the paper's datasets.
+Configs serialise to JSON (``to_dict`` / ``from_dict``) and replay from the
+command line via ``repro run config.json``; see :func:`describe` for the
+full surface.
 """
+
+from __future__ import annotations
+
+import importlib
 
 from repro._version import __version__
 
-__all__ = ["__version__"]
+#: facade names re-exported from repro.api, resolved on first access so that
+#: importing a submodule (e.g. repro.compressors) never drags in the world.
+_API_EXPORTS = (
+    "ErrorBound",
+    "CodecSpec",
+    "WorkflowConfig",
+    "PipelineConfig",
+    "Pipeline",
+    "compress",
+    "decompress",
+    "open_store",
+    "run_workflow",
+    "run_config",
+    "load_config",
+)
+
+__all__ = ["__version__", "describe", *_API_EXPORTS]
+
+
+def __getattr__(name: str):
+    if name in _API_EXPORTS:
+        value = getattr(importlib.import_module("repro.api"), name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_API_EXPORTS))
+
+
+def describe() -> str:
+    """One-paragraph tour of the public surface (printed by ``repro --version``-adjacent tooling)."""
+    return (
+        f"repro {__version__} — multi-resolution scientific data reduction (SC'24 reproduction).\n"
+        "Public API (repro.api, re-exported at the package root):\n"
+        "  ErrorBound            abs / rel / ptw_rel / psnr error-bound spec\n"
+        "  CodecSpec             declarative codec + blocking configuration\n"
+        "  WorkflowConfig        one offline Fig. 3 workflow run (JSON round-trip)\n"
+        "  PipelineConfig        one in-situ run: source -> compress -> sink\n"
+        "  Pipeline              composable source -> roi/filter -> compress -> sink builder\n"
+        "  compress/decompress   single-array codec round trip\n"
+        "  open_store            block-indexed random-access store (repro.store)\n"
+        "  run_workflow          execute a WorkflowConfig on an array or hierarchy\n"
+        "  run_config            execute a serialized config (the `repro run` engine)\n"
+        "CLI: repro compress|decompress|info|evaluate|store ls|get|roi|run\n"
+    )

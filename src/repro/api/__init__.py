@@ -1,0 +1,95 @@
+"""``repro.api`` — the typed, config-driven public API (v1).
+
+One facade over the three historical entry surfaces (the
+:class:`~repro.core.workflow.MultiResolutionWorkflow`, the
+:class:`~repro.insitu.pipeline.InSituPipeline` and the store CLI):
+
+* :class:`ErrorBound` — one spec for every bound convention (``abs``,
+  ``rel``, ``ptw_rel``, ``psnr``), accepted by every compression entry
+  point and resolved against the data it is applied to;
+* :class:`CodecSpec` / :class:`WorkflowConfig` / :class:`PipelineConfig` —
+  typed, JSON-round-trippable configs that make runs declarative and
+  replayable (``repro run config.json``);
+* :class:`Pipeline` — a composable source → roi/filter → compress → sink
+  builder whose sinks are v1 container directories or
+  :class:`repro.store.Store` directories;
+* :func:`compress` / :func:`decompress` / :func:`open_store` /
+  :func:`run_workflow` / :func:`run_config` — the five-line quickstart
+  surface, re-exported at the package root (``import repro``).
+
+Everything here is serializable by construction: a daemonized or sharded
+deployment (ROADMAP) can ship these configs as request payloads unchanged.
+
+Only :mod:`repro.api.error_bound` is imported eagerly — it is dependency
+free and is pulled into :mod:`repro.compressors.base`, so the rest of this
+package loads lazily (PEP 562) to keep that import acyclic.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import TYPE_CHECKING
+
+from repro.api.error_bound import ERROR_BOUND_MODES, ErrorBound
+
+__all__ = [
+    "ErrorBound",
+    "ERROR_BOUND_MODES",
+    "CodecSpec",
+    "WorkflowConfig",
+    "PipelineConfig",
+    "config_from_dict",
+    "load_config",
+    "Pipeline",
+    "compress",
+    "decompress",
+    "open_store",
+    "run_workflow",
+    "run_config",
+]
+
+#: name -> defining submodule, resolved on first attribute access.
+_LAZY_EXPORTS = {
+    "CodecSpec": "repro.api.config",
+    "WorkflowConfig": "repro.api.config",
+    "PipelineConfig": "repro.api.config",
+    "config_from_dict": "repro.api.config",
+    "load_config": "repro.api.config",
+    "Pipeline": "repro.api.pipeline",
+    "compress": "repro.api.facade",
+    "decompress": "repro.api.facade",
+    "open_store": "repro.api.facade",
+    "run_workflow": "repro.api.facade",
+    "run_config": "repro.api.facade",
+}
+
+if TYPE_CHECKING:  # pragma: no cover - static typing only
+    from repro.api.config import (  # noqa: F401
+        CodecSpec,
+        PipelineConfig,
+        WorkflowConfig,
+        config_from_dict,
+        load_config,
+    )
+    from repro.api.facade import (  # noqa: F401
+        compress,
+        decompress,
+        open_store,
+        run_config,
+        run_workflow,
+    )
+    from repro.api.pipeline import Pipeline  # noqa: F401
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -1,0 +1,277 @@
+"""Typed, JSON-round-trippable run configurations.
+
+Three config dataclasses make every run declarative:
+
+* :class:`CodecSpec` — how data is blocked, arranged and encoded (the full
+  constructor surface of
+  :class:`~repro.core.mr_compressor.MultiResolutionCompressor`);
+* :class:`WorkflowConfig` — one offline Fig. 3 workflow run
+  (:class:`~repro.core.workflow.MultiResolutionWorkflow`);
+* :class:`PipelineConfig` — one in-situ run
+  (:class:`~repro.insitu.pipeline.InSituPipeline` / :class:`repro.api.Pipeline`),
+  including its source and sink.
+
+All three satisfy ``from_dict(to_dict(c)) == c`` and serialise to plain JSON,
+which is what ``repro run <config.json>`` executes and what benchmarks dump
+next to their numbers so results stay replayable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.api.error_bound import ErrorBound
+
+__all__ = [
+    "CodecSpec",
+    "WorkflowConfig",
+    "PipelineConfig",
+    "config_from_dict",
+    "load_config",
+]
+
+_CODEC_KINDS = ("sz3", "sz2", "zfp")
+
+
+def _check_unknown(cls_name: str, data: Mapping[str, Any], allowed) -> None:
+    unknown = set(data) - set(allowed)
+    if unknown:
+        raise ValueError(f"unknown {cls_name} keys: {sorted(unknown)}")
+
+
+@dataclass
+class CodecSpec:
+    """Declarative description of a multi-resolution codec.
+
+    ``build()`` materialises the spec into a
+    :class:`~repro.core.mr_compressor.MultiResolutionCompressor`;
+    ``from_compressor`` inverts it, capturing a live compressor's resolved
+    configuration (what the benchmark helpers dump for replay).
+    """
+
+    kind: str = "sz3"
+    arrangement: str = "linear"
+    padding: Union[bool, str] = "auto"
+    padding_mode: str = "linear"
+    pad_threshold: Optional[int] = None
+    adaptive_eb: bool = False
+    alpha: Optional[float] = None
+    beta: Optional[float] = None
+    unit_size: int = 16
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _CODEC_KINDS:
+            raise ValueError(f"codec kind must be one of {_CODEC_KINDS}, got {self.kind!r}")
+
+    @classmethod
+    def sz3mr(cls, unit_size: int = 16) -> "CodecSpec":
+        """The paper's SZ3MR configuration (padding + adaptive error bounds)."""
+        return cls(kind="sz3", padding="auto", adaptive_eb=True, unit_size=unit_size)
+
+    def build(self):
+        """Instantiate the configured :class:`MultiResolutionCompressor`."""
+        from repro.core.mr_compressor import MultiResolutionCompressor
+
+        kwargs: Dict[str, Any] = dict(
+            compressor=self.kind,
+            arrangement=self.arrangement,
+            padding=self.padding,
+            padding_mode=self.padding_mode,
+            adaptive_eb=self.adaptive_eb,
+            unit_size=self.unit_size,
+            compressor_options=dict(self.options),
+        )
+        if self.pad_threshold is not None:
+            kwargs["pad_threshold"] = self.pad_threshold
+        if self.alpha is not None:
+            kwargs["alpha"] = self.alpha
+        if self.beta is not None:
+            kwargs["beta"] = self.beta
+        return MultiResolutionCompressor(**kwargs)
+
+    def build_codec(self):
+        """Instantiate the bare single-array codec (no blocking layer)."""
+        from repro.compressors import get_compressor
+
+        return get_compressor(self.kind, **dict(self.options))
+
+    @classmethod
+    def from_compressor(cls, compressor) -> "CodecSpec":
+        """Capture a live :class:`MultiResolutionCompressor` as a spec."""
+        return cls(
+            kind=compressor.compressor_kind,
+            arrangement=compressor.arrangement,
+            padding=compressor.padding,
+            padding_mode=compressor.padding_mode,
+            pad_threshold=compressor.pad_threshold,
+            adaptive_eb=compressor.adaptive_eb,
+            alpha=compressor.alpha,
+            beta=compressor.beta,
+            unit_size=compressor.unit_size,
+            options=dict(compressor.compressor_options),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CodecSpec":
+        _check_unknown("CodecSpec", data, (f.name for f in fields(cls)))
+        return cls(**{k: (dict(v) if k == "options" else v) for k, v in data.items()})
+
+
+@dataclass
+class WorkflowConfig:
+    """One offline run of the paper's Fig. 3 workflow on one field.
+
+    ``input`` optionally names the data to run on (so a config file is fully
+    self-contained): ``{"kind": "npy", "path": ...}`` or ``{"kind":
+    "dataset", "name": ..., "shape": [...], "seed": ...}`` for the synthetic
+    registry.
+
+    The default codec is the paper's SZ3MR — the same default the
+    :class:`MultiResolutionWorkflow` constructor has always used.
+    """
+
+    codec: CodecSpec = field(default_factory=CodecSpec.sz3mr)
+    error_bound: ErrorBound = field(default_factory=lambda: ErrorBound.rel(0.01))
+    roi_fraction: float = 0.5
+    roi_block_size: int = 8
+    postprocess: bool = True
+    postprocess_strategy: str = "sgd"
+    uncertainty: bool = False
+    input: Optional[Dict[str, Any]] = None
+
+    def build(self):
+        """Instantiate the configured :class:`MultiResolutionWorkflow`."""
+        from repro.core.workflow import MultiResolutionWorkflow
+
+        return MultiResolutionWorkflow(
+            compressor=self.codec.build(),
+            roi_fraction=self.roi_fraction,
+            roi_block_size=self.roi_block_size,
+            unit_size=self.codec.unit_size,
+            postprocess=self.postprocess,
+            postprocess_strategy=self.postprocess_strategy,
+            uncertainty=self.uncertainty,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {
+            "type": "workflow",
+            "codec": self.codec.to_dict(),
+            "error_bound": self.error_bound.to_dict(),
+            "roi_fraction": self.roi_fraction,
+            "roi_block_size": self.roi_block_size,
+            "postprocess": self.postprocess,
+            "postprocess_strategy": self.postprocess_strategy,
+            "uncertainty": self.uncertainty,
+        }
+        if self.input is not None:
+            out["input"] = dict(self.input)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkflowConfig":
+        data = dict(data)
+        kind = data.pop("type", "workflow")
+        if kind != "workflow":
+            raise ValueError(f"not a workflow config (type={kind!r})")
+        _check_unknown("WorkflowConfig", data, (f.name for f in fields(cls)))
+        if "codec" in data:
+            data["codec"] = CodecSpec.from_dict(data["codec"])
+        if "error_bound" in data:
+            data["error_bound"] = ErrorBound.from_dict(data["error_bound"])
+        return cls(**data)
+
+
+@dataclass
+class PipelineConfig:
+    """One in-situ run: a snapshot source through compression into a sink.
+
+    ``source`` describes the snapshot stream, e.g. ``{"kind": "simulation",
+    "name": "collapse" | "pulse", "shape": [...], "seed": ..., ...}``;
+    ``sink`` is ``{"kind": "store" | "dir", "path": ...}`` or ``None`` for
+    in-memory results only.
+    """
+
+    codec: CodecSpec = field(default_factory=CodecSpec)
+    error_bound: ErrorBound = field(default_factory=lambda: ErrorBound.rel(0.01))
+    roi_fraction: float = 0.5
+    roi_block_size: int = 8
+    compute_quality: bool = True
+    max_workers: int = 1
+    n_steps: int = 1
+    source: Optional[Dict[str, Any]] = None
+    sink: Optional[Dict[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.sink is not None:
+            if self.sink.get("kind") not in ("store", "dir"):
+                raise ValueError(f"sink kind must be 'store' or 'dir', got {self.sink!r}")
+            if not self.sink.get("path"):
+                raise ValueError(f"sink needs a 'path', got {self.sink!r}")
+
+    def build(self):
+        """Instantiate the configured :class:`repro.api.Pipeline` builder."""
+        from repro.api.pipeline import Pipeline
+
+        return Pipeline.from_config(self)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {
+            "type": "pipeline",
+            "codec": self.codec.to_dict(),
+            "error_bound": self.error_bound.to_dict(),
+            "roi_fraction": self.roi_fraction,
+            "roi_block_size": self.roi_block_size,
+            "compute_quality": self.compute_quality,
+            "max_workers": self.max_workers,
+            "n_steps": self.n_steps,
+        }
+        if self.source is not None:
+            out["source"] = dict(self.source)
+        if self.sink is not None:
+            out["sink"] = dict(self.sink)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PipelineConfig":
+        data = dict(data)
+        kind = data.pop("type", "pipeline")
+        if kind != "pipeline":
+            raise ValueError(f"not a pipeline config (type={kind!r})")
+        _check_unknown("PipelineConfig", data, (f.name for f in fields(cls)))
+        if "codec" in data:
+            data["codec"] = CodecSpec.from_dict(data["codec"])
+        if "error_bound" in data:
+            data["error_bound"] = ErrorBound.from_dict(data["error_bound"])
+        return cls(**data)
+
+
+def config_from_dict(data: Mapping[str, Any]) -> Union[WorkflowConfig, PipelineConfig]:
+    """Dispatch a config dict to the right type via its ``type`` key."""
+    kind = data.get("type", "workflow")
+    if kind == "workflow":
+        return WorkflowConfig.from_dict(data)
+    if kind == "pipeline":
+        return PipelineConfig.from_dict(data)
+    raise ValueError(f"unknown config type {kind!r}; expected 'workflow' or 'pipeline'")
+
+
+def load_config(path: Union[str, Path]) -> Union[WorkflowConfig, PipelineConfig]:
+    """Read and validate a JSON config file (what ``repro run`` consumes)."""
+    path = Path(path)
+    try:
+        raw = json.loads(path.read_text("utf-8"))
+    except OSError as exc:
+        raise ValueError(f"cannot read config {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise ValueError(f"{path}: config must be a JSON object")
+    return config_from_dict(raw)

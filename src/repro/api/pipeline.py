@@ -1,0 +1,270 @@
+"""Composable source → roi/filter → compress → sink pipeline builder.
+
+:class:`Pipeline` is the one programmable surface over the two historical
+drivers: the offline :class:`~repro.core.workflow.MultiResolutionWorkflow`
+and the streaming :class:`~repro.insitu.pipeline.InSituPipeline` become thin
+adapters underneath it.  A pipeline is assembled from chainable stages::
+
+    from repro.api import CodecSpec, ErrorBound, Pipeline
+
+    reports = (
+        Pipeline(CodecSpec.sz3mr(), ErrorBound.rel(0.01))
+        .roi(fraction=0.5, block_size=8)
+        .filter(lambda f: np.clip(f, 0, None))
+        .sink_store("run_dir")          # or .sink_dir(...) for v1 containers
+        .run(simulation, n_steps=4)
+    )
+
+Sources may be a plain array, an :class:`~repro.amr.grid.AMRHierarchy`, an
+iterable of :class:`~repro.amr.simulation.SimulationSnapshot`, or any object
+with ``run(n_steps)`` yielding snapshots (a simulation).  Every run returns
+the same per-step :class:`~repro.insitu.pipeline.StepReport` list, whatever
+the sink.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Iterable, List, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.api.config import CodecSpec, PipelineConfig
+from repro.api.error_bound import ErrorBound
+
+__all__ = ["Pipeline"]
+
+#: A per-field transform applied before ROI extraction / compression.
+FieldFilter = Callable[[np.ndarray], np.ndarray]
+
+
+class Pipeline:
+    """Builder for declarative compression pipelines (see module docstring)."""
+
+    def __init__(
+        self,
+        codec: Optional[Union[CodecSpec, Mapping]] = None,
+        error_bound: Optional[Union[float, ErrorBound, Mapping]] = None,
+    ) -> None:
+        if isinstance(codec, Mapping):
+            codec = CodecSpec.from_dict(codec)
+        self._codec: CodecSpec = codec or CodecSpec()
+        self._error_bound: ErrorBound = (
+            ErrorBound.coerce(error_bound) if error_bound is not None else ErrorBound.rel(0.01)
+        )
+        self._roi_fraction = 0.5
+        self._roi_block_size = 8
+        self._filters: List[FieldFilter] = []
+        self._sink: Optional[tuple] = None  # ("dir", Path) | ("store", Store-or-path)
+        self._compute_quality = True
+        self._max_workers = 1
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def from_config(cls, config: PipelineConfig) -> "Pipeline":
+        """Materialise a :class:`repro.api.PipelineConfig` into a builder."""
+        pipe = cls(config.codec, config.error_bound)
+        pipe._roi_fraction = float(config.roi_fraction)
+        pipe._roi_block_size = int(config.roi_block_size)
+        pipe._compute_quality = bool(config.compute_quality)
+        pipe._max_workers = int(config.max_workers)
+        pipe._default_source = config.source
+        pipe._default_steps = int(config.n_steps)
+        if config.sink is not None:
+            kind, path = config.sink["kind"], config.sink["path"]
+            pipe._sink = (kind, Path(path))
+        return pipe
+
+    def to_config(
+        self, n_steps: int = 1, source: Optional[Mapping[str, Any]] = None
+    ) -> PipelineConfig:
+        """Capture the builder back into a serializable config.
+
+        Callable filters cannot be serialised and are rejected — declare them
+        in code on the replaying side instead.
+        """
+        if self._filters:
+            raise ValueError("pipelines with callable filters are not serializable")
+        sink = None
+        if self._sink is not None:
+            kind, target = self._sink
+            path = getattr(target, "root", target)
+            sink = {"kind": kind, "path": str(path)}
+        return PipelineConfig(
+            codec=self._codec,
+            error_bound=self._error_bound,
+            roi_fraction=self._roi_fraction,
+            roi_block_size=self._roi_block_size,
+            compute_quality=self._compute_quality,
+            max_workers=self._max_workers,
+            n_steps=int(n_steps),
+            source=dict(source) if source is not None else None,
+            sink=sink,
+        )
+
+    # -- chainable stages -----------------------------------------------------
+    def compress(
+        self,
+        codec: Optional[Union[CodecSpec, Mapping]] = None,
+        error_bound: Optional[Union[float, ErrorBound, Mapping]] = None,
+    ) -> "Pipeline":
+        """Override the codec and/or error bound of the compression stage."""
+        if codec is not None:
+            self._codec = CodecSpec.from_dict(codec) if isinstance(codec, Mapping) else codec
+        if error_bound is not None:
+            self._error_bound = ErrorBound.coerce(error_bound)
+        return self
+
+    def roi(self, fraction: float = 0.5, block_size: int = 8) -> "Pipeline":
+        """Configure uniform→adaptive ROI extraction for uniform sources."""
+        self._roi_fraction = float(fraction)
+        self._roi_block_size = int(block_size)
+        return self
+
+    def filter(self, fn: FieldFilter) -> "Pipeline":
+        """Apply ``fn`` to every field (each level of AMR data) before compression."""
+        self._filters.append(fn)
+        return self
+
+    def sink_dir(self, path: Union[str, Path]) -> "Pipeline":
+        """Write one v1 whole-level container (``.rpmh``) per step into ``path``."""
+        self._sink = ("dir", Path(path))
+        return self
+
+    def sink_store(self, store: Union[str, Path, Any]) -> "Pipeline":
+        """Append block-indexed v2 containers to a :class:`repro.store.Store`.
+
+        Accepts an open store or a directory path (opened, and created on
+        first append, with this pipeline's codec).
+        """
+        self._sink = ("store", store)
+        return self
+
+    def quality(self, compute: bool = True) -> "Pipeline":
+        """Toggle per-step PSNR computation (off = faster in-situ loop)."""
+        self._compute_quality = bool(compute)
+        return self
+
+    def workers(self, max_workers: int) -> "Pipeline":
+        """Set the worker count for per-level parallel encoding."""
+        self._max_workers = int(max_workers)
+        return self
+
+    # -- execution ------------------------------------------------------------
+    def build(self):
+        """Construct the underlying :class:`InSituPipeline` engine."""
+        from repro.insitu.pipeline import InSituPipeline
+        from repro.store import Store
+
+        compressor = self._codec.build()
+        store = None
+        output_dir = None
+        if self._sink is not None:
+            kind, target = self._sink
+            if kind == "store":
+                store = target if isinstance(target, Store) else Store(target, compressor)
+            else:
+                output_dir = Path(target)
+        return InSituPipeline(
+            compressor,
+            output_dir=output_dir,
+            roi_fraction=self._roi_fraction,
+            roi_block_size=self._roi_block_size,
+            compute_quality=self._compute_quality,
+            max_workers=self._max_workers,
+            store=store,
+        )
+
+    def run(
+        self,
+        source: Optional[Any] = None,
+        n_steps: Optional[int] = None,
+        error_bound: Optional[Union[float, ErrorBound, Mapping]] = None,
+    ) -> List["StepReport"]:
+        """Drive ``source`` through the pipeline; returns one report per step.
+
+        Without arguments, the source and step count captured by
+        :meth:`from_config` are used.  ``error_bound`` overrides the
+        configured bound for this run only.
+        """
+        bound = (
+            ErrorBound.coerce(error_bound) if error_bound is not None else self._error_bound
+        )
+        if source is None:
+            source = getattr(self, "_default_source", None)
+            if source is None:
+                raise ValueError("pipeline has no source; pass one to run()")
+        if n_steps is None:
+            n_steps = getattr(self, "_default_steps", 1)
+
+        engine = self.build()
+        reports = []
+        for snapshot in self._snapshots(source, int(n_steps)):
+            reports.append(engine.process_snapshot(snapshot, bound))
+        return reports
+
+    # -- source normalisation -------------------------------------------------
+    def _snapshots(self, source: Any, n_steps: int) -> Iterable:
+        from repro.amr.grid import AMRHierarchy
+        from repro.amr.simulation import SimulationSnapshot
+
+        if isinstance(source, Mapping):
+            source = _source_from_spec(source)
+
+        if isinstance(source, (np.ndarray, AMRHierarchy)):
+            snapshots: Iterable = [
+                SimulationSnapshot(step=0, time=0.0, field_name="field", data=source)
+            ]
+        elif hasattr(source, "run"):
+            snapshots = source.run(n_steps)
+        else:
+            snapshots = source  # an iterable of SimulationSnapshot
+
+        for snapshot in snapshots:
+            yield self._apply_filters(snapshot)
+
+    def _apply_filters(self, snapshot):
+        if not self._filters:
+            return snapshot
+        from dataclasses import replace
+
+        from repro.amr.grid import AMRHierarchy
+
+        data = snapshot.data
+        if isinstance(data, AMRHierarchy):
+            levels = [lvl.data for lvl in data.levels]
+            for fn in self._filters:
+                levels = [fn(level) for level in levels]
+            data = data.copy_with_data(levels)
+        else:
+            data = np.asarray(data, dtype=np.float64)
+            for fn in self._filters:
+                data = fn(data)
+        return replace(snapshot, data=data)
+
+
+def _source_from_spec(spec: Mapping[str, Any]):
+    """Build a snapshot source from its declarative ``PipelineConfig.source``."""
+    kind = spec.get("kind")
+    if kind == "npy":
+        from repro.api.facade import load_npy_field
+
+        if "path" not in spec:
+            raise ValueError("source section of kind 'npy' needs a 'path'")
+        return load_npy_field(spec["path"])
+    if kind == "simulation":
+        from repro.amr.simulation import CollapsingDensitySimulation, TravelingPulseSimulation
+
+        simulations = {"collapse": CollapsingDensitySimulation, "pulse": TravelingPulseSimulation}
+        name = spec.get("name", "collapse")
+        try:
+            factory = simulations[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown simulation {name!r}; expected one of {sorted(simulations)}"
+            ) from None
+        kwargs = {k: v for k, v in spec.items() if k not in ("kind", "name")}
+        if "shape" in kwargs:
+            kwargs["shape"] = tuple(kwargs["shape"])
+        return factory(**kwargs)
+    raise ValueError(f"unknown source kind {spec.get('kind')!r}; expected 'npy' or 'simulation'")

@@ -20,8 +20,15 @@ command group:
 * ``repro store roi ROOT FIELD STEP out.npy --bbox 0:16,8:24,0:32`` —
   decode a sub-region, touching only the intersecting blocks.
 
-The multi-resolution compression workflow itself (ROI extraction, SZ3MR over
-AMR hierarchies) is exposed through the Python API.
+The multi-resolution workflow and in-situ pipeline are driven through
+serialized :mod:`repro.api` configs:
+
+* ``repro run config.json [--input field.npy]`` — execute a
+  ``WorkflowConfig`` or ``PipelineConfig`` and print a JSON summary, so a
+  run recorded with ``WorkflowConfig.to_dict()`` replays bit-for-bit.
+
+Every failure mode (bad inputs, malformed specs, missing stores) exits
+non-zero with a one-line ``error:`` message rather than a traceback.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ import numpy as np
 
 from repro._version import __version__
 from repro.analysis import max_abs_error, psnr, ssim
+from repro.api.error_bound import ERROR_BOUND_MODES, ErrorBound
 from repro.compressors import get_compressor
 from repro.compressors.base import CompressedArray
 from repro.core.postprocess import PostProcessor, bezier_boundary_smooth
@@ -61,9 +69,16 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--codec", choices=_CODECS, default="sz3", help="compressor to use")
     comp.add_argument("--error-bound", type=float, required=True, help="point-wise error bound")
     comp.add_argument(
+        "--mode",
+        choices=ERROR_BOUND_MODES,
+        default=None,
+        help="error-bound convention: abs (default), rel (of the value range), "
+        "ptw_rel (of the peak magnitude) or psnr (dB target)",
+    )
+    comp.add_argument(
         "--relative",
         action="store_true",
-        help="interpret the error bound as a fraction of the value range",
+        help="deprecated alias for --mode rel",
     )
     comp.add_argument(
         "--block-size", type=int, default=None, help="SZ2 block size (ignored by other codecs)"
@@ -116,14 +131,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-axis lo:hi cell ranges, comma-separated (e.g. 0:16,8:24,0:32)",
     )
     roi.add_argument("--level", type=int, default=0, help="resolution level (default 0, finest)")
+
+    run = sub.add_parser(
+        "run", help="execute a serialized repro.api workflow/pipeline config (JSON)"
+    )
+    run.add_argument("config", type=Path, help="WorkflowConfig / PipelineConfig JSON file")
+    run.add_argument(
+        "--input",
+        type=Path,
+        default=None,
+        help="input .npy field (overrides the config's own 'input' section)",
+    )
+    run.add_argument(
+        "--save-reconstruction",
+        type=Path,
+        default=None,
+        help="write the (post-processed) reconstruction to this .npy file",
+    )
+    run.add_argument(
+        "--output-json",
+        type=Path,
+        default=None,
+        help="also write the JSON summary to this file",
+    )
     return parser
 
 
 def _load_field(path: Path) -> np.ndarray:
-    data = np.load(path)
-    if data.ndim not in (1, 2, 3):
-        raise SystemExit(f"error: {path} must hold a 1-3 dimensional array, got {data.ndim}D")
-    return np.asarray(data, dtype=np.float64)
+    from repro.api.facade import load_npy_field
+
+    try:
+        return load_npy_field(path)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
@@ -132,7 +172,10 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     if args.codec == "sz2" and args.block_size:
         options["block_size"] = int(args.block_size)
     compressor = get_compressor(args.codec, **options)
-    compressed = compressor.compress(field, args.error_bound, relative=args.relative)
+    if args.mode is not None and args.relative:
+        raise SystemExit("error: --relative cannot be combined with --mode")
+    mode = args.mode or ("rel" if args.relative else "abs")
+    compressed = compressor.compress(field, ErrorBound(mode, args.error_bound))
 
     if args.postprocess:
         if args.codec not in ("sz2", "zfp"):
@@ -279,8 +322,27 @@ def _cmd_store(args: argparse.Namespace) -> int:
         raise SystemExit(f"error: {exc}")
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.api import run_config
+
+    if not args.config.exists():
+        raise SystemExit(f"error: config file {args.config} does not exist")
+    summary, _ = run_config(
+        args.config,
+        input_path=args.input,
+        save_reconstruction=args.save_reconstruction,
+    )
+    text = json.dumps(summary, indent=2, sort_keys=True)
+    print(text)
+    if args.output_json is not None:
+        args.output_json.write_text(text + "\n", "utf-8")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.compressors.errors import CompressorError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {
@@ -289,8 +351,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "info": _cmd_info,
         "evaluate": _cmd_evaluate,
         "store": _cmd_store,
+        "run": _cmd_run,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except (CompressorError, ValueError, OSError) as exc:
+        # Operational failures (bad specs, unreadable files, bound violations)
+        # become a one-line diagnostic instead of a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyError as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,10 +14,11 @@ import json
 import struct
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Type
+from typing import Any, Callable, Dict, Optional, Type, Union
 
 import numpy as np
 
+from repro.api.error_bound import ErrorBound
 from repro.compressors.errors import (
     CompressionError,
     DecompressionError,
@@ -149,9 +150,9 @@ class Compressor(ABC):
     def compress(
         self,
         data: np.ndarray,
-        error_bound: float,
+        error_bound: Union[float, ErrorBound, Dict[str, Any]],
         *,
-        relative: bool = False,
+        relative: Optional[bool] = None,
     ) -> CompressedArray:
         """Compress ``data`` under a point-wise error bound.
 
@@ -160,18 +161,23 @@ class Compressor(ABC):
         data:
             1-, 2- or 3-dimensional floating point array.
         error_bound:
-            Absolute error bound, or value-range-relative bound when
-            ``relative=True`` (the paper quotes both conventions).
+            An :class:`~repro.api.error_bound.ErrorBound` spec (or its dict
+            form), resolved against ``data``; a bare float is an absolute
+            bound.  The ``relative=`` keyword is the deprecated spelling of
+            ``ErrorBound.rel`` and emits a :class:`DeprecationWarning`.
         """
         arr = np.ascontiguousarray(np.asarray(data, dtype=np.float64))
         if arr.ndim not in (1, 2, 3):
             raise CompressionError(f"{self.name} supports 1-3 dimensional data, got {arr.ndim}D")
         if arr.size == 0:
             raise CompressionError("cannot compress an empty array")
-        eb = float(error_bound)
-        if relative:
-            value_range = float(arr.max() - arr.min())
-            eb = eb * value_range if value_range > 0 else eb
+        try:
+            spec = ErrorBound.coerce(
+                error_bound, relative=bool(relative), warn_legacy=relative is not None
+            )
+        except ValueError as exc:
+            raise CompressionError(str(exc)) from exc
+        eb = float(spec.resolve(arr))
         if eb <= 0:
             raise CompressionError("error bound must be strictly positive")
         payload, metadata = self._compress_impl(arr, eb)
@@ -197,9 +203,9 @@ class Compressor(ABC):
     def roundtrip(
         self,
         data: np.ndarray,
-        error_bound: float,
+        error_bound: Union[float, ErrorBound, Dict[str, Any]],
         *,
-        relative: bool = False,
+        relative: Optional[bool] = None,
         verify: bool = False,
     ) -> RoundTripResult:
         """Compress then decompress, returning quality statistics.

@@ -16,11 +16,12 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.amr.grid import AMRHierarchy
+from repro.api.error_bound import ErrorBound
 from repro.compressors import SZ2Compressor, SZ3Compressor, ZFPCompressor
 from repro.compressors.base import CompressedArray, Compressor
 from repro.core.adaptive_eb import DEFAULT_ALPHA, DEFAULT_BETA, adaptive_level_error_bounds
@@ -304,11 +305,17 @@ class MultiResolutionCompressor:
         self,
         level_data: np.ndarray,
         mask: Optional[np.ndarray],
-        error_bound: float,
+        error_bound: Union[float, ErrorBound, Mapping],
         level_index: int = 0,
         unit_size: Optional[int] = None,
     ) -> CompressedLevel:
-        """Compress one resolution level under an absolute error bound."""
+        """Compress one resolution level.
+
+        An :class:`~repro.api.error_bound.ErrorBound` spec is resolved
+        against this level's data; a bare float is an absolute bound.
+        """
+        if isinstance(error_bound, (ErrorBound, Mapping)):
+            error_bound = ErrorBound.coerce(error_bound).resolve(level_data)
         prepared = self.prepare_level(
             level_data, mask, level_index=level_index, unit_size=unit_size
         )
@@ -339,17 +346,43 @@ class MultiResolutionCompressor:
         return scatter_unit_blocks(block_set)
 
     # -- hierarchy API -----------------------------------------------------------
+    @staticmethod
+    def resolve_hierarchy_bound(
+        hierarchy: AMRHierarchy, error_bound: Union[ErrorBound, Mapping]
+    ) -> float:
+        """Resolve an :class:`ErrorBound` spec against a whole hierarchy.
+
+        Relative modes use the global value range / peak magnitude across
+        all levels, so the same spec means the same absolute bound no matter
+        how the field was partitioned.
+        """
+        spec = ErrorBound.coerce(error_bound)
+        if not spec.needs_statistics:
+            return spec.value
+        if spec.mode == "ptw_rel":
+            value_range = 0.0
+            peak = max(float(np.abs(lvl.data).max()) for lvl in hierarchy.levels)
+        else:
+            lo = min(float(lvl.data.min()) for lvl in hierarchy.levels)
+            hi = max(float(lvl.data.max()) for lvl in hierarchy.levels)
+            value_range, peak = hi - lo, 0.0
+        return float(spec.resolve_range(value_range, peak))
+
     def compress_hierarchy(
         self,
         hierarchy: AMRHierarchy,
-        error_bound: Union[float, Sequence[float]],
+        error_bound: Union[float, Sequence[float], ErrorBound, Mapping],
         unit_size: Optional[int] = None,
     ) -> CompressedHierarchy:
         """Compress every level of a hierarchy.
 
-        ``error_bound`` is either a single absolute bound applied to every
-        level or a sequence with one bound per level (fine to coarse).
+        ``error_bound`` is a single absolute bound applied to every level, a
+        sequence with one bound per level (fine to coarse), or an
+        :class:`~repro.api.error_bound.ErrorBound` spec resolved against the
+        hierarchy's global statistics.
         """
+        if isinstance(error_bound, (ErrorBound, Mapping)):
+            error_bound = self.resolve_hierarchy_bound(hierarchy, error_bound)
         if np.isscalar(error_bound):
             bounds = [float(error_bound)] * hierarchy.n_levels
         else:
@@ -393,7 +426,7 @@ class MultiResolutionCompressor:
     def roundtrip_hierarchy(
         self,
         hierarchy: AMRHierarchy,
-        error_bound: Union[float, Sequence[float]],
+        error_bound: Union[float, Sequence[float], ErrorBound, Mapping],
         unit_size: Optional[int] = None,
     ) -> Tuple[CompressedHierarchy, AMRHierarchy]:
         """Compress and immediately decompress a hierarchy."""

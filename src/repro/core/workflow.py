@@ -19,11 +19,12 @@ which is what every example and most benchmarks consume.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from typing import Any, Dict, Mapping, Optional, Union
 
 import numpy as np
 
 from repro.amr.grid import AMRHierarchy
+from repro.api.error_bound import ErrorBound
 from repro.analysis.metrics import psnr as psnr_metric
 from repro.analysis.ssim import ssim as ssim_metric
 from repro.core.mr_compressor import CompressedHierarchy, MultiResolutionCompressor
@@ -67,7 +68,7 @@ class MultiResolutionWorkflow:
 
     def __init__(
         self,
-        compressor: str = "sz3",
+        compressor: Union[str, MultiResolutionCompressor] = "sz3",
         arrangement: str = "linear",
         padding: Union[bool, str] = "auto",
         adaptive_eb: bool = True,
@@ -79,26 +80,43 @@ class MultiResolutionWorkflow:
         uncertainty: bool = False,
         compressor_options: Optional[Dict] = None,
     ) -> None:
-        self.mr = MultiResolutionCompressor(
-            compressor=compressor,
-            arrangement=arrangement,
-            padding=padding,
-            adaptive_eb=adaptive_eb,
-            unit_size=unit_size,
-            compressor_options=compressor_options,
-        )
+        if isinstance(compressor, MultiResolutionCompressor):
+            # A fully-configured engine (e.g. from repro.api.CodecSpec.build())
+            # takes precedence over the per-knob constructor arguments.
+            self.mr = compressor
+        else:
+            self.mr = MultiResolutionCompressor(
+                compressor=compressor,
+                arrangement=arrangement,
+                padding=padding,
+                adaptive_eb=adaptive_eb,
+                unit_size=unit_size,
+                compressor_options=compressor_options,
+            )
         self.roi_fraction = float(roi_fraction)
         self.roi_block_size = int(roi_block_size)
-        self.unit_size = int(unit_size)
+        self.unit_size = int(self.mr.unit_size)
         self.postprocess = bool(postprocess)
         self.uncertainty = bool(uncertainty)
         self._postprocessor = PostProcessor(
-            compressor_kind=compressor, strategy=postprocess_strategy
+            compressor_kind=self.mr.compressor_kind, strategy=postprocess_strategy
         )
 
+    @classmethod
+    def from_config(cls, config) -> "MultiResolutionWorkflow":
+        """Build a workflow from a :class:`repro.api.WorkflowConfig`."""
+        return config.build()
+
     # -- public entry points ----------------------------------------------------
-    def compress_uniform(self, data: np.ndarray, error_bound: float) -> WorkflowResult:
-        """Run the full workflow on uniform data (ROI extraction included)."""
+    def compress_uniform(
+        self, data: np.ndarray, error_bound: Union[float, ErrorBound, Dict[str, Any]]
+    ) -> WorkflowResult:
+        """Run the full workflow on uniform data (ROI extraction included).
+
+        ``error_bound`` is an :class:`~repro.api.error_bound.ErrorBound`
+        spec (or its dict form), resolved against ``data``; a bare float is
+        an absolute bound.
+        """
         original = np.asarray(data, dtype=np.float64)
         roi = extract_roi(
             original, roi_fraction=self.roi_fraction, block_size=self.roi_block_size
@@ -108,7 +126,7 @@ class MultiResolutionWorkflow:
     def compress_hierarchy(
         self,
         hierarchy: AMRHierarchy,
-        error_bound: float,
+        error_bound: Union[float, ErrorBound, Dict[str, Any]],
         original_field: Optional[np.ndarray] = None,
     ) -> WorkflowResult:
         """Run the workflow on native multi-resolution (AMR) data."""
@@ -124,16 +142,25 @@ class MultiResolutionWorkflow:
     def _run(
         self,
         hierarchy: AMRHierarchy,
-        error_bound: float,
+        error_bound: Union[float, ErrorBound, Dict[str, Any]],
         original_field: Optional[np.ndarray],
         roi: Optional[ROIResult],
     ) -> WorkflowResult:
-        error_bound = float(error_bound)
         reference = (
             np.asarray(original_field, dtype=np.float64)
             if original_field is not None
             else hierarchy.to_uniform()
         )
+        if isinstance(error_bound, (ErrorBound, Mapping)):
+            # Resolve against the original field when there is one; pure
+            # hierarchies use the same global level statistics as the store
+            # and in-situ paths, so every entry point yields the same bound.
+            if original_field is not None:
+                error_bound = float(ErrorBound.coerce(error_bound).resolve(reference))
+            else:
+                error_bound = self.mr.resolve_hierarchy_bound(hierarchy, error_bound)
+        else:
+            error_bound = float(error_bound)
 
         compressed = self.mr.compress_hierarchy(hierarchy, error_bound)
         decompressed_hierarchy = self.mr.decompress_hierarchy(compressed, hierarchy)

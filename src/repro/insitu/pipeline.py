@@ -20,12 +20,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Mapping, Optional, Union
 
 import numpy as np
 
 from repro.amr.grid import AMRHierarchy
 from repro.amr.simulation import SimulationSnapshot
+from repro.api.error_bound import ErrorBound
 from repro.analysis.metrics import psnr as psnr_metric
 from repro.core.mr_compressor import CompressedHierarchy, MultiResolutionCompressor
 from repro.core.roi import extract_roi
@@ -105,9 +106,48 @@ class InSituPipeline:
                     "construct the Store with the same compressor"
                 )
 
+    @classmethod
+    def from_config(cls, config, store=None) -> "InSituPipeline":
+        """Build a pipeline from a :class:`repro.api.PipelineConfig`.
+
+        ``store`` overrides the config's sink with an already-open
+        :class:`repro.store.Store`.  Config materialisation lives in one
+        place — :class:`repro.api.Pipeline` — and is reused here.
+        """
+        from repro.api.pipeline import Pipeline
+
+        builder = Pipeline.from_config(config)
+        if store is not None:
+            builder.sink_store(store)
+        return builder.build()
+
+    def _resolve_bound(
+        self,
+        snapshot: SimulationSnapshot,
+        error_bound: Union[float, ErrorBound, Mapping],
+    ) -> float:
+        """Resolve the bound spec against this snapshot's data."""
+        if not isinstance(error_bound, (ErrorBound, Mapping)):
+            return float(error_bound)
+        if snapshot.is_amr:
+            return MultiResolutionCompressor.resolve_hierarchy_bound(
+                snapshot.data, error_bound
+            )
+        return float(ErrorBound.coerce(error_bound).resolve(np.asarray(snapshot.data)))
+
     # -- single snapshot ---------------------------------------------------------
-    def process_snapshot(self, snapshot: SimulationSnapshot, error_bound: float) -> StepReport:
-        """Compress one snapshot and (optionally) write it to disk."""
+    def process_snapshot(
+        self,
+        snapshot: SimulationSnapshot,
+        error_bound: Union[float, ErrorBound, Mapping],
+    ) -> StepReport:
+        """Compress one snapshot and (optionally) write it to disk.
+
+        ``error_bound`` accepts an :class:`~repro.api.error_bound.ErrorBound`
+        spec, resolved per snapshot (so e.g. ``ErrorBound.rel`` tracks each
+        timestep's value range); a bare float is an absolute bound.
+        """
+        error_bound = self._resolve_bound(snapshot, error_bound)
         timings = TimingBreakdown()
 
         # Pre-process: build the hierarchy (uniform input) and prepare levels.
@@ -192,7 +232,12 @@ class InSituPipeline:
         )
 
     # -- full runs ------------------------------------------------------------------
-    def run(self, simulation, n_steps: int, error_bound: float) -> List[StepReport]:
+    def run(
+        self,
+        simulation,
+        n_steps: int,
+        error_bound: Union[float, ErrorBound, Mapping],
+    ) -> List[StepReport]:
         """Advance the simulation ``n_steps`` and process every snapshot."""
         reports = []
         for snapshot in simulation.run(n_steps):

@@ -15,11 +15,12 @@ import json
 import os
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.amr.grid import AMRHierarchy
+from repro.api.error_bound import ErrorBound
 from repro.core.mr_compressor import MultiResolutionCompressor
 from repro.store.engine import CodecEngine
 from repro.store.format import BlockLevel, ContainerReader, write_container
@@ -127,7 +128,7 @@ class Store:
         field: str,
         step: int,
         data: Union[AMRHierarchy, np.ndarray],
-        error_bound: float,
+        error_bound: Union[float, ErrorBound, Mapping],
         unit_size: Optional[int] = None,
         overwrite: bool = False,
     ) -> StoreEntry:
@@ -135,8 +136,10 @@ class Store:
 
         ``data`` is either an :class:`AMRHierarchy` (one container level per
         resolution level, occupied blocks only) or a plain uniform array
-        (stored as a single fully-occupied level).  Appending an existing
-        ``(field, step)`` raises unless ``overwrite=True``.
+        (stored as a single fully-occupied level).  ``error_bound`` accepts
+        an :class:`~repro.api.error_bound.ErrorBound` spec, resolved against
+        this snapshot; a bare float is an absolute bound.  Appending an
+        existing ``(field, step)`` raises unless ``overwrite=True``.
         """
         key = _entry_key(field, step)
         if key in self._entries and not overwrite:
@@ -147,7 +150,13 @@ class Store:
         else:
             level_inputs = [(0, np.asarray(data, dtype=np.float64), None)]
 
-        eb = float(error_bound)
+        if isinstance(error_bound, (ErrorBound, Mapping)):
+            if isinstance(data, AMRHierarchy):
+                eb = MultiResolutionCompressor.resolve_hierarchy_bound(data, error_bound)
+            else:
+                eb = float(ErrorBound.coerce(error_bound).resolve(level_inputs[0][1]))
+        else:
+            eb = float(error_bound)
         block_levels: List[BlockLevel] = []
         for level_index, level_data, mask in level_inputs:
             block_set = self.compressor.prepare_unit_blocks(

