@@ -1,20 +1,26 @@
-"""Store throughput — parallel block encode and random-access read latency.
+"""Store throughput — parallel block encode/decode and random-access latency.
 
-Not a figure from the paper: this benchmark characterises the new
+Not a figure from the paper: this benchmark characterises the
 :mod:`repro.store` subsystem against the v1 whole-container path it
 supersedes, on a >=256^3 synthetic field (override the edge length with
 ``REPRO_BENCH_STORE_SIZE`` for quick local runs).
 
-Two questions are answered:
+Three questions are answered:
 
 1. **Encode throughput** — MB/s of per-block encoding through the codec
-   engine, serial vs. multi-worker (process pool, chunked submission).  On a
-   multi-core host the multi-worker path must reach >= 1.5x serial; on a
-   single core the rows are still printed but the speedup assertion is
-   vacuous (there is nothing to scale onto).
-2. **Random-access latency** — wall time and bytes touched to read a small
-   ROI from the block store vs. inflating the v1 container whole, plus the
+   engine, serial vs. multi-worker (process pool, chunked submission).
+2. **Decode throughput** — MB/s of batched per-block decoding through the
+   same engine backends; this is the path every lazy-view query and the
+   future read daemon sit on.
+3. **Random-access latency** — wall time and bytes touched to read a small
+   ROI through the lazy view vs. inflating the v1 container whole, plus the
    decode-call accounting that proves only intersecting blocks were touched.
+
+On a multi-core host both pool paths must reach >= 1.5x serial; on a single
+core the rows are still printed but the speedup assertions are vacuous
+(there is nothing to scale onto).  The numbers land in
+``BENCH_store_throughput.json`` with the backend and worker count of every
+row, so a result file is interpretable without the run log.
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ import time
 import numpy as np
 import pytest
 
-from _helpers import format_table
+from _helpers import format_table, record_bench
 from repro.core.mr_compressor import MultiResolutionCompressor
 from repro.core.partition import extract_unit_blocks
 from repro.datasets.synthetic import smooth_wave_field
@@ -43,30 +49,79 @@ def _field() -> np.ndarray:
     return smooth_wave_field((EDGE, EDGE, EDGE), frequencies=(3.0, 5.0, 2.0))
 
 
-def _encode_rows(field):
-    block_set = extract_unit_blocks(field, unit_size=UNIT)
-    nbytes = field.nbytes
+def _engine_configs():
+    """(label, backend, workers, engine) rows: serial plus one pool config."""
     workers = default_workers()
-    configs = [("serial x1", CodecEngine(executor="serial"))]
+    configs = [("serial x1", "serial", 1, CodecEngine(executor="serial"))]
     if workers > 1:
         configs.append(
-            (f"process x{workers}", CodecEngine(executor="process", max_workers=workers))
+            (
+                f"process x{workers}",
+                "process",
+                workers,
+                CodecEngine(executor="process", max_workers=workers),
+            )
         )
     else:
         # Single-core host: still exercise the pool machinery so the row is
         # honest about its overhead, but no speedup is physically possible.
-        configs.append(("process x2 (1 core)", CodecEngine(executor="process", max_workers=2)))
+        configs.append(
+            (
+                "process x2 (1 core)",
+                "process",
+                2,
+                CodecEngine(executor="process", max_workers=2),
+            )
+        )
+    return workers, configs
 
-    rows, times = [], {}
+
+def _encode_rows(field):
+    block_set = extract_unit_blocks(field, unit_size=UNIT)
+    nbytes = field.nbytes
+    workers, configs = _engine_configs()
+
+    rows, times = [], []
     payloads = None
-    for label, engine in configs:
+    for label, backend, n_workers, engine in configs:
         start = time.perf_counter()
         payloads = engine.encode_blocks(block_set.blocks, EB)
         elapsed = time.perf_counter() - start
-        times[label] = elapsed
-        rows.append([label, elapsed, nbytes / elapsed / 1e6, len(payloads)])
-    speedup = times[configs[0][0]] / times[configs[1][0]]
+        times.append(elapsed)
+        rows.append(
+            {
+                "label": label,
+                "backend": backend,
+                "workers": n_workers,
+                "time_s": elapsed,
+                "mb_per_s": nbytes / elapsed / 1e6,
+                "blocks": len(payloads),
+            }
+        )
+    speedup = times[0] / times[1]
     return block_set, payloads, rows, speedup, workers
+
+
+def _decode_rows(payloads, nbytes):
+    """Batched decode throughput through the engine backends (ROADMAP item)."""
+    workers, configs = _engine_configs()
+    rows, times = [], []
+    for label, backend, n_workers, engine in configs:
+        start = time.perf_counter()
+        blocks = engine.decode_blocks(payloads)
+        elapsed = time.perf_counter() - start
+        times.append(elapsed)
+        rows.append(
+            {
+                "label": label,
+                "backend": backend,
+                "workers": n_workers,
+                "time_s": elapsed,
+                "mb_per_s": nbytes / elapsed / 1e6,
+                "blocks": len(blocks),
+            }
+        )
+    return rows, times[0] / times[1]
 
 
 def _random_access_rows(tmp_path, field, block_set, payloads):
@@ -104,8 +159,9 @@ def _random_access_rows(tmp_path, field, block_set, payloads):
     )
 
     reader = ContainerReader(v2_path)
+    view = reader.as_array()
     start = time.perf_counter()
-    roi = reader.read_roi(bbox)
+    roi = view[sl]
     t_v2 = time.perf_counter() - start
     assert np.abs(roi - field[sl]).max() <= EB * (1 + 1e-9)
 
@@ -118,7 +174,7 @@ def _random_access_rows(tmp_path, field, block_set, payloads):
     total_blocks = reader.level_info(0).n_blocks
     rows = [
         [
-            "v2 read_roi",
+            "v2 lazy view[roi]",
             t_v2,
             reader.stats["blocks_decoded"],
             total_blocks,
@@ -131,13 +187,16 @@ def _random_access_rows(tmp_path, field, block_set, payloads):
 
 def _run(tmp_path):
     field = _field()
-    block_set, payloads, enc_rows, speedup, workers = _encode_rows(field)
+    block_set, payloads, enc_rows, enc_speedup, workers = _encode_rows(field)
+    dec_rows, dec_speedup = _decode_rows(payloads, field.nbytes)
     ra_rows, t_v1, t_v2, touched, total, expected = _random_access_rows(
         tmp_path, field, block_set, payloads
     )
     return {
         "enc_rows": enc_rows,
-        "speedup": speedup,
+        "enc_speedup": enc_speedup,
+        "dec_rows": dec_rows,
+        "dec_speedup": dec_speedup,
         "workers": workers,
         "ra_rows": ra_rows,
         "t_v1": t_v1,
@@ -148,14 +207,31 @@ def _run(tmp_path):
     }
 
 
+def _engine_table(title, rows):
+    return format_table(
+        title,
+        ["engine", "backend", "workers", "time [s]", "MB/s", "blocks"],
+        [
+            [r["label"], r["backend"], r["workers"], r["time_s"], r["mb_per_s"], r["blocks"]]
+            for r in rows
+        ],
+    )
+
+
 @pytest.mark.slow
 def test_store_throughput(benchmark, report, tmp_path):
     results = benchmark.pedantic(_run, args=(tmp_path,), rounds=1, iterations=1)
     report(
-        format_table(
+        _engine_table(
             f"Store encode throughput — {EDGE}^3 field, unit {UNIT}, sz3 @ eb {EB}",
-            ["engine", "time [s]", "MB/s", "blocks"],
             results["enc_rows"],
+        )
+    )
+    report(
+        _engine_table(
+            f"Store decode throughput — {results['enc_rows'][0]['blocks']} blocks, "
+            "batched through CodecEngine",
+            results["dec_rows"],
         )
     )
     report(
@@ -166,14 +242,35 @@ def test_store_throughput(benchmark, report, tmp_path):
         )
     )
     report(
-        f"multi-worker speedup: {results['speedup']:.2f}x on {results['workers']} core(s); "
+        f"speedups on {results['workers']} core(s): encode "
+        f"{results['enc_speedup']:.2f}x, decode {results['dec_speedup']:.2f}x; "
         f"roi latency {results['t_v2']:.3f}s vs whole-container {results['t_v1']:.3f}s"
     )
+    record_bench(
+        "store_throughput",
+        {
+            "edge": EDGE,
+            "unit_size": UNIT,
+            "error_bound": EB,
+            "roi_edge": ROI_EDGE,
+            "cpu_count": os.cpu_count(),
+            "workers": results["workers"],
+            "encode": {"rows": results["enc_rows"], "speedup": results["enc_speedup"]},
+            "decode": {"rows": results["dec_rows"], "speedup": results["dec_speedup"]},
+            "random_access": {
+                "roi_time_s": results["t_v2"],
+                "whole_container_time_s": results["t_v1"],
+                "blocks_decoded": results["touched"],
+                "blocks_total": results["total"],
+            },
+        },
+    )
     # Shape assertions: random access must touch only the intersecting blocks
-    # and beat inflating the container whole; the parallel-encode speedup is
-    # only demanded when the host actually has cores to scale onto.
+    # and beat inflating the container whole; the pool speedups are only
+    # demanded when the host actually has cores to scale onto.
     assert results["touched"] == results["expected"]
     assert results["touched"] < results["total"]
     assert results["t_v2"] < results["t_v1"]
-    if results["workers"] > 1:
-        assert results["speedup"] >= 1.5
+    if (os.cpu_count() or 1) > 1:
+        assert results["enc_speedup"] >= 1.5
+        assert results["dec_speedup"] >= 1.5

@@ -1,12 +1,13 @@
 #!/usr/bin/env python
-"""Random-access reads from a block-indexed compressed store.
+"""Lazy NumPy-style reads from a block-indexed compressed store.
 
 The example simulates a short in-situ run declared through the
 :class:`repro.Pipeline` builder with a store sink (block-level v2 containers
-+ JSON catalog), then plays the post-hoc analyst: list the catalog, decode
-one small region of interest from the latest step, and show that only the
-unit blocks intersecting the query were decompressed — the rest of the
-timestep stays compressed on disk.
++ JSON catalog), then plays the post-hoc analyst with the ``repro.array``
+view API: *open returns a view, indexing triggers I/O*.  Slicing a stored
+timestep decodes only the unit blocks the selection intersects — the rest of
+the timestep stays compressed on disk — and the shared block cache serves
+revisited blocks without decoding them again.
 
 Run with:  python examples/store_random_access.py
 """
@@ -39,39 +40,49 @@ def main() -> None:
         print("catalog after the run:")
         print(store.summary())
 
-        # 2. Post-hoc: open the latest step and query a small neighbourhood
-        #    (a halo core, say) from the finest level.  The block index tells
-        #    us where the refined region is without decoding anything.
+        # 2. Post-hoc: `store[field, step]` is a lazy view — no payload has
+        #    been touched yet.  NumPy-style indexing compiles straight into
+        #    block queries.
         field = reports[-1].field_name
         step = reports[-1].step
-        reader = store.get(field, step)
-        info = reader.level_info(0)
-        first_occupied = reader.index.coords[reader.index.select(0, info.ndim)[0]]
-        bbox = tuple(
-            (max(0, int(c) * info.unit_size - 2), min(n, (int(c) + 1) * info.unit_size + 2))
-            for c, n in zip(first_occupied, info.level_shape)
+        arr = store[field, step]
+        print(f"\nopened {field} step {step}: {arr!r}")
+
+        # A halo-core neighbourhood around the first occupied fine block.
+        unit = arr.source.unit_size(0)
+        first = arr.source.intersecting(0)[1][0]
+        sl = tuple(
+            slice(max(0, int(c) * unit - 2), min(n, (int(c) + 1) * unit + 2))
+            for c, n in zip(first, arr.shape)
         )
-        roi = reader.read_roi(bbox, level=0)
-
-        total = reader.level_info(0).n_blocks
-        decoded = reader.stats["blocks_decoded"]
-        print(f"\nroi {bbox} of {field} step {step}:")
+        roi = arr[sl]
+        stats = arr.stats
+        print(f"\nroi {sl} of {field} step {step}:")
         print(f"  shape               : {roi.shape}")
-        print(f"  blocks decoded      : {decoded} of {total} in level 0")
-        print(f"  payload bytes read  : {reader.stats['payload_bytes_read']}")
+        print(f"  blocks decoded      : {stats['blocks_decoded']} of {arr.n_blocks} in level 0")
+        print(f"  payload bytes read  : {stats['payload_bytes_read']}")
 
-        # 3. The decoded region honours the error bound wherever level 0 owns
+        # 3. Revisiting the region hits the store's block cache: the
+        #    cumulative decode count does not move, only the hit counter.
+        again = arr[sl]
+        stats = arr.stats
+        print(f"  re-read decoded     : {stats['blocks_decoded']} blocks total "
+              f"(cache hits {stats['cache_hits']})")
+        assert np.array_equal(again, roi)
+
+        # 4. The decoded region honours the error bound wherever level 0 owns
         #    the cells (other cells belong to coarser levels and read as 0).
         snapshot_level0 = sim.snapshot().data.levels[0]
-        sl = tuple(slice(lo, hi) for lo, hi in bbox)
         owned = snapshot_level0.mask[sl]
         if owned.any():
             err = np.abs(roi - snapshot_level0.data[sl])[owned].max()
             print(f"  max error (owned)   : {err:.4g} (bound {error_bound})")
 
-        # 4. Whole levels are still one call away when an analysis needs them.
-        coarse = reader.read_level(1)
-        print(f"  coarse level shape  : {coarse.shape}")
+        # 5. Other resolution levels are sibling views; strided and negative
+        #    indexing work like NumPy and still decode only touched blocks.
+        coarse = arr.level(1)
+        corner = coarse[-4:, ::2, 0]
+        print(f"  coarse level shape  : {coarse.shape} (corner sample {corner.shape})")
 
 
 if __name__ == "__main__":

@@ -45,6 +45,7 @@ _API_EXPORTS = (
     "compress",
     "decompress",
     "open_store",
+    "open_array",
     "run_workflow",
     "run_config",
     "load_config",
@@ -77,7 +78,8 @@ def describe() -> str:
         "  Pipeline              composable source -> roi/filter -> compress -> sink builder\n"
         "  compress/decompress   single-array codec round trip\n"
         "  open_store            block-indexed random-access store (repro.store)\n"
+        "  open_array            lazy NumPy-style view over a .rps2 container (repro.array)\n"
         "  run_workflow          execute a WorkflowConfig on an array or hierarchy\n"
         "  run_config            execute a serialized config (the `repro run` engine)\n"
-        "CLI: repro compress|decompress|info|evaluate|store ls|get|roi|run\n"
+        "CLI: repro compress|decompress|info|evaluate|store ls|get|roi|read|run\n"
     )

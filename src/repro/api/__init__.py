@@ -14,8 +14,12 @@ One facade over the three historical entry surfaces (the
   builder whose sinks are v1 container directories or
   :class:`repro.store.Store` directories;
 * :func:`compress` / :func:`decompress` / :func:`open_store` /
-  :func:`run_workflow` / :func:`run_config` — the five-line quickstart
-  surface, re-exported at the package root (``import repro``).
+  :func:`open_array` / :func:`run_workflow` / :func:`run_config` — the
+  five-line quickstart surface, re-exported at the package root
+  (``import repro``).  The read side is lazy throughout: ``open_store(...)
+  [field, step]``, ``open_array(path)`` and ``decompress(...)`` all return
+  :class:`repro.array.CompressedArray` views whose indexing decodes only the
+  blocks it touches.
 
 Everything here is serializable by construction: a daemonized or sharded
 deployment (ROADMAP) can ship these configs as request payloads unchanged.
@@ -44,6 +48,7 @@ __all__ = [
     "compress",
     "decompress",
     "open_store",
+    "open_array",
     "run_workflow",
     "run_config",
 ]
@@ -59,6 +64,7 @@ _LAZY_EXPORTS = {
     "compress": "repro.api.facade",
     "decompress": "repro.api.facade",
     "open_store": "repro.api.facade",
+    "open_array": "repro.api.facade",
     "run_workflow": "repro.api.facade",
     "run_config": "repro.api.facade",
 }
@@ -74,6 +80,7 @@ if TYPE_CHECKING:  # pragma: no cover - static typing only
     from repro.api.facade import (  # noqa: F401
         compress,
         decompress,
+        open_array,
         open_store,
         run_config,
         run_workflow,

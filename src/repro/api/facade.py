@@ -1,4 +1,4 @@
-"""The five-line surface: compress / decompress / open_store / run_workflow.
+"""The five-line surface: compress / decompress / open_store / open_array / run_workflow.
 
 These free functions are what most users need; they are re-exported at the
 package root so the quickstart is::
@@ -23,7 +23,14 @@ import numpy as np
 from repro.api.config import PipelineConfig, WorkflowConfig, config_from_dict, load_config
 from repro.api.error_bound import ErrorBound
 
-__all__ = ["compress", "decompress", "open_store", "run_workflow", "run_config"]
+__all__ = [
+    "compress",
+    "decompress",
+    "open_store",
+    "open_array",
+    "run_workflow",
+    "run_config",
+]
 
 
 def load_npy_field(path: Union[str, Path]) -> np.ndarray:
@@ -61,17 +68,29 @@ def compress(
     return get_compressor(codec, **options).compress(data, ErrorBound.coerce(error_bound))
 
 
-def decompress(source) -> np.ndarray:
-    """Reconstruct an array from a ``CompressedArray``, its bytes, or a file path."""
-    from repro.compressors import get_compressor
+def decompress(source):
+    """Lazy view over a reconstruction (a compressed payload, its bytes, or a path).
+
+    Returns a :class:`repro.array.CompressedArray` view: nothing is decoded
+    until the view is indexed (``view[...]``, ``view[10:20, :, ::2]``) or
+    coerced with ``numpy.asarray``, after which the reconstruction is served
+    from memory.  A ``.rps2`` block container path opens as a true
+    block-granular view (only intersecting blocks decode); a single-payload
+    ``.rpca`` source decodes whole on first access.
+    """
+    from repro.array import as_lazy_array, open_array
     from repro.compressors.base import CompressedArray
+    from repro.compressors.errors import DecompressionError
     from repro.insitu.io import read_compressed_array
 
     if isinstance(source, (str, Path)):
-        source = read_compressed_array(source)
+        try:
+            return open_array(source)
+        except DecompressionError:
+            source = read_compressed_array(source)
     elif isinstance(source, (bytes, bytearray)):
         source = CompressedArray.from_bytes(bytes(source))
-    return get_compressor(source.codec).decompress(source)
+    return as_lazy_array(source)
 
 
 def open_store(
@@ -93,6 +112,23 @@ def open_store(
         spec = CodecSpec.from_dict(codec) if isinstance(codec, Mapping) else codec
         compressor = spec.build()
     return Store(root, compressor, engine=engine)
+
+
+def open_array(
+    path: Union[str, Path],
+    level: int = 0,
+    fill_value: float = 0.0,
+    engine=None,
+):
+    """Open one ``.rps2`` block container as a lazy NumPy-style view.
+
+    Two small reads (header + index); indexing the returned
+    :class:`repro.array.CompressedArray` decodes only intersecting blocks.
+    For whole stores use ``open_store(root)[field, step]`` instead.
+    """
+    from repro.array import open_array as _open_array
+
+    return _open_array(path, level=level, fill_value=fill_value, engine=engine)
 
 
 def run_workflow(

@@ -1,0 +1,110 @@
+"""Bounded LRU cache for decoded unit blocks.
+
+Lazy views (:class:`repro.array.CompressedArray`) decode a block at most once
+per cache lifetime: repeated queries over overlapping regions — a sliding ROI,
+a slice viewer stepping through planes, a halo finder revisiting neighbours —
+hit the cache instead of re-inflating payloads.  The cache is bounded both in
+*blocks* and in *bytes* (block size depends on the store's unit size, so a
+count bound alone would let a 64^3-unit store pin gigabytes), and it is
+instrumented with hit/miss/eviction counters that the tests and
+``repro store read`` use to prove the decode accounting.
+
+Keys are ``(token, level, block-coordinate)`` tuples, where ``token``
+namespaces the owning container, so one cache can safely back every view of a
+:class:`repro.store.Store`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional
+
+import numpy as np
+
+__all__ = ["BlockCache"]
+
+
+class BlockCache:
+    """Thread-safe bounded LRU over decoded block arrays.
+
+    Parameters
+    ----------
+    max_blocks:
+        Capacity in blocks; the least-recently-used entry is evicted when a
+        put would exceed it.  Must be at least 1.
+    max_bytes:
+        Capacity in decoded-array bytes (default 64 MiB).  Both bounds are
+        enforced; the most recent entry always stays, so a single block
+        larger than ``max_bytes`` still caches (alone).
+    """
+
+    def __init__(self, max_blocks: int = 512, max_bytes: int = 64 * 2 ** 20) -> None:
+        self.max_blocks = int(max_blocks)
+        if self.max_blocks < 1:
+            raise ValueError(f"max_blocks must be >= 1, got {max_blocks}")
+        self.max_bytes = int(max_bytes)
+        if self.max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self._entries: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._nbytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[np.ndarray]:
+        """Cached block for ``key``, refreshing its recency; ``None`` on miss."""
+        with self._lock:
+            block = self._entries.get(key)
+            if block is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return block
+
+    def put(self, key: Hashable, block: np.ndarray) -> None:
+        """Insert a decoded block, evicting the least recently used beyond capacity."""
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._nbytes -= old.nbytes
+            self._entries[key] = block
+            self._nbytes += block.nbytes
+            while len(self._entries) > 1 and (
+                len(self._entries) > self.max_blocks or self._nbytes > self.max_bytes
+            ):
+                _, evicted = self._entries.popitem(last=False)
+                self._nbytes -= evicted.nbytes
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; they describe the lifetime)."""
+        with self._lock:
+            self._entries.clear()
+            self._nbytes = 0
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Counters as plain data: hits, misses, evictions, size and bounds."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+                "nbytes": self._nbytes,
+                "max_blocks": self.max_blocks,
+                "max_bytes": self.max_bytes,
+            }
+
+    def __repr__(self) -> str:
+        s = self.stats
+        return (
+            f"BlockCache(size={s['size']}/{s['max_blocks']}, "
+            f"hits={s['hits']}, misses={s['misses']}, evictions={s['evictions']})"
+        )

@@ -18,7 +18,10 @@ command group:
 * ``repro store ls ROOT`` — list the catalog;
 * ``repro store get ROOT FIELD STEP out.npy [--level L]`` — decode one level;
 * ``repro store roi ROOT FIELD STEP out.npy --bbox 0:16,8:24,0:32`` —
-  decode a sub-region, touching only the intersecting blocks.
+  decode a sub-region, touching only the intersecting blocks;
+* ``repro store read ROOT FIELD STEP out.npy --index "10:20,:,::2"`` —
+  NumPy-style lazy indexing (ints, steps, ``...``) through
+  :mod:`repro.array`, with per-query decode accounting.
 
 The multi-resolution workflow and in-situ pipeline are driven through
 serialized :mod:`repro.api` configs:
@@ -131,6 +134,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-axis lo:hi cell ranges, comma-separated (e.g. 0:16,8:24,0:32)",
     )
     roi.add_argument("--level", type=int, default=0, help="resolution level (default 0, finest)")
+
+    read = store_sub.add_parser(
+        "read", help="decode a NumPy-style selection through the lazy view API"
+    )
+    read.add_argument("root", type=Path, help="store directory")
+    read.add_argument("field", help="field name")
+    read.add_argument("step", type=int, help="timestep")
+    read.add_argument("output", type=Path, help="output .npy file")
+    read.add_argument(
+        "--index",
+        required=True,
+        help="comma-separated per-axis selection, NumPy slice syntax "
+        "(e.g. \"10:20,:,::2\", \"5,3:9,0\"; spell leading negatives as "
+        "--index=-1,...)",
+    )
+    read.add_argument("--level", type=int, default=0, help="resolution level (default 0, finest)")
 
     run = sub.add_parser(
         "run", help="execute a serialized repro.api workflow/pipeline config (JSON)"
@@ -272,6 +291,34 @@ def _parse_bbox(spec: str) -> tuple:
     return tuple(pairs)
 
 
+def _parse_index(spec: str) -> tuple:
+    """Parse ``"10:20,:,::2"`` into ``(slice(10, 20), slice(None), slice(None, None, 2))``.
+
+    Each comma-separated part is an integer, ``...``, or a ``start:stop:step``
+    slice with any piece omitted — the NumPy syntax, minus spaces.
+    """
+    items = []
+    for part in spec.split(","):
+        part = part.strip()
+        if part == "...":
+            items.append(Ellipsis)
+            continue
+        if ":" in part:
+            pieces = part.split(":")
+            if len(pieces) > 3:
+                raise SystemExit(f"error: bad index axis {part!r}; at most two ':' allowed")
+            try:
+                items.append(slice(*(int(p) if p.strip() else None for p in pieces)))
+            except ValueError:
+                raise SystemExit(f"error: bad index axis {part!r}; expected integer slice parts")
+            continue
+        try:
+            items.append(int(part))
+        except ValueError:
+            raise SystemExit(f"error: bad index axis {part!r}; expected int, slice or '...'")
+    return tuple(items)
+
+
 def _open_store(root: Path):
     from repro.store import MANIFEST_NAME, Store
 
@@ -293,27 +340,40 @@ def _cmd_store(args: argparse.Namespace) -> int:
         print(store.summary())
         return 0
     try:
-        reader = store.get(args.field, args.step)
+        view = store.array(args.field, args.step, level=args.level)
         if args.store_command == "get":
-            field = reader.read_level(args.level)
+            field = view[...]
             np.save(args.output, field)
             print(
                 f"decoded {args.field} step {args.step} level {args.level} -> "
                 f"{args.output}, shape {field.shape} "
-                f"({reader.stats['blocks_decoded']} blocks)"
+                f"({view.stats['blocks_decoded']} blocks)"
             )
-        else:  # roi
+        elif args.store_command == "roi":
             bbox = _parse_bbox(args.bbox)
             try:
-                field = reader.read_roi(bbox, level=args.level)
+                field = view.read_roi(bbox)
             except ValueError as exc:
                 raise SystemExit(f"error: {exc}")
             np.save(args.output, field)
-            total = reader.level_info(args.level).n_blocks
             print(
                 f"decoded roi {args.bbox} of {args.field} step {args.step} level "
                 f"{args.level} -> {args.output}, shape {field.shape} "
-                f"(decoded {reader.stats['blocks_decoded']}/{total} blocks)"
+                f"(decoded {view.stats['blocks_decoded']}/{view.n_blocks} blocks)"
+            )
+        else:  # read
+            index = _parse_index(args.index)
+            try:
+                field = np.asarray(view[index])
+            except (ValueError, IndexError, TypeError) as exc:
+                raise SystemExit(f"error: {exc}")
+            np.save(args.output, field)
+            stats = view.stats
+            print(
+                f"read [{args.index}] of {args.field} step {args.step} level "
+                f"{args.level} -> {args.output}, shape {field.shape} "
+                f"(decoded {stats['blocks_decoded']}/{view.n_blocks} blocks, "
+                f"cache hits {stats.get('cache_hits', 0)})"
             )
         return 0
     except KeyError as exc:

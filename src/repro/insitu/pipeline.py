@@ -212,7 +212,7 @@ class InSituPipeline:
             else:
                 reader = self.store.get(snapshot.field_name, snapshot.step)
                 decompressed = hierarchy.copy_with_data(
-                    [reader.read_level(lvl.level) for lvl in hierarchy.levels]
+                    [reader.as_array(lvl.level)[...] for lvl in hierarchy.levels]
                 )
             reference = (
                 hierarchy.to_uniform()

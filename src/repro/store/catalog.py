@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
@@ -85,6 +86,7 @@ class Store:
         self.compressor = compressor or MultiResolutionCompressor()
         self.engine = engine or CodecEngine.from_compressor(self.compressor)
         self._entries: Dict[str, StoreEntry] = {}
+        self._block_cache = None  # shared by every lazy view, built on first use
         self._load_manifest()
 
     # -- manifest -------------------------------------------------------------
@@ -144,6 +146,9 @@ class Store:
         key = _entry_key(field, step)
         if key in self._entries and not overwrite:
             raise ValueError(f"store already holds {key}; pass overwrite=True to replace")
+        if key in self._entries and self._block_cache is not None:
+            # Overwriting reuses the container path that keys the block cache.
+            self._block_cache.clear()
 
         if isinstance(data, AMRHierarchy):
             level_inputs = [(lvl.level, lvl.data, lvl.mask) for lvl in data.levels]
@@ -228,14 +233,51 @@ class Store:
             ) from exc
 
     # -- read path ------------------------------------------------------------
+    @property
+    def block_cache(self):
+        """Bounded LRU of decoded blocks shared by every view of this store."""
+        if self._block_cache is None:
+            from repro.array import BlockCache
+
+            self._block_cache = BlockCache()
+        return self._block_cache
+
     def get(self, field: str, step: int) -> ContainerReader:
         """Open a random-access reader over one container."""
         entry = self.entry(field, step)
         return ContainerReader(self.root / entry.path, engine=self.engine)
 
+    def array(self, field: str, step: int, level: int = 0, fill_value: float = 0.0):
+        """Lazy :class:`repro.array.CompressedArray` view over one snapshot.
+
+        The primary read surface: ``store.array(f, s)[10:20, :, ::2]`` (or the
+        ``store[f, s]`` shorthand) decodes only the blocks the selection
+        touches, batched through the store's engine and cached in the shared
+        :attr:`block_cache`.  ``.level(k)`` switches resolution levels.
+        """
+        return self.get(field, step).as_array(
+            level=level, fill_value=fill_value, cache=self.block_cache
+        )
+
+    def __getitem__(self, key: Tuple[str, int]):
+        """``store[field, step]`` — lazy view of one snapshot's finest level."""
+        field, step = key
+        return self.array(field, step)
+
     def read_level(self, field: str, step: int, level: int = 0) -> np.ndarray:
-        """Decode one whole level of one snapshot."""
-        return self.get(field, step).read_level(level)
+        """Decode one whole level of one snapshot.
+
+        .. deprecated:: use ``store[field, step].level(k)[...]`` — the lazy
+           view serves whole levels and every partial query through one
+           surface.
+        """
+        warnings.warn(
+            "Store.read_level is deprecated; use store[field, step].level(k)[...] "
+            "instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.array(field, step, level=level)[...]
 
     def read_roi(
         self,
@@ -244,8 +286,13 @@ class Store:
         bbox: Sequence[Sequence[int]],
         level: int = 0,
     ) -> np.ndarray:
-        """Decode a sub-region of one snapshot, touching only its blocks."""
-        return self.get(field, step).read_roi(bbox, level=level)
+        """Decode a sub-region of one snapshot, touching only its blocks.
+
+        A thin adapter over :meth:`array`; bbox validation and clamping follow
+        :func:`repro.store.query.normalize_bbox` exactly as on every other
+        read surface.
+        """
+        return self.array(field, step, level=level).read_roi(bbox)
 
     def summary(self) -> str:
         """Fixed-width catalog listing (what ``repro store ls`` prints)."""

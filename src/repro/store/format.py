@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import struct
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -31,14 +32,9 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.compressors.errors import DecompressionError
-from repro.core.partition import UnitBlockSet, scatter_unit_blocks
+from repro.core.partition import UnitBlockSet
 from repro.store.index import RECORD_BYTES, BlockIndex
-from repro.store.query import (
-    BBox,
-    bbox_to_block_range,
-    normalize_bbox,
-    paste_slices,
-)
+from repro.store.query import BBox
 from repro.utils.morton import morton_encode2d, morton_encode3d
 
 __all__ = ["BlockLevel", "LevelInfo", "ContainerReader", "write_container", "STORE_MAGIC"]
@@ -298,6 +294,18 @@ class ContainerReader:
 
         return decode_payloads(payloads)
 
+    def decode_entries(self, positions: Sequence[int]) -> List[np.ndarray]:
+        """Fetch and decode the payloads of the given index-entry positions.
+
+        The batched decode primitive behind every query: positions come from
+        :meth:`BlockIndex.select`, payloads are fetched with per-block seeks
+        and decoded through the attached engine (or serially).  Lazy views
+        (:mod:`repro.array`) call this for exactly their cache misses.
+        """
+        return self._decode_payloads(
+            self._fetch_payloads(np.asarray(positions, dtype=np.int64))
+        )
+
     # -- queries --------------------------------------------------------------
     def read_blocks(self, level: int, region: Optional[BBox] = None) -> UnitBlockSet:
         """Decode the blocks of one level, optionally restricted to a region.
@@ -310,7 +318,7 @@ class ContainerReader:
         info = self.level_info(level)
         positions = self._index.select(info.level, info.ndim, region)
         coords = self._index.coords[positions, : info.ndim]
-        decoded = self._decode_payloads(self._fetch_payloads(positions))
+        decoded = self.decode_entries(positions)
         if decoded:
             blocks = np.stack(decoded, axis=0)
         else:
@@ -322,12 +330,34 @@ class ContainerReader:
             level_shape=info.level_shape,
         )
 
+    def as_array(self, level: int = 0, fill_value: float = 0.0, cache=None):
+        """Lazy :class:`repro.array.CompressedArray` view over one level.
+
+        The view's indexing compiles into this reader's block queries, so only
+        intersecting blocks are decoded (through the attached engine when
+        present); pass a :class:`repro.array.BlockCache` to decode revisited
+        blocks once across queries.
+        """
+        from repro.array import CompressedArray, ContainerSource
+
+        return CompressedArray(
+            ContainerSource(self), level=level, fill_value=fill_value, cache=cache
+        )
+
     def read_level(self, level: int, fill_value: float = 0.0) -> np.ndarray:
-        """Decode one whole level into its full-domain array."""
-        block_set = self.read_blocks(level)
-        if block_set.n_blocks == 0:
-            return np.full(block_set.level_shape, float(fill_value), dtype=np.float64)
-        return scatter_unit_blocks(block_set, fill_value=fill_value)
+        """Decode one whole level into its full-domain array.
+
+        .. deprecated:: use ``as_array(level)[...]`` (or, through a store,
+           ``store[field, step].level(k)[...]``) — the lazy view serves whole
+           levels and every partial query through one surface.
+        """
+        warnings.warn(
+            "ContainerReader.read_level is deprecated; use as_array(level)[...] "
+            "or store[field, step].level(k)[...] instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.as_array(level=level, fill_value=fill_value)[...]
 
     def read_roi(
         self, bbox: Sequence[Sequence[int]], level: int = 0, fill_value: float = 0.0
@@ -335,21 +365,13 @@ class ContainerReader:
         """Decode a cell-space sub-region, touching only intersecting blocks.
 
         ``bbox`` is a per-axis ``(lo, hi)`` half-open cell range in the
-        level's own resolution; the result has shape ``hi - lo`` per axis.
-        Cells inside the bbox but outside any occupied block are
-        ``fill_value`` (they belong to other levels of the hierarchy).
+        level's own resolution, clamped to the domain; the result has shape
+        ``hi - lo`` per axis.  Cells inside the bbox but outside any occupied
+        block are ``fill_value`` (they belong to other levels of the
+        hierarchy).  A thin adapter over :meth:`as_array` — lazy views are
+        the primary read surface.
         """
-        info = self.level_info(level)
-        bbox = normalize_bbox(bbox, info.level_shape)
-        block_range = bbox_to_block_range(bbox, info.unit_size)
-        block_set = self.read_blocks(level, region=block_range)
-        out = np.full(
-            tuple(hi - lo for lo, hi in bbox), float(fill_value), dtype=np.float64
-        )
-        for block, coord in zip(block_set.blocks, block_set.coords):
-            dst, src = paste_slices(coord, info.unit_size, bbox)
-            out[dst] = block[src]
-        return out
+        return self.as_array(level=level, fill_value=fill_value).read_roi(bbox)
 
     def describe(self) -> Dict:
         """Header summary as plain data (what ``repro store ls`` prints)."""

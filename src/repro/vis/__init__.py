@@ -6,6 +6,10 @@ benchmarks compare instead: 2-D slice extraction (for SSIM of "visualizations"),
 isosurface extraction as edge-crossing point clouds, and the probabilistic
 marching cubes cell-crossing probabilities used for the uncertainty study
 (Fig. 14).
+
+All helpers consume lazy :class:`repro.array.CompressedArray` views as well
+as ndarrays; :func:`extract_slice` indexes views in place so a slice decodes
+only the blocks its plane crosses.
 """
 
 from repro.vis.isosurface import (

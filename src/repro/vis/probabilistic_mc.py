@@ -10,6 +10,12 @@ crossed by the isosurface is
 with ``Phi_i`` the CDF of corner ``i`` evaluated at the isovalue ``c``.  The
 closed form is fully vectorised; a Monte-Carlo estimator is provided for
 validation (and for future non-parametric models).
+
+``mean_field`` (and ``decompressed`` in :func:`feature_recovery`) may be a
+lazy :class:`repro.array.CompressedArray` view — e.g. ``store[field, step]``
+or its ROI slice — which is materialised once via ``numpy.asarray``; slice
+the view before passing it to keep the decode footprint to the region under
+study.
 """
 
 from __future__ import annotations

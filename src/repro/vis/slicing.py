@@ -6,6 +6,11 @@ available offline, so the slice itself (optionally mapped through a warm/cool
 colormap to an RGB image array) is used as the visualization surrogate — the
 SSIM of the slice tracks the SSIM of the rendered image very closely because
 the colormap is monotonic.
+
+Every helper accepts a lazy :class:`repro.array.CompressedArray` view in place
+of an ndarray; :func:`extract_slice` in particular indexes the view directly,
+so slicing a stored timestep decodes only the one plane of blocks the slice
+crosses — the slice-viewer access pattern the block store exists for.
 """
 
 from __future__ import annotations
@@ -17,13 +22,19 @@ import numpy as np
 __all__ = ["extract_slice", "normalize_for_display", "render_slice_rgb", "zoom_region"]
 
 
-def extract_slice(volume: np.ndarray, axis: int = 2, position: float | int = 0.5) -> np.ndarray:
-    """Extract a 2-D slice from a 3-D volume.
+def extract_slice(volume, axis: int = 2, position: float | int = 0.5) -> np.ndarray:
+    """Extract a 2-D slice from a 3-D volume (eager array or lazy view).
 
     ``position`` is either an integer index or a float fraction in [0, 1]
-    along ``axis``.
+    along ``axis``.  A lazy view is indexed in place, decoding only the blocks
+    the slice plane intersects.
     """
-    vol = np.asarray(volume, dtype=np.float64)
+    # Imported lazily: repro.array sits above the store (which reaches repro.vis
+    # through repro.core), so a module-level import would be circular.
+    from repro.array import CompressedArray
+
+    lazy = isinstance(volume, CompressedArray)
+    vol = volume if lazy else np.asarray(volume, dtype=np.float64)
     if vol.ndim != 3:
         raise ValueError("extract_slice expects a 3-D volume")
     axis = int(axis) % 3
@@ -34,6 +45,10 @@ def extract_slice(volume: np.ndarray, axis: int = 2, position: float | int = 0.5
         index = int(position)
     if not 0 <= index < n:
         raise IndexError(f"slice index {index} out of range for axis {axis} with size {n}")
+    if lazy:
+        selector = [slice(None)] * 3
+        selector[axis] = index
+        return vol[tuple(selector)]
     return np.take(vol, index, axis=axis)
 
 

@@ -135,6 +135,45 @@ class TestStoreCommands:
         assert roi.shape == (8, 8, 8)
         assert np.abs(roi - field[:8, :8, :8]).max() <= 0.01 * (1 + 1e-9)
 
+    def test_store_read_numpy_style_index(self, tmp_path, populated_store, capsys):
+        root, field = populated_store
+        out_path = tmp_path / "read.npy"
+        assert main([
+            "store", "read", str(root), "pressure", "2", str(out_path),
+            "--index", "10:20,:,::2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "decoded" in out and "blocks" in out
+        data = np.load(out_path)
+        assert data.shape == (10, 24, 12)
+        assert np.abs(data - field[10:20, :, ::2]).max() <= 0.01 * (1 + 1e-9)
+
+    def test_store_read_negative_and_ellipsis(self, tmp_path, populated_store):
+        root, field = populated_store
+        out_path = tmp_path / "plane.npy"
+        # A leading '-' needs the --index=... spelling so argparse does not
+        # mistake the value for a flag.
+        assert main([
+            "store", "read", str(root), "pressure", "2", str(out_path),
+            "--index=-1,...",
+        ]) == 0
+        data = np.load(out_path)
+        assert data.shape == (24, 24)
+        assert np.abs(data - field[-1]).max() <= 0.01 * (1 + 1e-9)
+
+    def test_store_read_bad_index_exits(self, populated_store, tmp_path):
+        root, _ = populated_store
+        for bad in ("1:2:3:4", "a:b", "spam"):
+            with pytest.raises(SystemExit, match="bad index"):
+                main(["store", "read", str(root), "pressure", "2",
+                      str(tmp_path / "o.npy"), "--index", bad])
+
+    def test_store_read_empty_selection_exits(self, populated_store, tmp_path):
+        root, _ = populated_store
+        with pytest.raises(SystemExit, match="empty after clamping"):
+            main(["store", "read", str(root), "pressure", "2",
+                  str(tmp_path / "o.npy"), "--index", "5:5"])
+
     def test_store_missing_entry_exits(self, populated_store, tmp_path):
         root, _ = populated_store
         with pytest.raises(SystemExit):

@@ -26,12 +26,12 @@ class TestCatalog:
         assert entry.compression_ratio > 1.0
         reader = store.get("density", 0)
         for lvl in small_hierarchy.levels:
-            recon = reader.read_level(lvl.level)
+            recon = reader.as_array(lvl.level)[...]
             assert np.abs(recon - lvl.data)[lvl.mask].max() <= EB * (1 + 1e-9)
 
     def test_append_uniform_array(self, store, smooth_field_3d):
         store.append("temp", 7, smooth_field_3d, EB)
-        recon = store.read_level("temp", 7)
+        recon = store["temp", 7][...]
         assert np.abs(recon - smooth_field_3d).max() <= EB * (1 + 1e-9)
 
     def test_duplicate_append_needs_overwrite(self, store, smooth_field_3d):
@@ -51,7 +51,7 @@ class TestCatalog:
         assert reopened.steps("temp") == [0, 1]
         assert ("density", 4) in reopened
         assert ("density", 5) not in reopened
-        recon = reopened.read_level("temp", 1)
+        recon = reopened["temp", 1][...]
         assert np.abs(recon - smooth_field_3d).max() <= EB * (1 + 1e-9)
 
     def test_iteration_order(self, store, smooth_field_3d):
@@ -142,6 +142,6 @@ class TestPipelineIntegration:
         e1 = serial.append("density", 0, small_hierarchy, EB)
         e2 = threaded.append("density", 0, small_hierarchy, EB)
         assert e1.nbytes_compressed == e2.nbytes_compressed
-        a = serial.read_level("density", 0)
-        b = threaded.read_level("density", 0)
+        a = serial["density", 0][...]
+        b = threaded["density", 0][...]
         assert np.array_equal(a, b)

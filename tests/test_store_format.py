@@ -48,7 +48,7 @@ class TestRoundTrip:
     def test_full_level_roundtrip(self, tmp_path, uniform_field):
         path = _container_from_uniform(tmp_path, uniform_field)
         reader = ContainerReader(path)
-        recon = reader.read_level(0)
+        recon = reader.as_array()[...]
         assert recon.shape == uniform_field.shape
         assert np.abs(recon - uniform_field).max() <= EB * (1 + 1e-9)
 
@@ -72,13 +72,13 @@ class TestRoundTrip:
         reader = ContainerReader(path)
         assert [info.level for info in reader.levels] == [0, 1]
         for lvl in small_hierarchy.levels:
-            recon = reader.read_level(lvl.level)
+            recon = reader.as_array(lvl.level)[...]
             assert np.abs(recon - lvl.data)[lvl.mask].max() <= EB * (1 + 1e-9)
 
     def test_2d_roundtrip(self, tmp_path, smooth_field_2d):
         path = _container_from_uniform(tmp_path, smooth_field_2d, name="f2d.rps2")
         reader = ContainerReader(path)
-        recon = reader.read_level(0)
+        recon = reader.as_array()[...]
         assert np.abs(recon - smooth_field_2d).max() <= EB * (1 + 1e-9)
 
     def test_header_accounting(self, tmp_path, uniform_field):
@@ -169,7 +169,7 @@ class TestRandomAccess:
     def test_missing_level_raises(self, tmp_path, uniform_field):
         path = _container_from_uniform(tmp_path, uniform_field)
         with pytest.raises(KeyError):
-            ContainerReader(path).read_level(5)
+            ContainerReader(path).as_array(5)
 
 
 class TestCorruption:
@@ -209,7 +209,7 @@ class TestCorruption:
         cut.write_bytes(blob[:-64])
         reader = ContainerReader(cut)  # header + index still parse
         with pytest.raises(DecompressionError, match="payload"):
-            reader.read_level(0)
+            reader.as_array()[...]
 
     def test_unsupported_version(self, tmp_path):
         import json
