@@ -1,0 +1,171 @@
+"""Read-daemon latency — cold vs warm shared-cache remote reads.
+
+Not a figure from the paper: this benchmark characterises :mod:`repro.serve`,
+the daemon that lets many analysis clients share one decode pool.  One store
+(a >=64^3 synthetic field appended at unit 16) is served over a loopback
+socket; a client then reads a sliding set of overlapping ROIs twice:
+
+* **cold** — first pass, every touched block must be decoded daemon-side;
+* **warm** — identical second pass, answered entirely from the shared
+  :class:`~repro.array.BlockCache` (the daemon accounting proves zero new
+  decodes);
+* **local** — the same pass through the in-process lazy view, as the
+  no-socket baseline that prices the wire overhead.
+
+Numbers land in ``BENCH_serve.json`` via :func:`record_bench` (cold/warm
+per-read latency, decode counts, payload bytes moved), so a result file is
+interpretable without the run log.  The assertions are shape-only: warm
+passes decode nothing and do not lose to cold passes; absolute times vary
+with the host.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from _helpers import format_table, record_bench
+from repro.core.mr_compressor import MultiResolutionCompressor
+from repro.datasets.synthetic import smooth_wave_field
+from repro.serve import ReadDaemon, RemoteStore
+from repro.store import Store
+
+EDGE = int(os.environ.get("REPRO_BENCH_SERVE_SIZE", "64"))
+UNIT = 16
+EB = 1e-3
+ROI_EDGE = EDGE // 2
+N_ROIS = 8
+
+
+def _windows():
+    """Overlapping ROI selections sliding through the field."""
+    max_lo = EDGE - ROI_EDGE
+    return [
+        (
+            slice(lo, lo + ROI_EDGE),
+            slice(None),
+            slice(None, None, 2),
+        )
+        for lo in np.linspace(0, max_lo, N_ROIS).astype(int)
+    ]
+
+
+def _timed_pass(view, windows):
+    times, results = [], []
+    for window in windows:
+        start = time.perf_counter()
+        results.append(np.asarray(view[window]))
+        times.append(time.perf_counter() - start)
+    return times, results
+
+
+def _run(tmp_path):
+    field = smooth_wave_field((EDGE, EDGE, EDGE), frequencies=(3.0, 5.0, 2.0))
+    store = Store(tmp_path / "store", MultiResolutionCompressor(unit_size=UNIT))
+    store.append("f", 0, field, EB)
+    windows = _windows()
+
+    with ReadDaemon(store) as daemon:
+        with RemoteStore(daemon.address) as client:
+            remote = client["f", 0]
+            before = daemon.stats()
+            cold_times, cold_results = _timed_pass(remote, windows)
+            mid = daemon.stats()
+            warm_times, warm_results = _timed_pass(remote, windows)
+            after = daemon.stats()
+        stats_final = daemon.stats()
+
+    # Local baseline on a fresh cache: what the socket costs on a cold read.
+    store.block_cache.clear()
+    local_times, local_results = _timed_pass(store["f", 0], windows)
+
+    for cold, warm, local in zip(cold_results, warm_results, local_results):
+        assert np.array_equal(cold, warm)
+        assert np.array_equal(cold, local)
+
+    return {
+        "cold_times": cold_times,
+        "warm_times": warm_times,
+        "local_times": local_times,
+        "cold_decodes": mid["blocks_decoded"] - before["blocks_decoded"],
+        "warm_decodes": after["blocks_decoded"] - mid["blocks_decoded"],
+        "touched": mid["blocks_touched"] - before["blocks_touched"],
+        "result_bytes": after["result_bytes_sent"] - before["result_bytes_sent"],
+        "cache": stats_final["cache"],
+    }
+
+
+@pytest.mark.slow
+def test_serve_latency(benchmark, report, tmp_path):
+    results = benchmark.pedantic(_run, args=(tmp_path,), rounds=1, iterations=1)
+    rows = [
+        [
+            "remote cold",
+            float(np.sum(results["cold_times"])),
+            float(np.mean(results["cold_times"]) * 1e3),
+            results["cold_decodes"],
+        ],
+        [
+            "remote warm",
+            float(np.sum(results["warm_times"])),
+            float(np.mean(results["warm_times"]) * 1e3),
+            results["warm_decodes"],
+        ],
+        [
+            "local cold",
+            float(np.sum(results["local_times"])),
+            float(np.mean(results["local_times"]) * 1e3),
+            results["cold_decodes"],
+        ],
+    ]
+    report(
+        format_table(
+            f"Read daemon — {N_ROIS} overlapping {ROI_EDGE}-deep ROIs of {EDGE}^3, "
+            f"unit {UNIT}",
+            ["pass", "total [s]", "per read [ms]", "blocks decoded"],
+            rows,
+        )
+    )
+    report(
+        f"warm/cold per-read: {np.mean(results['warm_times']) * 1e3:.2f} / "
+        f"{np.mean(results['cold_times']) * 1e3:.2f} ms; "
+        f"{results['result_bytes'] / 1e6:.1f} MB of results over the wire; "
+        f"cache hits {results['cache']['hits']}"
+    )
+    record_bench(
+        "serve",
+        {
+            "edge": EDGE,
+            "unit_size": UNIT,
+            "error_bound": EB,
+            "n_rois": N_ROIS,
+            "roi_edge": ROI_EDGE,
+            "cpu_count": os.cpu_count(),
+            "cold": {
+                "times_s": results["cold_times"],
+                "per_read_ms": float(np.mean(results["cold_times"]) * 1e3),
+                "blocks_decoded": results["cold_decodes"],
+            },
+            "warm": {
+                "times_s": results["warm_times"],
+                "per_read_ms": float(np.mean(results["warm_times"]) * 1e3),
+                "blocks_decoded": results["warm_decodes"],
+            },
+            "local": {
+                "times_s": results["local_times"],
+                "per_read_ms": float(np.mean(results["local_times"]) * 1e3),
+            },
+            "blocks_touched": results["touched"],
+            "result_bytes_sent": results["result_bytes"],
+            "cache": results["cache"],
+        },
+    )
+    # Shape assertions only: the warm pass is answered without any decode and
+    # is not slower than paying the decodes again (timings otherwise vary too
+    # much across hosts for absolute bounds).
+    assert results["cold_decodes"] > 0
+    assert results["warm_decodes"] == 0
+    assert np.sum(results["warm_times"]) <= np.sum(results["cold_times"]) * 1.5

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""N clients, one warm cache: the read daemon in one process.
+
+A short in-situ run fills a block store; a :class:`repro.serve.ReadDaemon`
+then serves it over a local socket while several client threads — each with
+its own connection, the way separate analysis processes would connect — read
+*overlapping* windows of the same timestep.  The daemon's accounting shows
+the point of the architecture: after the first pass over a region, no client
+ever pays a decode again, and every result is bit-for-bit identical to a
+local read.
+
+Run with:  python examples/serve_shared_cache.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.amr.simulation import CollapsingDensitySimulation
+from repro.serve import ReadDaemon
+
+N_CLIENTS = 4
+READS_PER_CLIENT = 3
+
+
+def client_task(addr: str, field: str, step: int, client_id: int):
+    """One analysis client: own connection, overlapping strided windows."""
+    with repro.connect(addr) as remote:
+        arr = remote[field, step]
+        lo = (client_id * 3) % 8
+        window = (slice(lo, lo + 24), slice(None), slice(None, None, 2))
+        results = [np.asarray(arr[window]) for _ in range(READS_PER_CLIENT)]
+        return client_id, window, results, dict(arr.stats)
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        # 1. Produce a store (same pipeline as examples/store_random_access).
+        sim = CollapsingDensitySimulation(shape=(32, 32, 32), block_size=8, seed=11)
+        codec = repro.CodecSpec.sz3mr(unit_size=8)
+        store = repro.open_store(Path(tmp) / "run", codec)
+        reports = (
+            repro.Pipeline(codec, repro.ErrorBound.abs(0.1))
+            .sink_store(store)
+            .run(sim, n_steps=3)
+        )
+        field, step = reports[-1].field_name, reports[-1].step
+
+        # 2. Serve it.  The daemon shares the store's block cache and codec
+        #    engine; `repro serve RUN_DIR --addr ...` is this line as a CLI.
+        with ReadDaemon(store) as daemon:
+            addr = daemon.address
+            print(f"daemon serving {store.root} at {addr}")
+
+            # 3. Warm-up: one client pays the decode cost for the region.
+            with repro.connect(addr) as remote:
+                warm = remote[field, step]
+                warm[0:28, :, ::2]
+                print(
+                    f"warm-up read: daemon decoded {warm.stats['blocks_decoded']} "
+                    f"of {warm.stats['blocks_touched']} touched blocks"
+                )
+
+            cold_stats = daemon.stats()
+
+            # 4. N clients, separate connections, overlapping windows.
+            with ThreadPoolExecutor(max_workers=N_CLIENTS) as pool:
+                futures = [
+                    pool.submit(client_task, addr, field, step, i)
+                    for i in range(N_CLIENTS)
+                ]
+                outcomes = [f.result() for f in futures]
+
+            warm_stats = daemon.stats()
+            new_decodes = warm_stats["blocks_decoded"] - cold_stats["blocks_decoded"]
+            total_reads = warm_stats["reads"] - cold_stats["reads"]
+            print(
+                f"{N_CLIENTS} clients x {READS_PER_CLIENT} overlapping reads "
+                f"({total_reads} requests): {new_decodes} new decodes, "
+                f"{warm_stats['cache']['hits']} lifetime cache hits"
+            )
+            assert total_reads == N_CLIENTS * READS_PER_CLIENT
+            # Every block the clients touched was already warm: the daemon
+            # decoded each touched block at most once, during warm-up.
+            assert new_decodes == 0, "warm reads must not decode"
+
+            # 5. Bit-for-bit equality with local reads, for every client.
+            local = store[field, step]
+            for client_id, window, results, stats in outcomes:
+                expected = np.asarray(local[window])
+                for got in results:
+                    assert np.array_equal(got, expected)
+                print(
+                    f"  client {client_id}: window {window[0].start}:"
+                    f"{window[0].stop} ok, cache hits {stats['cache_hits']}"
+                )
+        print("daemon stopped cleanly")
+
+
+if __name__ == "__main__":
+    main()

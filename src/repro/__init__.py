@@ -46,6 +46,7 @@ _API_EXPORTS = (
     "decompress",
     "open_store",
     "open_array",
+    "connect",
     "run_workflow",
     "run_config",
     "load_config",
@@ -79,7 +80,8 @@ def describe() -> str:
         "  compress/decompress   single-array codec round trip\n"
         "  open_store            block-indexed random-access store (repro.store)\n"
         "  open_array            lazy NumPy-style view over a .rps2 container (repro.array)\n"
+        "  connect               remote lazy views via a read daemon (repro.serve)\n"
         "  run_workflow          execute a WorkflowConfig on an array or hierarchy\n"
         "  run_config            execute a serialized config (the `repro run` engine)\n"
-        "CLI: repro compress|decompress|info|evaluate|store ls|get|roi|read|run\n"
+        "CLI: repro compress|decompress|info|evaluate|store ls|get|roi|read|run|serve\n"
     )

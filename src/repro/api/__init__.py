@@ -49,6 +49,7 @@ __all__ = [
     "decompress",
     "open_store",
     "open_array",
+    "connect",
     "run_workflow",
     "run_config",
 ]
@@ -65,6 +66,7 @@ _LAZY_EXPORTS = {
     "decompress": "repro.api.facade",
     "open_store": "repro.api.facade",
     "open_array": "repro.api.facade",
+    "connect": "repro.api.facade",
     "run_workflow": "repro.api.facade",
     "run_config": "repro.api.facade",
 }
@@ -79,6 +81,7 @@ if TYPE_CHECKING:  # pragma: no cover - static typing only
     )
     from repro.api.facade import (  # noqa: F401
         compress,
+        connect,
         decompress,
         open_array,
         open_store,

@@ -28,6 +28,7 @@ __all__ = [
     "decompress",
     "open_store",
     "open_array",
+    "connect",
     "run_workflow",
     "run_config",
 ]
@@ -129,6 +130,19 @@ def open_array(
     from repro.array import open_array as _open_array
 
     return _open_array(path, level=level, fill_value=fill_value, engine=engine)
+
+
+def connect(addr, timeout: float = 30.0):
+    """Connect to a read daemon (``repro serve``) at ``"host:port"``.
+
+    Returns a :class:`repro.serve.RemoteStore` whose surface mirrors the
+    read side of a local store: ``remote[field, step]`` is a lazy
+    :class:`~repro.serve.RemoteArray` view, indexing round-trips through the
+    daemon's shared block cache, and errors keep their local types.
+    """
+    from repro.serve import RemoteStore
+
+    return RemoteStore(addr, timeout=timeout)
 
 
 def run_workflow(

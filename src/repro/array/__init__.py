@@ -24,7 +24,8 @@ Every classic read path is an adapter over this surface:
 ``Store.read_roi`` / ``ContainerReader.read_roi`` delegate to views,
 ``repro.decompress`` returns one, and the vis helpers accept them.  A view
 query (source token, level, compiled index) is exactly the request shape the
-planned read daemon serialises (see ROADMAP).
+read daemon (:mod:`repro.serve`) ships over its wire protocol, which is why
+:class:`repro.serve.RemoteArray` can mirror this surface one-to-one.
 """
 
 from repro.array.cache import BlockCache

@@ -28,7 +28,8 @@ Block sources implement a small duck-typed protocol::
     token                -> hashable namespace for cache keys
     stats                -> dict of decode counters
 
-which is exactly the request shape a read daemon would serialise (ROADMAP).
+which is exactly the request shape the read daemon (:mod:`repro.serve`)
+serialises — its per-request accounting wraps this protocol unchanged.
 """
 
 from __future__ import annotations

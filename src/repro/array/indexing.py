@@ -14,8 +14,9 @@ index expression into two pieces:
   integer-axis dropping without touching any further data.
 
 Keeping this pure (no arrays, no I/O) makes the index arithmetic exhaustively
-unit-testable and reusable by a future read daemon, which can ship a compiled
-index as a request payload.
+unit-testable — the fuzz suite (``tests/test_array_fuzz.py``) drives it with
+seeded random expressions against NumPy — and lets the read daemon
+(:mod:`repro.serve`) compile an index shipped as plain request data.
 """
 
 from __future__ import annotations
@@ -24,7 +25,20 @@ import operator
 from dataclasses import dataclass
 from typing import Any, List, Sequence, Tuple, Union
 
-__all__ = ["CompiledIndex", "compile_index"]
+__all__ = ["CompiledIndex", "compile_index", "unsupported_index_error"]
+
+
+def unsupported_index_error(item: Any) -> TypeError:
+    """The one diagnostic for index elements outside the basic-indexing subset.
+
+    Shared with the wire codec (:mod:`repro.serve.protocol`), which must
+    reject exactly what this compiler rejects with exactly this message —
+    the fuzz suite asserts remote/local error parity.
+    """
+    return TypeError(
+        f"unsupported index element {item!r}; lazy views support integers, "
+        "slices and '...' (basic indexing) only"
+    )
 
 #: Index elements accepted per axis after ellipsis expansion.
 AxisIndex = Union[int, slice]
@@ -87,10 +101,7 @@ def _compile_axis(item: Any, n: int, axis: int) -> Tuple[Tuple[int, int], AxisIn
     try:
         i = operator.index(item)
     except TypeError:
-        raise TypeError(
-            f"unsupported index element {item!r}; lazy views support integers, "
-            "slices and '...' (basic indexing) only"
-        ) from None
+        raise unsupported_index_error(item) from None
     orig = i
     if i < 0:
         i += n

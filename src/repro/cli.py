@@ -23,6 +23,13 @@ command group:
   NumPy-style lazy indexing (ints, steps, ``...``) through
   :mod:`repro.array`, with per-query decode accounting.
 
+The read daemon (:mod:`repro.serve`) shares one decode pool between clients:
+
+* ``repro serve ROOT --addr 127.0.0.1:4815`` — serve the store's queries
+  over a local socket from one shared block cache;
+* ``repro store read ... --remote 127.0.0.1:4815`` — the same ``read``
+  query through the daemon, reporting what it cost server-side.
+
 The multi-resolution workflow and in-situ pipeline are driven through
 serialized :mod:`repro.api` configs:
 
@@ -150,6 +157,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--index=-1,...)",
     )
     read.add_argument("--level", type=int, default=0, help="resolution level (default 0, finest)")
+    read.add_argument(
+        "--remote",
+        metavar="ADDR",
+        default=None,
+        help="read through a running daemon (host:port from `repro serve`) "
+        "instead of opening ROOT locally; ROOT is then ignored",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="serve a store's read queries over a local socket (repro.serve)"
+    )
+    serve.add_argument("root", type=Path, help="store directory (holds manifest.json)")
+    serve.add_argument(
+        "--addr",
+        default="127.0.0.1:0",
+        help="host:port to bind (default 127.0.0.1:0; port 0 picks a free port, "
+        "printed on startup)",
+    )
+    serve.add_argument(
+        "--cache-blocks", type=int, default=512, help="shared block-cache capacity in blocks"
+    )
+    serve.add_argument(
+        "--cache-mb", type=float, default=64.0, help="shared block-cache capacity in MiB"
+    )
+    serve.add_argument(
+        "--seconds",
+        type=float,
+        default=None,
+        help="serve for this many seconds then exit cleanly (default: until ctrl-c)",
+    )
 
     run = sub.add_parser(
         "run", help="execute a serialized repro.api workflow/pipeline config (JSON)"
@@ -332,9 +369,85 @@ def _open_store(root: Path):
         raise SystemExit(f"error: {exc}")
 
 
+def _cmd_store_read_remote(args: argparse.Namespace) -> int:
+    """``repro store read --remote``: the same query through a read daemon."""
+    from repro.serve import ProtocolError, RemoteStore
+
+    index = _parse_index(args.index)
+    try:
+        with RemoteStore(args.remote) as client:
+            view = client.array(args.field, args.step, level=args.level)
+            field = np.asarray(view[index])
+            stats = view.stats
+    except OSError as exc:
+        raise SystemExit(f"error: cannot connect to daemon at {args.remote}: {exc}")
+    except ProtocolError as exc:
+        raise SystemExit(f"error: {exc}")
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0] if exc.args else exc}")
+    except (ValueError, IndexError, TypeError) as exc:
+        raise SystemExit(f"error: {exc}")
+    np.save(args.output, field)
+    print(
+        f"read [{args.index}] of {args.field} step {args.step} level "
+        f"{args.level} via {args.remote} -> {args.output}, shape {field.shape} "
+        f"(daemon decoded {stats['blocks_decoded']}/{stats['blocks_touched']} touched "
+        f"blocks, cache hits {stats['cache_hits']})"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.array import BlockCache
+    from repro.serve import ReadDaemon, parse_address
+
+    try:
+        host, port = parse_address(args.addr)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    store = _open_store(args.root)
+    cache = BlockCache(
+        max_blocks=args.cache_blocks, max_bytes=int(args.cache_mb * 2 ** 20)
+    )
+    daemon = ReadDaemon(store, host=host, port=port, cache=cache)
+    # SIGTERM (systemd, CI, `kill`) shuts down as cleanly as ctrl-c; shells
+    # without job control start background children with SIGINT ignored, so
+    # TERM is the only reliably deliverable stop signal there.  Installed
+    # before the banner: once the address is printed, a TERM is never fatal.
+    import signal
+
+    previous = signal.signal(signal.SIGTERM, lambda signum, frame: daemon.request_stop())
+    try:
+        daemon.start()
+    except OSError as exc:
+        signal.signal(signal.SIGTERM, previous)
+        raise SystemExit(f"error: cannot bind {args.addr}: {exc}")
+    print(
+        f"serving {args.root} ({len(store)} entries) at {daemon.address} "
+        f"(cache {args.cache_blocks} blocks / {args.cache_mb:g} MiB; ctrl-c to stop)",
+        flush=True,
+    )
+    try:
+        daemon.serve_forever(timeout=args.seconds)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        stats = daemon.stats()
+        daemon.stop()
+    print(
+        f"daemon stopped after {stats['requests']} requests "
+        f"({stats['reads']} reads, {stats['blocks_decoded']} blocks decoded, "
+        f"{stats['cache']['hits']} cache hits)"
+    )
+    return 0
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
     from repro.compressors.errors import DecompressionError
 
+    if args.store_command == "read" and args.remote is not None:
+        return _cmd_store_read_remote(args)
     store = _open_store(args.root)
     if args.store_command == "ls":
         print(store.summary())
@@ -411,6 +524,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "info": _cmd_info,
         "evaluate": _cmd_evaluate,
         "store": _cmd_store,
+        "serve": _cmd_serve,
         "run": _cmd_run,
     }
     try:

@@ -1,0 +1,298 @@
+"""``RemoteStore`` / ``RemoteArray``: the lazy view surface over a socket.
+
+The client mirrors :mod:`repro.array` exactly — *open returns a view,
+indexing triggers I/O* — so analysis and vis code written against a local
+:class:`~repro.array.CompressedArray` works unchanged against a daemon::
+
+    remote = repro.connect("127.0.0.1:4815")
+    arr = remote["density", 10]          # one describe round trip
+    plane = arr[:, :, 16]                # one read round trip
+    coarse = arr.level(1)[...]           # sibling view, shared metadata
+
+Indexing is compiled daemon-side: the client ships the raw expression
+(:func:`~repro.serve.protocol.index_to_wire`) and re-raises daemon errors
+with their original types, so ``IndexError``/``TypeError``/``ValueError``
+behave bit-for-bit like the local view — the fuzz suite asserts this.  One
+connection is one socket; requests are serialized under a lock, so a client
+object may be shared between threads (each request is a single
+request/response exchange).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.serve.daemon import parse_address
+from repro.serve.protocol import (
+    ProtocolError,
+    decode_ndarray,
+    index_to_wire,
+    pack_frame,
+    raise_remote_error,
+    read_frame,
+)
+
+__all__ = ["RemoteStore", "RemoteArray", "connect"]
+
+
+def connect(addr: Union[str, Tuple[str, int]], timeout: float = 30.0) -> "RemoteStore":
+    """Connect to a :class:`~repro.serve.daemon.ReadDaemon` at ``host:port``."""
+    return RemoteStore(addr, timeout=timeout)
+
+
+class RemoteStore:
+    """Catalog + view factory over one daemon connection.
+
+    The read-side subset of :class:`repro.store.Store`: ``entries()`` /
+    ``fields()`` / ``steps()`` mirror the catalog queries, ``array()`` and
+    ``store[field, step]`` return :class:`RemoteArray` views, and
+    ``stats()`` exposes the daemon's shared-cache accounting.  Usable as a
+    context manager; :meth:`close` hangs up politely.
+    """
+
+    def __init__(self, addr: Union[str, Tuple[str, int]], timeout: float = 30.0) -> None:
+        host, port = parse_address(addr)
+        self.address = f"{host}:{port}"
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._fh = self._sock.makefile("rb")
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- transport -------------------------------------------------------------
+    def request(self, header: Dict[str, Any], payload: bytes = b"") -> Tuple[Dict, bytes]:
+        """One framed request/response exchange; raises typed daemon errors.
+
+        A *transport* failure mid-exchange (send error, recv timeout,
+        truncated or garbled response) leaves the stream position unknowable,
+        so it poisons the connection: further requests fail fast instead of
+        misparsing a late response as their own.  Application errors reported
+        by the daemon arrive on a healthy stream and keep the connection
+        usable.  Responses are read uncapped — a whole-level read is
+        legitimately as large as the level.
+        """
+        with self._lock:
+            if self._closed:
+                raise ProtocolError(f"connection to {self.address} is closed")
+            try:
+                self._sock.sendall(pack_frame(header, payload))
+                frame = read_frame(self._fh, max_payload=None)
+            except (OSError, ProtocolError):
+                self._teardown()
+                raise
+            if frame is None:
+                self._teardown()
+                raise ProtocolError(
+                    f"daemon at {self.address} closed the connection mid-request"
+                )
+        resp, resp_payload = frame
+        if resp.get("status") != "ok":
+            raise_remote_error(resp)
+        return resp, resp_payload
+
+    def _teardown(self) -> None:
+        """Mark closed and release the socket (caller holds the lock)."""
+        self._closed = True
+        try:
+            self._fh.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._teardown()
+
+    def __enter__(self) -> "RemoteStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- catalog queries -------------------------------------------------------
+    def describe(self, field: Optional[str] = None, step: int = 0) -> Dict[str, Any]:
+        """Store summary, or one container's header + level geometry."""
+        header: Dict[str, Any] = {"op": "describe"}
+        if field is not None:
+            header.update(field=str(field), step=int(step))
+        resp, _ = self.request(header)
+        resp.pop("status", None)
+        return resp
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """All catalog rows as plain dicts (the manifest schema)."""
+        resp, _ = self.request({"op": "catalog"})
+        return list(resp["entries"])
+
+    def fields(self) -> List[str]:
+        return sorted({e["field"] for e in self.entries()})
+
+    def steps(self, field: str) -> List[int]:
+        return sorted(e["step"] for e in self.entries() if e["field"] == str(field))
+
+    def __len__(self) -> int:
+        return int(self.describe()["n_entries"])
+
+    def stats(self) -> Dict[str, Any]:
+        """Daemon-wide counters + shared-cache snapshot."""
+        resp, _ = self.request({"op": "stats"})
+        resp.pop("status", None)
+        return resp
+
+    # -- views -----------------------------------------------------------------
+    def array(
+        self, field: str, step: int, level: int = 0, fill_value: float = 0.0
+    ) -> "RemoteArray":
+        """Lazy remote view of one snapshot (one describe round trip)."""
+        described = self.describe(field, step)
+        return RemoteArray(
+            self, str(field), int(step), described, level=level, fill_value=fill_value
+        )
+
+    def __getitem__(self, key: Tuple[str, int]) -> "RemoteArray":
+        field, step = key
+        return self.array(field, step)
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"RemoteStore({self.address}, {state})"
+
+
+class RemoteArray:
+    """Lazy, NumPy-style view whose reads round-trip through a daemon.
+
+    Same surface as the local view — ``shape``/``dtype``/``ndim``/``size``,
+    ``levels`` + ``.level(k)``, basic indexing, ``numpy.asarray`` — with all
+    geometry known from the opening ``describe``, so only ``__getitem__`` and
+    :meth:`read_roi` move payload bytes.  :attr:`stats` accumulates the
+    per-request accounting the daemon returns in its response headers.
+    """
+
+    def __init__(
+        self,
+        store: RemoteStore,
+        field: str,
+        step: int,
+        described: Dict[str, Any],
+        level: Optional[int] = None,
+        fill_value: float = 0.0,
+    ) -> None:
+        self._store = store
+        self._field = field
+        self._step = step
+        self._described = described
+        self._geometry = {
+            int(lvl["level"]): lvl for lvl in described.get("levels", [])
+        }
+        self._level = int(min(self._geometry) if level is None else level)
+        if self._level not in self._geometry:
+            raise KeyError(
+                f"no level {self._level}; available: {sorted(self._geometry)}"
+            )
+        self.fill_value = float(fill_value)
+        self.stats: Dict[str, int] = {
+            "requests": 0,
+            "blocks_touched": 0,
+            "blocks_decoded": 0,
+            "cache_hits": 0,
+        }
+
+    # -- ndarray-style metadata -------------------------------------------------
+    @property
+    def field(self) -> str:
+        return self._field
+
+    @property
+    def step(self) -> int:
+        return self._step
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(int(s) for s in self._geometry[self._level]["level_shape"])
+
+    @property
+    def dtype(self) -> np.dtype:
+        return np.dtype(np.float64)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape)) if self.shape else 1
+
+    def __len__(self) -> int:
+        if not self.shape:
+            raise TypeError("len() of unsized view")
+        return self.shape[0]
+
+    @property
+    def levels(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._geometry))
+
+    @property
+    def level_index(self) -> int:
+        return self._level
+
+    def level(self, k: int) -> "RemoteArray":
+        """Sibling view of level ``k`` (no round trip; geometry is shared)."""
+        return RemoteArray(
+            self._store,
+            self._field,
+            self._step,
+            self._described,
+            level=k,
+            fill_value=self.fill_value,
+        )
+
+    @property
+    def n_blocks(self) -> int:
+        return int(self._geometry[self._level]["n_blocks"])
+
+    # -- reading ----------------------------------------------------------------
+    def _read(self, request_body: Dict[str, Any]) -> np.ndarray:
+        resp, payload = self._store.request(
+            {
+                "op": "read",
+                "field": self._field,
+                "step": self._step,
+                "level": self._level,
+                "fill_value": self.fill_value,
+                **request_body,
+            }
+        )
+        accounting = resp.get("accounting", {})
+        self.stats["requests"] += 1
+        for key in ("blocks_touched", "blocks_decoded", "cache_hits"):
+            self.stats[key] += int(accounting.get(key, 0))
+        return decode_ndarray(resp, payload)
+
+    def __getitem__(self, index) -> Any:
+        result = self._read({"index": index_to_wire(index)})
+        # A fully-scalar selection returns a NumPy scalar, like the local view.
+        return result[()] if result.shape == () else result
+
+    def read_roi(self, bbox) -> np.ndarray:
+        """Decode a clamped cell-space bbox (the classic ``read_roi`` contract)."""
+        return self._read({"bbox": [[int(lo), int(hi)] for lo, hi in bbox]})
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        out = np.asarray(self[...])
+        if dtype is not None:
+            out = out.astype(dtype, copy=False)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"RemoteArray({self._field}/{self._step} via {self._store.address}, "
+            f"shape={self.shape}, level={self._level} of {list(self.levels)}, "
+            f"blocks={self.n_blocks})"
+        )

@@ -1,0 +1,263 @@
+"""Wire protocol of the read daemon: versioned, length-prefixed frames.
+
+One frame carries one request or one response.  The layout is a fixed head,
+a JSON header and an optional raw payload::
+
+    b"RPSV" | u8 version | u32 header_len | u64 payload_len | header | payload
+
+The header is UTF-8 JSON (operation, parameters, status, accounting); the
+payload is raw bytes — for ``read`` responses the C-order buffer of the
+result ndarray, described by ``dtype``/``shape`` entries in the header, so a
+client reconstructs it with one ``frombuffer`` and no pickling.  Requests are
+the ``repro store read`` shape serialized: ``(field, step, level)`` plus a
+JSON-encodable index expression (:func:`index_to_wire`), exactly the plain
+data a :class:`repro.array.CompressedArray` query compiles to.
+
+Framing errors are their own exception tree so the daemon can answer them
+with a clean error response instead of hanging or killing the connection
+mid-frame: :class:`ProtocolError` for bad magic / truncation / oversized
+headers, its subclass :class:`VersionMismatch` for a well-formed frame that
+speaks another protocol version.  Application errors cross the wire as
+``{"status": "error", "error_type": ..., "message": ...}`` headers and are
+re-raised client-side with the original exception type
+(:func:`raise_remote_error`), so remote reads fail exactly like local ones.
+"""
+
+from __future__ import annotations
+
+import json
+import operator
+import struct
+from typing import Any, BinaryIO, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "PROTOCOL_MAGIC",
+    "PROTOCOL_VERSION",
+    "MAX_HEADER_BYTES",
+    "ProtocolError",
+    "VersionMismatch",
+    "RemoteError",
+    "pack_frame",
+    "read_frame",
+    "encode_ndarray",
+    "decode_ndarray",
+    "index_to_wire",
+    "index_from_wire",
+    "error_header",
+    "raise_remote_error",
+]
+
+PROTOCOL_MAGIC = b"RPSV"  # "RePro SerVe"
+PROTOCOL_VERSION = 1
+
+#: Frame head: magic, protocol version, header length, payload length.
+_HEAD = struct.Struct("<4sBIQ")
+
+#: Sanity cap on the JSON header so a corrupt length field cannot make the
+#: receiver allocate gigabytes before noticing the frame is garbage.
+MAX_HEADER_BYTES = 1 << 20
+
+#: Default cap on a frame payload (responses carry whole result arrays, so
+#: it is generous); a daemon reads *requests* — which carry no payload in
+#: protocol v1 — under a much smaller cap, so a corrupt or hostile length
+#: field cannot park a worker waiting for terabytes that never arrive.
+MAX_PAYLOAD_BYTES = 1 << 31
+
+
+class ProtocolError(RuntimeError):
+    """A frame could not be read or parsed (bad magic, truncation, bad JSON)."""
+
+
+class VersionMismatch(ProtocolError):
+    """A well-formed frame speaking an unsupported protocol version."""
+
+
+class RemoteError(RuntimeError):
+    """A daemon-side failure of a type the client cannot reconstruct."""
+
+
+def pack_frame(
+    header: Mapping[str, Any], payload: bytes = b"", version: int = PROTOCOL_VERSION
+) -> bytes:
+    """Serialize one frame; ``version`` is overridable for mismatch tests."""
+    blob = json.dumps(dict(header), sort_keys=True).encode("utf-8")
+    if len(blob) > MAX_HEADER_BYTES:
+        raise ProtocolError(
+            f"frame header is {len(blob)} bytes; the protocol caps headers at "
+            f"{MAX_HEADER_BYTES}"
+        )
+    return _HEAD.pack(PROTOCOL_MAGIC, int(version), len(blob), len(payload)) + blob + payload
+
+
+def _read_exact(fh: BinaryIO, n: int, what: str) -> bytes:
+    buf = b""
+    while len(buf) < n:
+        chunk = fh.read(n - len(buf))
+        if not chunk:
+            raise ProtocolError(
+                f"truncated frame: expected {n} bytes of {what}, got {len(buf)}"
+            )
+        buf += chunk
+    return buf
+
+
+def read_frame(
+    fh: BinaryIO, max_payload: Optional[int] = MAX_PAYLOAD_BYTES
+) -> Optional[Tuple[Dict[str, Any], bytes]]:
+    """Read one frame from a binary stream; ``None`` on clean end-of-stream.
+
+    "Clean" means the stream ended exactly on a frame boundary (zero bytes
+    available) — how a peer politely hangs up.  Anything else (short head,
+    bad magic, oversized or undecodable header, over-``max_payload`` or
+    short payload) raises :class:`ProtocolError`; a frame head with the
+    wrong version raises :class:`VersionMismatch` *before* the header is
+    parsed, so any future header-schema change stays diagnosable.
+    ``max_payload=None`` lifts the payload cap (a client reading responses
+    that carry whole arrays); a daemon reading payload-less requests passes
+    a small cap instead.
+    """
+    first = fh.read(1)
+    if not first:
+        return None
+    head = first + _read_exact(fh, _HEAD.size - 1, "frame head")
+    magic, version, header_len, payload_len = _HEAD.unpack(head)
+    if magic != PROTOCOL_MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r} (expected {PROTOCOL_MAGIC!r})")
+    if version != PROTOCOL_VERSION:
+        raise VersionMismatch(
+            f"protocol version mismatch: peer speaks {version}, "
+            f"this side speaks {PROTOCOL_VERSION}"
+        )
+    if header_len > MAX_HEADER_BYTES:
+        raise ProtocolError(
+            f"frame header claims {header_len} bytes; the protocol caps headers "
+            f"at {MAX_HEADER_BYTES}"
+        )
+    if max_payload is not None and payload_len > max_payload:
+        raise ProtocolError(
+            f"frame claims a {payload_len}-byte payload; this receiver caps "
+            f"payloads at {max_payload}"
+        )
+    blob = _read_exact(fh, header_len, "frame header")
+    try:
+        header = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"corrupt frame header ({exc})") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError(f"frame header must be a JSON object, got {type(header).__name__}")
+    payload = _read_exact(fh, payload_len, "frame payload")
+    return header, payload
+
+
+# -- ndarray payloads ----------------------------------------------------------
+def encode_ndarray(arr: np.ndarray) -> Tuple[Dict[str, Any], bytes]:
+    """Describe an array for a frame header and serialize its C-order buffer."""
+    arr = np.asarray(arr)
+    if not arr.flags.c_contiguous:
+        # ascontiguousarray would also promote 0-d to 1-d, so only copy when
+        # the layout actually requires it.
+        arr = np.ascontiguousarray(arr).reshape(arr.shape)
+    return {"dtype": arr.dtype.str, "shape": list(arr.shape)}, arr.tobytes()
+
+
+def decode_ndarray(meta: Mapping[str, Any], payload: bytes) -> np.ndarray:
+    """Rebuild an array from its header description and raw buffer."""
+    dtype = np.dtype(meta["dtype"])
+    shape = tuple(int(s) for s in meta["shape"])
+    expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    if len(payload) != expected:
+        raise ProtocolError(
+            f"ndarray payload is {len(payload)} bytes but dtype {dtype} and "
+            f"shape {shape} require {expected}"
+        )
+    return np.frombuffer(payload, dtype=dtype).reshape(shape).copy()
+
+
+# -- index expressions ---------------------------------------------------------
+def index_to_wire(index: Any) -> List[Any]:
+    """Encode a basic-indexing expression as JSON-ready plain data.
+
+    Integers stay integers, ``...`` becomes the string ``"..."``, and a slice
+    becomes ``{"start":, "stop":, "step":}`` with ``None`` fields preserved —
+    the exact element kinds :func:`repro.array.indexing.compile_index`
+    accepts, so a daemon compiles a wire index with no extra validation
+    surface.  Unsupported kinds raise the same ``TypeError`` the local view
+    raises, before any bytes move.
+    """
+    if not isinstance(index, tuple):
+        index = (index,)
+    out: List[Any] = []
+    for item in index:
+        if item is Ellipsis:
+            out.append("...")
+        elif isinstance(item, slice):
+            out.append(
+                {
+                    "start": None if item.start is None else int(item.start),
+                    "stop": None if item.stop is None else int(item.stop),
+                    "step": None if item.step is None else int(item.step),
+                }
+            )
+        else:
+            # operator.index matches the local view's acceptance exactly
+            # (bools index like 0/1, floats and arrays are rejected), and the
+            # diagnostic is the compiler's own, so parity cannot drift.
+            try:
+                out.append(operator.index(item))
+            except TypeError:
+                from repro.array.indexing import unsupported_index_error
+
+                raise unsupported_index_error(item) from None
+    return out
+
+
+def index_from_wire(items: Any) -> Tuple[Any, ...]:
+    """Decode :func:`index_to_wire` output back into an index tuple."""
+    if not isinstance(items, list):
+        raise ProtocolError(f"wire index must be a list, got {type(items).__name__}")
+    out = []
+    for item in items:
+        if item == "...":
+            out.append(Ellipsis)
+        elif isinstance(item, int):
+            out.append(int(item))
+        elif isinstance(item, dict):
+            out.append(slice(item.get("start"), item.get("stop"), item.get("step")))
+        else:
+            raise ProtocolError(f"unsupported wire index element {item!r}")
+    return tuple(out)
+
+
+# -- error transport -----------------------------------------------------------
+#: Exception types a daemon error response reconstructs client-side; anything
+#: else surfaces as :class:`RemoteError` carrying the daemon's message.
+_ERROR_TYPES = {
+    "ValueError": ValueError,
+    "KeyError": KeyError,
+    "IndexError": IndexError,
+    "TypeError": TypeError,
+    "ProtocolError": ProtocolError,
+    "VersionMismatch": VersionMismatch,
+}
+
+
+def error_header(exc: BaseException) -> Dict[str, str]:
+    """Response header describing a daemon-side failure."""
+    message = exc.args[0] if isinstance(exc, KeyError) and exc.args else str(exc)
+    return {
+        "status": "error",
+        "error_type": type(exc).__name__,
+        "message": str(message),
+    }
+
+
+def raise_remote_error(header: Mapping[str, Any]) -> None:
+    """Re-raise an error response with its original exception type."""
+    name = str(header.get("error_type", ""))
+    message = str(header.get("message", "unknown daemon error"))
+    cls = _ERROR_TYPES.get(name)
+    if cls is None:
+        raise RemoteError(f"{name or 'daemon error'}: {message}")
+    raise cls(message)

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
+import threading
 import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -87,6 +89,8 @@ class Store:
         self.engine = engine or CodecEngine.from_compressor(self.compressor)
         self._entries: Dict[str, StoreEntry] = {}
         self._block_cache = None  # shared by every lazy view, built on first use
+        self._manifest_sig: Optional[Tuple[int, int]] = None
+        self._refresh_lock = threading.Lock()
         self._load_manifest()
 
     # -- manifest -------------------------------------------------------------
@@ -94,7 +98,17 @@ class Store:
     def manifest_path(self) -> Path:
         return self.root / MANIFEST_NAME
 
+    def _manifest_stat(self) -> Optional[Tuple[int, int]]:
+        try:
+            st = self.manifest_path.stat()
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_size)
+
     def _load_manifest(self) -> None:
+        # The signature is taken *before* reading: racing a concurrent writer
+        # can only make the next refresh re-read, never miss an update.
+        self._manifest_sig = self._manifest_stat()
         # A missing manifest is an empty store; it is only materialised by the
         # first append, so read-only operations never write into a directory
         # that was not already a store.
@@ -123,6 +137,31 @@ class Store:
         tmp = self.manifest_path.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(payload, indent=2, sort_keys=True), "utf-8")
         os.replace(tmp, self.manifest_path)
+        self._manifest_sig = self._manifest_stat()
+
+    def refresh(self) -> bool:
+        """Pick up catalog changes written by another process; True if any.
+
+        Append-as-you-simulate means a writer (the in-situ pipeline) and
+        readers (analysis, the read daemon) are often *different processes*
+        on one store directory.  A refresh is a single ``stat`` in the steady
+        state: the entry table is reloaded only when the manifest's
+        ``(mtime_ns, size)`` signature changed.  If any previously-known
+        entry row changed or vanished, its container bytes did too (the path
+        is reused on overwrite and is the block-cache token), so the shared
+        block cache is dropped; pure appends keep it warm.  Safe to call
+        from many threads — the daemon does, once per request.
+        """
+        with self._refresh_lock:
+            if self._manifest_stat() == self._manifest_sig:
+                return False
+            old = self._entries
+            self._load_manifest()
+            if self._block_cache is not None and any(
+                old[key] != self._entries.get(key) for key in old
+            ):
+                self._block_cache.clear()
+            return True
 
     # -- write path -----------------------------------------------------------
     def append(
@@ -194,6 +233,58 @@ class Store:
             error_bound=eb,
             codec=self.compressor.describe(),
             n_levels=len(block_levels),
+            n_blocks=reader.n_blocks,
+            nbytes_original=reader.nbytes_original,
+            nbytes_compressed=reader.nbytes_compressed,
+        )
+        self._entries[key] = entry
+        self._write_manifest()
+        return entry
+
+    def adopt(
+        self,
+        field: str,
+        step: int,
+        container: Union[str, Path],
+        overwrite: bool = False,
+    ) -> StoreEntry:
+        """Catalog an existing ``.rps2`` container without re-encoding it.
+
+        The ingest half of scale-out: a container written elsewhere (another
+        process, another store shard, a hand-built test fixture) becomes a
+        catalog row by reading its own header for the entry metadata.  A
+        container outside the store root is copied to the canonical
+        ``field/stepNNNNN.rps2`` path; one already under the root is adopted
+        in place.
+        """
+        key = _entry_key(field, step)
+        if key in self._entries and not overwrite:
+            raise ValueError(f"store already holds {key}; pass overwrite=True to replace")
+        if key in self._entries and self._block_cache is not None:
+            self._block_cache.clear()
+
+        container = Path(container)
+        # Validate before any copy, so a bad file never lands in the store.
+        reader = ContainerReader(container)
+        try:
+            rel_path = container.resolve().relative_to(self.root.resolve())
+        except ValueError:
+            rel_path = Path(field) / f"step{int(step):05d}.rps2"
+            target = self.root / rel_path
+            target.parent.mkdir(parents=True, exist_ok=True)
+            # Copy-then-rename, like write_container: an overwrite-adopt must
+            # never expose a torn container to concurrent readers (a read
+            # daemon may be serving this exact path).
+            tmp = target.with_name(target.name + ".tmp")
+            shutil.copyfile(container, tmp)
+            os.replace(tmp, target)
+        entry = StoreEntry(
+            field=str(field),
+            step=int(step),
+            path=str(rel_path),
+            error_bound=reader.error_bound,
+            codec=reader.codec,
+            n_levels=len(reader.levels),
             n_blocks=reader.n_blocks,
             nbytes_original=reader.nbytes_original,
             nbytes_compressed=reader.nbytes_compressed,

@@ -23,6 +23,7 @@ decodable without any state from the writing process.
 from __future__ import annotations
 
 import json
+import os
 import struct
 import warnings
 from dataclasses import dataclass, field
@@ -147,7 +148,12 @@ def write_container(
     blob = b"".join(parts)
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_bytes(blob)
+    # Atomic replace: concurrent readers (e.g. a read daemon in another
+    # process) see either the old container or the new one, never a torn
+    # write.
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(blob)
+    os.replace(tmp, path)
     return len(blob)
 
 

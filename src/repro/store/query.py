@@ -37,7 +37,10 @@ def normalize_bbox(bbox: Sequence[Sequence[int]], shape: Sequence[int]) -> BBox:
 
     Accepts any sequence of ``(lo, hi)`` pairs (one per axis, half-open);
     returns a canonical tuple-of-tuples.  Raises ``ValueError`` for the wrong
-    number of axes, an empty axis, or a box entirely outside the domain.
+    number of axes or an empty axis; a non-empty axis that lies *entirely*
+    outside ``[0, n)`` gets its own diagnostic (rather than the confusing
+    "empty after clamping" one), shared by every read surface that clamps —
+    ``Store.read_roi``, ``ContainerReader.read_roi`` and the read daemon.
     """
     shape = tuple(int(s) for s in shape)
     if len(bbox) != len(shape):
@@ -45,6 +48,10 @@ def normalize_bbox(bbox: Sequence[Sequence[int]], shape: Sequence[int]) -> BBox:
     out = []
     for axis, (pair, n) in enumerate(zip(bbox, shape)):
         lo, hi = (int(pair[0]), int(pair[1]))
+        if lo < hi and (hi <= 0 or lo >= n):
+            raise ValueError(
+                f"bbox axis {axis} ({lo}, {hi}) lies entirely outside the domain [0, {n})"
+            )
         lo = max(0, lo)
         hi = min(n, hi)
         if lo >= hi:

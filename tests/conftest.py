@@ -38,6 +38,51 @@ def smooth_field_2d() -> np.ndarray:
     return smooth_wave_field((48, 48), frequencies=(2.0, 3.0))
 
 
+# -- read-daemon fixtures ------------------------------------------------------
+# One daemon serves the whole session: the protocol golden tests, the CLI
+# --remote tests and the indexing fuzz suite all talk to it, which is itself a
+# soak test (one accept loop, many connections, shared cache).  Tests must
+# assert on counter *deltas*, never absolutes, and register extra containers
+# via ``serve_store.adopt`` under their own field names.
+
+
+@pytest.fixture(scope="session")
+def serve_store(tmp_path_factory, smooth_field_3d, smooth_field_2d, small_hierarchy):
+    """A store with 3D, 2D and multi-level entries, shared by serve tests."""
+    from repro.core.mr_compressor import MultiResolutionCompressor
+    from repro.store import Store
+
+    store = Store(
+        tmp_path_factory.mktemp("serve") / "store",
+        MultiResolutionCompressor(unit_size=8),
+    )
+    store.append("density", 0, smooth_field_3d, 0.05)
+    store.append("density", 1, smooth_field_3d * 1.5 + 0.25, 0.05)
+    store.append("plane", 0, smooth_field_2d, 0.05)
+    store.append("amr", 0, small_hierarchy, 0.05)
+    return store
+
+
+@pytest.fixture(scope="session")
+def serve_daemon(serve_store):
+    """A running ``ReadDaemon`` over :func:`serve_store`, stopped at exit."""
+    from repro.serve import ReadDaemon
+
+    daemon = ReadDaemon(serve_store)
+    daemon.start()
+    yield daemon
+    daemon.stop()
+
+
+@pytest.fixture()
+def remote_store(serve_daemon):
+    """A fresh client connection per test (the daemon itself is shared)."""
+    from repro.serve import RemoteStore
+
+    with RemoteStore(serve_daemon.address) as client:
+        yield client
+
+
 @pytest.fixture(scope="session")
 def small_hierarchy(noisy_field_3d) -> "AMRHierarchy":
     """A two-level hierarchy built from the noisy field (fine 25% / coarse 75%)."""

@@ -129,11 +129,23 @@ class TestGetitem:
 
     def test_out_of_domain_selection_matches_roi_error(self, container):
         store, _ = container
-        empty = r"bbox axis 0 is empty after clamping to \[0, 32\)"
-        with pytest.raises(ValueError, match=empty):
+        # An out-of-range *slice* compiles to an empty anchor (NumPy slice
+        # semantics clamp it first), so indexing reports an empty selection...
+        with pytest.raises(ValueError, match=r"empty after clamping to \[0, 32\)"):
             store["f", 0][40:50]
-        with pytest.raises(ValueError, match=empty):
+        # ...while an out-of-range *bbox* states the actual mistake, with the
+        # same one-line diagnostic on every read_roi surface.
+        outside = r"bbox axis 0 \(40, 50\) lies entirely outside the domain \[0, 32\)"
+        with pytest.raises(ValueError) as via_store:
             store.read_roi("f", 0, ((40, 50), (0, 32), (0, 32)))
+        with pytest.raises(ValueError) as via_reader:
+            store.get("f", 0).read_roi(((40, 50), (0, 32), (0, 32)))
+        with pytest.raises(ValueError) as via_view:
+            store["f", 0].read_roi(((40, 50), (0, 32), (0, 32)))
+        import re
+
+        assert re.fullmatch(outside, str(via_store.value))
+        assert str(via_store.value) == str(via_reader.value) == str(via_view.value)
 
     def test_single_block_array(self, tmp_path):
         field = smooth_wave_field((8, 8, 8), frequencies=(1.0, 2.0, 1.0))

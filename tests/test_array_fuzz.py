@@ -1,0 +1,246 @@
+"""Indexing fuzz: ``CompressedArray.__getitem__`` ≡ NumPy, locally and remotely.
+
+Seeded random shapes × random basic-indexing expressions (ints incl. negative
+and out-of-range, slices with negative/odd steps and open ends, ``...``,
+dropped trailing axes), asserted against NumPy on the reconstruction:
+
+* **pure views** (1–4 dims, arbitrary non-multiple-of-block sizes) wrap a
+  plain ndarray through :func:`repro.array.as_lazy_array`, so the index
+  compiler is exercised with no codec in the loop and the comparison is
+  exact;
+* **container views** (2–3 dims — the ``.rps2`` Morton index is 2D/3D) are
+  hand-built block files whose level shape is deliberately *not* a multiple
+  of the unit size (edge blocks overhang the domain) with randomly dropped
+  blocks (AMR-style holes reading as ``fill_value``); the reference is the
+  independently scattered reconstruction, so equality is bit-for-bit;
+* every container case is also adopted into the session daemon's store and
+  replayed through :class:`~repro.serve.RemoteArray` — same seed, same
+  expressions — asserting remote ≡ local bit-for-bit, including error *type
+  and message* parity for the failure draws.
+
+One documented divergence from NumPy: selections with zero cells (empty
+slices, fully out-of-range slices) raise ``ValueError`` on every bbox surface
+instead of returning an empty array; the harness asserts exactly that.
+
+The seed matrix is driven by ``REPRO_FUZZ_SEED`` (CI runs several); any
+failure prints the seed, shape and expression needed to replay it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+import pytest
+
+from repro.array import BlockCache, CompressedArray, ContainerSource, as_lazy_array
+from repro.store.engine import CodecEngine
+from repro.store.format import BlockLevel, ContainerReader, write_container
+from repro.utils.rng import default_rng
+
+FUZZ_SEED = os.environ.get("REPRO_FUZZ_SEED", "fuzz-0")
+N_PURE_CASES = 48
+N_CONTAINER_CASES = 6
+INDICES_PER_CASE = 5
+ERROR_BOUND = 0.05
+
+
+# -- random expression generator -----------------------------------------------
+def random_axis_index(rng, n: int) -> Any:
+    """One per-axis index element: int (sometimes out of range) or slice."""
+    draw = rng.random()
+    if draw < 0.30:
+        if rng.random() < 0.12:  # deliberately out of range (both sides)
+            return int(rng.choice([n + int(rng.integers(0, 3)), -n - 1 - int(rng.integers(0, 3))]))
+        return int(rng.integers(-n, n))
+    def maybe(lo: int, hi: int) -> Optional[int]:
+        return None if rng.random() < 0.35 else int(rng.integers(lo, hi))
+    step = None if rng.random() < 0.3 else int(rng.choice([-4, -3, -2, -1, 1, 2, 3, 5]))
+    return slice(maybe(-n - 2, n + 3), maybe(-n - 2, n + 3), step)
+
+
+def random_index(rng, shape: Tuple[int, ...]) -> Any:
+    """A full expression: per-axis elements, ``...``, dropped trailing axes."""
+    items: List[Any] = [random_axis_index(rng, n) for n in shape]
+    if rng.random() < 0.25:  # drop trailing axes (implicit full slices)
+        items = items[: int(rng.integers(0, len(items) + 1))]
+    if rng.random() < 0.25:  # replace a run with '...' (those axes go full)
+        i = int(rng.integers(0, len(items) + 1))
+        j = int(rng.integers(i, len(items) + 1))
+        items = items[:i] + [Ellipsis] + items[j:]
+    if rng.random() < 0.05:  # too many indices
+        items = items + [0] * (len(shape) + 1 - sum(1 for x in items if x is not Ellipsis))
+    if len(items) == 1 and rng.random() < 0.5:
+        return items[0]
+    return tuple(items)
+
+
+# -- the oracle ----------------------------------------------------------------
+def check_against_numpy(view, reference: np.ndarray, index, label: str, remote=None):
+    """Assert the view (and optionally its remote twin) matches NumPy.
+
+    NumPy is the oracle for everything it accepts; zero-cell selections are
+    the documented divergence (ValueError on every bbox surface).  Error
+    draws must fail with the same exception type locally and remotely, with
+    the same message.
+    """
+    try:
+        expected = reference[index]
+    except IndexError:
+        with pytest.raises(IndexError):
+            view[index]
+        if remote is not None:
+            with pytest.raises(IndexError):
+                remote[index]
+        return
+    if np.asarray(expected).size == 0:
+        with pytest.raises(ValueError):
+            view[index]
+        if remote is not None:
+            local_msg = remote_msg = None
+            try:
+                view[index]
+            except ValueError as exc:
+                local_msg = str(exc)
+            try:
+                remote[index]
+            except ValueError as exc:
+                remote_msg = str(exc)
+            assert remote_msg == local_msg, f"{label}: error text diverged for {index!r}"
+        return
+    got = view[index]
+    got_arr, want_arr = np.asarray(got), np.asarray(expected)
+    assert got_arr.shape == want_arr.shape, f"{label}: shape for {index!r}"
+    assert got_arr.dtype == want_arr.dtype, f"{label}: dtype for {index!r}"
+    assert np.array_equal(got_arr, want_arr), f"{label}: values for {index!r}"
+    if remote is not None:
+        remote_got = np.asarray(remote[index])
+        assert remote_got.shape == got_arr.shape, f"{label}: remote shape for {index!r}"
+        assert remote_got.dtype == got_arr.dtype, f"{label}: remote dtype for {index!r}"
+        assert np.array_equal(remote_got, got_arr), (
+            f"{label}: remote values diverged for {index!r}"
+        )
+
+
+# -- pure views: the index compiler with no codec in the loop -------------------
+@pytest.mark.parametrize("case", range(N_PURE_CASES))
+def test_pure_view_fuzz(case):
+    rng = default_rng(f"{FUZZ_SEED}:pure:{case}")
+    ndim = int(rng.integers(1, 5))
+    shape = tuple(int(rng.integers(1, 13)) for _ in range(ndim))
+    data = rng.standard_normal(shape)
+    view = as_lazy_array(data)
+    assert view.shape == shape
+    label = f"seed={FUZZ_SEED} pure case={case} shape={shape}"
+    for _ in range(INDICES_PER_CASE):
+        check_against_numpy(view, data, random_index(rng, shape), label)
+
+
+# -- container fuzz: hand-built .rps2 files, local and through the daemon -------
+def build_fuzz_container(path, rng, shape: Tuple[int, ...], unit: int):
+    """Write a container whose edge blocks overhang a non-multiple domain."""
+    ndim = len(shape)
+    data = rng.standard_normal(shape)
+    grid = [-(-n // unit) for n in shape]
+    coords = np.stack(
+        [g.ravel() for g in np.meshgrid(*[np.arange(g) for g in grid], indexing="ij")],
+        axis=1,
+    )
+    keep = rng.random(coords.shape[0]) < 0.85
+    keep[int(rng.integers(0, coords.shape[0]))] = True  # never fully empty
+    coords = coords[keep]
+    blocks = np.zeros((coords.shape[0],) + (unit,) * ndim, dtype=np.float64)
+    for i, coord in enumerate(coords):
+        src = tuple(
+            slice(int(c) * unit, min((int(c) + 1) * unit, n)) for c, n in zip(coord, shape)
+        )
+        dst = tuple(slice(0, sl.stop - sl.start) for sl in src)
+        blocks[i][dst] = data[src]
+    payloads = CodecEngine("sz3").encode_blocks(blocks, ERROR_BOUND)
+    write_container(
+        path,
+        [
+            BlockLevel(
+                level=0,
+                level_shape=shape,
+                unit_size=unit,
+                coords=coords,
+                payloads=payloads,
+            )
+        ],
+        error_bound=ERROR_BOUND,
+        codec="sz3",
+    )
+    # Reference reconstruction, scattered independently of the query path
+    # (dropped blocks stay at the fill value 0).
+    reader = ContainerReader(path)
+    reference = np.zeros(shape, dtype=np.float64)
+    decoded = reader.decode_entries(np.arange(reader.n_blocks))
+    for pos, block in enumerate(decoded):
+        coord = reader.index.coords[pos, :ndim]
+        dst = tuple(
+            slice(int(c) * unit, min((int(c) + 1) * unit, n)) for c, n in zip(coord, shape)
+        )
+        src = tuple(slice(0, sl.stop - sl.start) for sl in dst)
+        reference[dst] = block[src]
+    return reference
+
+
+@pytest.mark.parametrize("case", range(N_CONTAINER_CASES))
+def test_container_and_remote_fuzz(case, tmp_path, serve_store, remote_store):
+    rng = default_rng(f"{FUZZ_SEED}:container:{case}")
+    ndim = int(rng.integers(2, 4))
+    unit = int(rng.integers(3, 7))
+    # Sizes are drawn freely, then one axis is forced off the block grid so
+    # every case exercises an overhanging edge block.
+    shape = [int(rng.integers(max(2, unit - 1), 4 * unit)) for _ in range(ndim)]
+    forced = int(rng.integers(0, ndim))
+    if shape[forced] % unit == 0:
+        shape[forced] += 1
+    shape = tuple(shape)
+
+    path = tmp_path / f"fuzz{case}.rps2"
+    reference = build_fuzz_container(path, rng, shape, unit)
+
+    local = CompressedArray(
+        ContainerSource(ContainerReader(path)), cache=BlockCache()
+    )
+    assert local.shape == shape
+
+    # The same bytes through the daemon: adopt into the shared store and open
+    # a remote view over the fixture connection.
+    field = f"fuzz-{FUZZ_SEED}"
+    serve_store.adopt(field, case, path, overwrite=True)
+    remote = remote_store.array(field, case)
+    assert remote.shape == shape
+
+    label = f"seed={FUZZ_SEED} container case={case} shape={shape} unit={unit}"
+    for _ in range(INDICES_PER_CASE):
+        check_against_numpy(
+            local, reference, random_index(rng, shape), label, remote=remote
+        )
+
+    # Whole-domain read: the strongest bit-for-bit statement, plus proof the
+    # daemon answered from its shared cache on the second pass.
+    assert np.array_equal(np.asarray(local[...]), reference)
+    first = np.asarray(remote[...])
+    decoded_before = remote.stats["blocks_decoded"]
+    again = np.asarray(remote[...])
+    assert np.array_equal(first, reference)
+    assert first.tobytes() == again.tobytes()  # same seed, same bytes
+    assert remote.stats["blocks_decoded"] == decoded_before  # all warm
+
+
+def test_remote_matches_local_on_store_entries(serve_store, remote_store):
+    """The fuzz oracle holds on real appended entries too (3D, 2D, AMR)."""
+    rng = default_rng(f"{FUZZ_SEED}:entries")
+    for field, step in [("density", 0), ("plane", 0), ("amr", 0)]:
+        local = serve_store[field, step]
+        remote = remote_store[field, step]
+        reference = np.asarray(local[...])
+        label = f"seed={FUZZ_SEED} entry={field}/{step}"
+        for _ in range(INDICES_PER_CASE):
+            check_against_numpy(
+                local, reference, random_index(rng, local.shape), label, remote=remote
+            )

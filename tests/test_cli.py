@@ -161,6 +161,78 @@ class TestStoreCommands:
         assert data.shape == (24, 24)
         assert np.abs(data - field[-1]).max() <= 0.01 * (1 + 1e-9)
 
+    def test_store_read_remote_matches_local(
+        self, tmp_path, serve_daemon, serve_store, capsys
+    ):
+        remote_path = tmp_path / "remote.npy"
+        local_path = tmp_path / "local.npy"
+        assert main([
+            "store", "read", "ignored-root", "density", "0", str(remote_path),
+            "--index", "10:20,:,::2", "--remote", serve_daemon.address,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"via {serve_daemon.address}" in out and "daemon decoded" in out
+        assert main([
+            "store", "read", str(serve_store.root), "density", "0", str(local_path),
+            "--index", "10:20,:,::2",
+        ]) == 0
+        assert np.array_equal(np.load(remote_path), np.load(local_path))
+
+    def test_store_read_remote_propagates_daemon_errors(self, serve_daemon, tmp_path):
+        with pytest.raises(SystemExit, match="store has no entry nope/00000"):
+            main([
+                "store", "read", "ignored-root", "nope", "0",
+                str(tmp_path / "o.npy"), "--index", "0",
+                "--remote", serve_daemon.address,
+            ])
+
+    def test_store_read_remote_connection_refused_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot connect to daemon"):
+            main([
+                "store", "read", "ignored-root", "f", "0", str(tmp_path / "o.npy"),
+                "--index", "0", "--remote", "127.0.0.1:1",
+            ])
+
+    def test_serve_rejects_bad_address(self, populated_store):
+        root, _ = populated_store
+        with pytest.raises(SystemExit, match="bad daemon address"):
+            main(["serve", str(root), "--addr", "nonsense"])
+
+    def test_serve_subprocess_sigterm_exits_cleanly(self, populated_store):
+        # The contract CI's smoke job relies on: a real `repro serve` process
+        # stops promptly with exit code 0 on SIGTERM, reporting its counters.
+        import os
+        import signal
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        root, _ = populated_store
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parent.parent)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", str(root),
+             "--addr", "127.0.0.1:0", "--seconds", "60"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env, text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "serving" in banner
+            address = banner.split(" at ")[1].split(" ")[0]
+            from repro.serve import RemoteStore
+
+            with RemoteStore(address) as client:
+                assert "pressure" in client.fields()
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=15)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 0
+        assert "daemon stopped" in out
+
     def test_store_read_bad_index_exits(self, populated_store, tmp_path):
         root, _ = populated_store
         for bad in ("1:2:3:4", "a:b", "spam"):

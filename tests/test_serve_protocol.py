@@ -1,0 +1,392 @@
+"""Golden tests for the read-daemon wire protocol and its failure modes.
+
+Three layers, in order of trust: pure frame/index codec round trips (no
+sockets), hostile-bytes handling against a live daemon (bad magic, version
+mismatch, truncation, garbage — a broken client must get a clean error
+response, never a hung connection), and the end-to-end client surface against
+the shared session daemon fixture.
+"""
+
+from __future__ import annotations
+
+import io
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro.serve import ReadDaemon, RemoteStore
+from repro.serve.protocol import (
+    MAX_HEADER_BYTES,
+    PROTOCOL_MAGIC,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    RemoteError,
+    VersionMismatch,
+    decode_ndarray,
+    encode_ndarray,
+    error_header,
+    index_from_wire,
+    index_to_wire,
+    pack_frame,
+    raise_remote_error,
+    read_frame,
+)
+
+
+def roundtrip(header, payload=b""):
+    return read_frame(io.BytesIO(pack_frame(header, payload)))
+
+
+class TestFrameCodec:
+    def test_header_only_roundtrip(self):
+        header, payload = roundtrip({"op": "stats", "n": 3})
+        assert header == {"op": "stats", "n": 3}
+        assert payload == b""
+
+    def test_header_plus_payload_roundtrip(self):
+        blob = bytes(range(256))
+        header, payload = roundtrip({"op": "read"}, blob)
+        assert payload == blob
+
+    def test_clean_eof_is_none(self):
+        assert read_frame(io.BytesIO(b"")) is None
+
+    def test_multiple_frames_in_one_stream(self):
+        stream = io.BytesIO(pack_frame({"a": 1}) + pack_frame({"b": 2}, b"xy"))
+        assert read_frame(stream)[0] == {"a": 1}
+        assert read_frame(stream) == ({"b": 2}, b"xy")
+        assert read_frame(stream) is None
+
+    def test_bad_magic(self):
+        blob = b"NOPE" + pack_frame({"op": "stats"})[4:]
+        with pytest.raises(ProtocolError, match="bad frame magic"):
+            read_frame(io.BytesIO(blob))
+
+    def test_version_mismatch_is_its_own_error(self):
+        blob = pack_frame({"op": "stats"}, version=PROTOCOL_VERSION + 1)
+        with pytest.raises(VersionMismatch, match="version mismatch"):
+            read_frame(io.BytesIO(blob))
+
+    @pytest.mark.parametrize("cut", [1, 8, 12, -1])
+    def test_truncated_frame(self, cut):
+        blob = pack_frame({"op": "read", "field": "density"}, b"payload")
+        with pytest.raises(ProtocolError, match="truncated frame"):
+            read_frame(io.BytesIO(blob[:cut]))
+
+    def test_oversized_header_rejected_without_allocation(self):
+        head = struct.pack(
+            "<4sBIQ", PROTOCOL_MAGIC, PROTOCOL_VERSION, MAX_HEADER_BYTES + 1, 0
+        )
+        with pytest.raises(ProtocolError, match="caps headers"):
+            read_frame(io.BytesIO(head))
+
+    def test_corrupt_header_json(self):
+        blob = struct.pack("<4sBIQ", PROTOCOL_MAGIC, PROTOCOL_VERSION, 4, 0) + b"{{{{"
+        with pytest.raises(ProtocolError, match="corrupt frame header"):
+            read_frame(io.BytesIO(blob))
+
+    def test_non_object_header_rejected(self):
+        body = b"[1, 2]"
+        blob = struct.pack("<4sBIQ", PROTOCOL_MAGIC, PROTOCOL_VERSION, len(body), 0) + body
+        with pytest.raises(ProtocolError, match="JSON object"):
+            read_frame(io.BytesIO(blob))
+
+
+class TestNdarrayCodec:
+    @pytest.mark.parametrize(
+        "arr",
+        [
+            np.arange(24, dtype=np.float64).reshape(2, 3, 4),
+            np.array(3.5),  # 0-d stays 0-d
+            np.empty((0, 5)),  # empty selections survive
+            np.arange(6, dtype=np.int32).reshape(3, 2).T,  # non-contiguous input
+        ],
+    )
+    def test_roundtrip(self, arr):
+        meta, payload = encode_ndarray(arr)
+        out = decode_ndarray(meta, payload)
+        assert out.shape == arr.shape
+        assert out.dtype == arr.dtype
+        assert np.array_equal(out, arr)
+
+    def test_size_mismatch_rejected(self):
+        meta, payload = encode_ndarray(np.zeros(4))
+        with pytest.raises(ProtocolError, match="require"):
+            decode_ndarray(meta, payload[:-8])
+
+
+class TestIndexWire:
+    @pytest.mark.parametrize(
+        "index",
+        [
+            (slice(0, 8), slice(None), slice(None, None, 2)),
+            (3, 4, 5),
+            (-1, Ellipsis),
+            (Ellipsis, 0),
+            (slice(30, 4, -3), slice(-8, None)),
+            5,
+            Ellipsis,
+            slice(None, None, -1),
+        ],
+    )
+    def test_roundtrip(self, index):
+        expected = index if isinstance(index, tuple) else (index,)
+        assert index_from_wire(index_to_wire(index)) == expected
+
+    def test_json_safe(self):
+        import json
+
+        wire = index_to_wire((np.int64(3), slice(np.int64(1), None), Ellipsis))
+        assert json.loads(json.dumps(wire)) == wire
+
+    def test_unsupported_kind_raises_like_local_view(self):
+        with pytest.raises(TypeError, match="basic indexing"):
+            index_to_wire(([1, 2, 3],))
+
+    def test_bad_wire_elements_rejected(self):
+        with pytest.raises(ProtocolError):
+            index_from_wire("not-a-list")
+        with pytest.raises(ProtocolError):
+            index_from_wire([1.5])
+
+
+class TestErrorTransport:
+    @pytest.mark.parametrize(
+        "exc", [ValueError("bad bbox"), IndexError("oops"), TypeError("kind")]
+    )
+    def test_typed_errors_survive(self, exc):
+        with pytest.raises(type(exc), match=str(exc)):
+            raise_remote_error(error_header(exc))
+
+    def test_key_error_message_unquoted(self):
+        header = error_header(KeyError("store has no entry x/00001"))
+        assert header["message"] == "store has no entry x/00001"
+
+    def test_unknown_type_becomes_remote_error(self):
+        with pytest.raises(RemoteError, match="OSError: disk on fire"):
+            raise_remote_error({"error_type": "OSError", "message": "disk on fire"})
+
+
+# -- hostile bytes against a live daemon ---------------------------------------
+
+
+def raw_exchange(address, blob, expect_response=True):
+    """Send raw bytes to the daemon; return the response frame (or None)."""
+    host, port = address.rsplit(":", 1)
+    with socket.create_connection((host, int(port)), timeout=10.0) as sock:
+        sock.sendall(blob)
+        with sock.makefile("rb") as fh:
+            return read_frame(fh)
+
+
+class TestDaemonHostileBytes:
+    def test_version_mismatch_gets_clean_error_response(self, serve_daemon):
+        blob = pack_frame({"op": "stats"}, version=PROTOCOL_VERSION + 7)
+        header, _ = raw_exchange(serve_daemon.address, blob)
+        assert header["status"] == "error"
+        assert header["error_type"] == "VersionMismatch"
+        assert "version mismatch" in header["message"]
+
+    def test_bad_magic_gets_clean_error_response(self, serve_daemon):
+        blob = b"EVIL" + pack_frame({"op": "stats"})[4:]
+        header, _ = raw_exchange(serve_daemon.address, blob)
+        assert header["status"] == "error"
+        assert "bad frame magic" in header["message"]
+
+    def test_truncated_frame_never_hangs_the_client(self, serve_daemon):
+        # Send a frame head promising more bytes than we deliver, then shut
+        # down the write side: the daemon must answer (truncation error) and
+        # close, not wait forever for the missing payload.
+        blob = pack_frame({"op": "read", "field": "density"}, b"x" * 64)[:-32]
+        host, port = serve_daemon.address.rsplit(":", 1)
+        with socket.create_connection((host, int(port)), timeout=10.0) as sock:
+            sock.sendall(blob)
+            sock.shutdown(socket.SHUT_WR)
+            with sock.makefile("rb") as fh:
+                header, _ = read_frame(fh)
+        assert header["status"] == "error"
+        assert "truncated frame" in header["message"]
+
+    def test_connection_reusable_after_request_error(self, remote_store):
+        # Application errors (unlike framing errors) keep the connection open.
+        with pytest.raises(KeyError):
+            remote_store.array("no-such-field", 0)
+        assert "density" in remote_store.fields()
+
+    def test_oversized_request_payload_is_answered_not_awaited(self, serve_daemon):
+        # A frame head claiming a huge payload must get an immediate error
+        # response; a daemon that tried to read it would hang this test.
+        head = struct.pack(
+            "<4sBIQ", PROTOCOL_MAGIC, PROTOCOL_VERSION, 2, 1 << 40
+        ) + b"{}"
+        header, _ = raw_exchange(serve_daemon.address, head)
+        assert header["status"] == "error"
+        assert "caps payloads" in header["message"]
+
+    def test_unknown_op_is_a_clean_error(self, serve_daemon):
+        header, _ = raw_exchange(serve_daemon.address, pack_frame({"op": "explode"}))
+        assert header["status"] == "error"
+        assert "unknown operation" in header["message"]
+
+    def test_read_requires_exactly_one_selector(self, serve_daemon):
+        both = {"op": "read", "field": "density", "step": 0, "index": [0], "bbox": [[0, 1]]}
+        header, _ = raw_exchange(serve_daemon.address, pack_frame(both))
+        assert header["status"] == "error" and "exactly one" in header["message"]
+        neither = {"op": "read", "field": "density", "step": 0}
+        header, _ = raw_exchange(serve_daemon.address, pack_frame(neither))
+        assert header["status"] == "error" and "exactly one" in header["message"]
+
+
+# -- end-to-end client surface -------------------------------------------------
+
+
+class TestRemoteSurface:
+    def test_describe_and_catalog_match_store(self, remote_store, serve_store):
+        assert set(serve_store.fields()) <= set(remote_store.fields())
+        assert remote_store.steps("density") == serve_store.steps("density")
+        described = remote_store.describe("density", 0)
+        reader = serve_store.get("density", 0)
+        assert described["codec"] == reader.codec
+        assert [lvl["level_shape"] for lvl in described["levels"]] == [
+            list(info.level_shape) for info in reader.levels
+        ]
+        entry = next(
+            e for e in remote_store.entries() if e["field"] == "density" and e["step"] == 0
+        )
+        assert entry["n_blocks"] == serve_store.entry("density", 0).n_blocks
+
+    def test_remote_view_mirrors_local_metadata(self, remote_store, serve_store):
+        remote = remote_store["amr", 0]
+        local = serve_store["amr", 0]
+        assert remote.shape == local.shape
+        assert remote.dtype == local.dtype
+        assert remote.ndim == local.ndim and remote.size == local.size
+        assert remote.levels == local.levels
+        assert remote.n_blocks == local.n_blocks
+        assert len(remote) == len(local)
+        assert remote.level(1).shape == local.level(1).shape
+
+    def test_reads_are_bit_for_bit(self, remote_store, serve_store):
+        remote = remote_store["density", 1]
+        local = serve_store["density", 1]
+        for index in [(slice(4, 28), slice(None), slice(None, None, 2)), (0, Ellipsis), (3, 4, 5)]:
+            r, l = remote[index], local[index]
+            assert np.asarray(r).shape == np.asarray(l).shape
+            assert np.array_equal(np.asarray(r), np.asarray(l))
+        assert np.array_equal(
+            remote.read_roi(((0, 8), (8, 24), (0, 32))),
+            local.read_roi(((0, 8), (8, 24), (0, 32))),
+        )
+
+    def test_multi_level_reads(self, remote_store, serve_store):
+        for level in serve_store["amr", 0].levels:
+            assert np.array_equal(
+                np.asarray(remote_store["amr", 0].level(level)[...]),
+                np.asarray(serve_store["amr", 0].level(level)[...]),
+            )
+
+    def test_unknown_level_raises_keyerror(self, remote_store):
+        with pytest.raises(KeyError, match="no level 9"):
+            remote_store["density", 0].level(9)
+
+    def test_out_of_domain_bbox_message_matches_local(self, remote_store, serve_store):
+        with pytest.raises(ValueError) as remote_exc:
+            remote_store["density", 0].read_roi(((40, 50), (0, 32), (0, 32)))
+        with pytest.raises(ValueError) as local_exc:
+            serve_store["density", 0].read_roi(((40, 50), (0, 32), (0, 32)))
+        assert str(remote_exc.value) == str(local_exc.value)
+        assert "entirely outside the domain" in str(remote_exc.value)
+
+    def test_accounting_and_shared_cache(self, serve_daemon, remote_store):
+        before = serve_daemon.stats()
+        arr = remote_store["density", 0]
+        arr[...]
+        mid = serve_daemon.stats()
+        decoded_cold = mid["blocks_decoded"] - before["blocks_decoded"]
+        assert arr.stats["blocks_touched"] == arr.n_blocks
+        # Re-read through a *different* connection: everything is warm.
+        with RemoteStore(serve_daemon.address) as other:
+            arr2 = other["density", 0]
+            arr2[...]
+        after = serve_daemon.stats()
+        assert after["blocks_decoded"] - mid["blocks_decoded"] == 0
+        assert arr2.stats["cache_hits"] == arr2.n_blocks
+        assert decoded_cold <= arr.n_blocks
+        assert after["reads"] - before["reads"] == 2
+
+    def test_overwrite_append_invalidates_daemon_reader(
+        self, serve_daemon, serve_store, remote_store, smooth_field_2d
+    ):
+        # The daemon caches one reader per entry; an overwrite-append changes
+        # the bytes *under the same path*, so serving the old reader (or old
+        # cached blocks) would silently return stale data.
+        serve_store.append("mutable", 0, smooth_field_2d, 0.05, overwrite=True)
+        assert np.array_equal(
+            np.asarray(remote_store["mutable", 0][...]),
+            np.asarray(serve_store["mutable", 0][...]),
+        )
+        replacement = smooth_field_2d[:24, :24] * 2.0 + 1.0
+        serve_store.append("mutable", 0, replacement, 0.05, overwrite=True)
+        remote_after = remote_store["mutable", 0]
+        assert remote_after.shape == (24, 24)  # fresh describe, fresh reader
+        assert np.array_equal(
+            np.asarray(remote_after[...]),
+            np.asarray(serve_store["mutable", 0][...]),
+        )
+
+    def test_external_writer_overwrite_reaches_remote_reads(
+        self, serve_store, remote_store, smooth_field_2d
+    ):
+        # A *separate Store object* on the same root models the real in-situ
+        # case: the writer is another process, so the daemon only sees the
+        # change through its per-request manifest refresh.
+        from repro.core.mr_compressor import MultiResolutionCompressor
+        from repro.store import Store
+
+        writer = Store(serve_store.root, MultiResolutionCompressor(unit_size=8))
+        writer.append("external", 0, smooth_field_2d, 0.05, overwrite=True)
+        assert np.array_equal(
+            np.asarray(remote_store["external", 0][...]),
+            np.asarray(writer["external", 0][...]),
+        )
+        writer.append(
+            "external", 0, smooth_field_2d[:24, :24] * 3.0 - 1.0, 0.05, overwrite=True
+        )
+        remote = remote_store["external", 0]
+        assert remote.shape == (24, 24)
+        assert np.array_equal(
+            np.asarray(remote[...]), np.asarray(writer["external", 0][...])
+        )
+
+    def test_scalar_read_returns_numpy_scalar(self, remote_store):
+        value = remote_store["density", 0][1, 2, 3]
+        assert isinstance(value, np.float64)
+
+    def test_stats_op_shape(self, remote_store):
+        stats = remote_store.stats()
+        for key in ("requests", "reads", "blocks_decoded", "blocks_touched", "cache"):
+            assert key in stats
+        assert stats["cache"]["max_blocks"] >= 1
+
+    def test_closed_client_raises_cleanly(self, serve_daemon):
+        client = RemoteStore(serve_daemon.address)
+        client.close()
+        with pytest.raises(ProtocolError, match="closed"):
+            client.stats()
+
+    def test_daemon_stop_is_idempotent_and_clean(self, serve_store):
+        daemon = ReadDaemon(serve_store)
+        addr = daemon.start()
+        client = RemoteStore(addr)
+        try:
+            assert client.fields()
+            daemon.stop()
+            daemon.stop()  # idempotent
+            # The open connection is torn down, not left hanging: the next
+            # request fails fast instead of blocking on a dead socket.
+            with pytest.raises((ProtocolError, OSError)):
+                client.stats()
+        finally:
+            client.close()

@@ -41,6 +41,53 @@ class TestCatalog:
         store.append("temp", 1, smooth_field_3d, EB, overwrite=True)
         assert len(store) == 1
 
+    def test_adopt_external_container(self, tmp_path, store, smooth_field_3d):
+        # A container written by another store is adopted without re-encoding:
+        # the bytes are copied in, the entry metadata comes from its header.
+        other = Store(tmp_path / "other", MultiResolutionCompressor(unit_size=8))
+        source = other.append("density", 3, smooth_field_3d, EB)
+        entry = store.adopt("density", 3, other.root / source.path)
+        assert entry.key == "density/00003"
+        assert entry.n_blocks == source.n_blocks
+        assert entry.error_bound == source.error_bound
+        assert (store.root / entry.path).exists()
+        assert np.array_equal(
+            np.asarray(store["density", 3][...]), np.asarray(other["density", 3][...])
+        )
+        # The adopted entry survives a reopen like any appended one.
+        reopened = Store(store.root)
+        assert reopened.entry("density", 3).n_blocks == source.n_blocks
+
+    def test_adopt_in_place_and_overwrite_rules(self, tmp_path, store, smooth_field_3d):
+        entry = store.append("temp", 0, smooth_field_3d, EB)
+        # Adopting a path already under the root does not copy it.
+        readopted = store.adopt("alias", 0, store.root / entry.path)
+        assert readopted.path == entry.path
+        with pytest.raises(ValueError, match="overwrite"):
+            store.adopt("alias", 0, store.root / entry.path)
+        store.adopt("alias", 0, store.root / entry.path, overwrite=True)
+
+    def test_refresh_picks_up_external_writer(self, store, smooth_field_3d):
+        # Two Store objects on one root model a writer and a reader process.
+        writer = Store(store.root, MultiResolutionCompressor(unit_size=8))
+        assert store.refresh() is False  # steady state: a stat, no reload
+        writer.append("density", 5, smooth_field_3d, EB)
+        assert store.refresh() is True
+        assert store.entry("density", 5).n_blocks == writer.entry("density", 5).n_blocks
+        # An external overwrite replaces the entry row on refresh.
+        writer.append("density", 5, smooth_field_3d[:16, :16, :16], EB, overwrite=True)
+        assert store.refresh() is True
+        assert store["density", 5].shape == (16, 16, 16)
+        assert store.refresh() is False
+
+    def test_adopt_rejects_non_container(self, store, tmp_path):
+        from repro.compressors.errors import DecompressionError
+
+        junk = tmp_path / "junk.rps2"
+        junk.write_bytes(b"not a container")
+        with pytest.raises(DecompressionError):
+            store.adopt("junk", 0, junk)
+
     def test_manifest_survives_reopen(self, tmp_path, store, smooth_field_3d, small_hierarchy):
         store.append("temp", 0, smooth_field_3d, EB)
         store.append("temp", 1, smooth_field_3d, EB)

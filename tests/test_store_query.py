@@ -34,11 +34,31 @@ class TestNormalizeBbox:
         ):
             normalize_bbox(((0, 8), (5, 5)), (16, 16))
 
-    def test_fully_outside_domain_is_empty(self):
+    def test_fully_outside_domain_has_dedicated_message(self):
+        # A non-empty box with no overlap is *outside*, not "empty after
+        # clamping" — the old message blamed the clamp for a caller mistake.
         with pytest.raises(
-            ValueError, match=r"bbox axis 0 is empty after clamping to \[0, 16\)"
+            ValueError,
+            match=r"bbox axis 0 \(20, 30\) lies entirely outside the domain \[0, 16\)",
         ):
             normalize_bbox(((20, 30), (0, 8)), (16, 16))
+
+    def test_fully_below_domain_has_dedicated_message(self):
+        with pytest.raises(
+            ValueError,
+            match=r"bbox axis 1 \(-9, -2\) lies entirely outside the domain \[0, 16\)",
+        ):
+            normalize_bbox(((0, 8), (-9, -2)), (16, 16))
+
+    def test_edge_touching_box_is_still_empty_not_outside(self):
+        # (16, 20) on a 16-wide axis overlaps nothing but starts exactly at
+        # the boundary; (0, 0) is a zero-cell box.  Both are "outside" by the
+        # no-overlap rule and must say so, except the truly empty (0, 0)
+        # which has no cells to be outside with.
+        with pytest.raises(ValueError, match="entirely outside"):
+            normalize_bbox(((16, 20),), (16,))
+        with pytest.raises(ValueError, match="empty after clamping"):
+            normalize_bbox(((0, 0),), (16,))
 
     def test_inverted_box_is_empty(self):
         with pytest.raises(ValueError, match="empty after clamping"):
