@@ -49,6 +49,7 @@ class BlockCache:
         self._entries: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()
         self._lock = threading.Lock()
         self._nbytes = 0
+        self._resident = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -67,19 +68,38 @@ class BlockCache:
             self.hits += 1
             return block
 
+    @staticmethod
+    def _resident_nbytes(block: np.ndarray) -> int:
+        """Bytes the cached entry actually pins: its owned buffer, or — for a
+        view — the whole buffer it keeps alive (``base``), which is what the
+        process pays while the entry lives."""
+        base = block.base
+        if base is None:
+            return int(block.nbytes)
+        return int(getattr(base, "nbytes", block.nbytes))
+
     def put(self, key: Hashable, block: np.ndarray) -> None:
-        """Insert a decoded block, evicting the least recently used beyond capacity."""
+        """Insert a decoded block, evicting the least recently used beyond capacity.
+
+        The stored array is marked read-only: every view and remote request
+        pastes *from* the shared entry, so a consumer scribbling on it would
+        silently corrupt all later reads of the block.
+        """
+        block.flags.writeable = False
         with self._lock:
             old = self._entries.pop(key, None)
             if old is not None:
                 self._nbytes -= old.nbytes
+                self._resident -= self._resident_nbytes(old)
             self._entries[key] = block
             self._nbytes += block.nbytes
+            self._resident += self._resident_nbytes(block)
             while len(self._entries) > 1 and (
                 len(self._entries) > self.max_blocks or self._nbytes > self.max_bytes
             ):
                 _, evicted = self._entries.popitem(last=False)
                 self._nbytes -= evicted.nbytes
+                self._resident -= self._resident_nbytes(evicted)
                 self.evictions += 1
 
     def clear(self) -> None:
@@ -87,10 +107,18 @@ class BlockCache:
         with self._lock:
             self._entries.clear()
             self._nbytes = 0
+            self._resident = 0
 
     @property
     def stats(self) -> Dict[str, int]:
-        """Counters as plain data: hits, misses, evictions, size and bounds."""
+        """Counters as plain data: hits, misses, evictions, size and bounds.
+
+        ``nbytes`` sums the logical size of the cached blocks (what the
+        capacity bound meters); ``bytes_resident`` charges what the entries
+        actually pin in memory — for read-only *views* that share a larger
+        buffer, the whole buffer, so the two diverge exactly when zero-copy
+        caching is holding more than it stores.
+        """
         with self._lock:
             return {
                 "hits": self.hits,
@@ -98,6 +126,7 @@ class BlockCache:
                 "evictions": self.evictions,
                 "size": len(self._entries),
                 "nbytes": self._nbytes,
+                "bytes_resident": self._resident,
                 "max_blocks": self.max_blocks,
                 "max_bytes": self.max_bytes,
             }

@@ -25,6 +25,7 @@ Block sources implement a small duck-typed protocol::
     n_blocks(level)      -> occupied block count of one level
     intersecting(level, block_range) -> (handles, coords) of occupied blocks
     decode(level, handles)           -> list of decoded block arrays
+    decode_into(level, handles, outs, srcs) -> decode straight into views
     token                -> hashable namespace for cache keys
     stats                -> dict of decode counters
 
@@ -41,7 +42,13 @@ import numpy as np
 
 from repro.array.cache import BlockCache
 from repro.array.indexing import compile_index
-from repro.store.query import BBox, bbox_to_block_range, normalize_bbox, paste_slices
+from repro.store.query import (
+    BBox,
+    bbox_to_block_range,
+    bounds_to_slices,
+    normalize_bbox,
+    paste_slices_batch,
+)
 
 __all__ = [
     "CompressedArray",
@@ -87,6 +94,15 @@ class ContainerSource:
 
     def decode(self, level: int, handles: Sequence[int]) -> List[np.ndarray]:
         return self.reader.decode_entries(handles)
+
+    def decode_into(
+        self,
+        level: int,
+        handles: Sequence[int],
+        outs: Sequence[np.ndarray],
+        srcs: Optional[Sequence] = None,
+    ) -> None:
+        self.reader.decode_entries_into(handles, outs, srcs)
 
     @property
     def stats(self) -> Dict[str, int]:
@@ -151,6 +167,65 @@ class SingleBlockSource:
                 dtype=np.float64,
             )
         return [self._decoded]
+
+    def decode_into(
+        self,
+        level: int,
+        handles: Sequence[int],
+        outs: Sequence[np.ndarray],
+        srcs: Optional[Sequence] = None,
+    ) -> None:
+        block = self.decode(level, handles)[0]
+        for i, out in enumerate(outs):
+            src = None if srcs is None else srcs[i]
+            np.copyto(out, block if src is None else block[src])
+
+
+class _PasteWindows:
+    """Lazy sequence of destination views ``out[dst_i]``.
+
+    A many-small-blocks read plans thousands of paste windows; materialising
+    every view (plus its slice tuple) up front would hold them all alive for
+    the whole decode and show up as a near-array-sized tracemalloc peak.
+    Each access builds its window on demand, so at most one chunk's worth
+    exists at a time.
+    """
+
+    __slots__ = ("_out", "_bounds")
+
+    def __init__(self, out: np.ndarray, bounds: np.ndarray) -> None:
+        self._out = out
+        self._bounds = bounds
+
+    def __len__(self) -> int:
+        return len(self._bounds)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return _PasteWindows(self._out, self._bounds[i])
+        sl = bounds_to_slices(self._bounds[i])
+        # A 0-d domain has an empty slice tuple, and out[()] would be a
+        # scalar, not a writable view.
+        return self._out[sl] if sl else self._out[...]
+
+
+class _PasteSources:
+    """Lazy sequence of source windows: ``None`` for fully-covered blocks
+    (decode straight into the destination), a slice tuple for edge blocks."""
+
+    __slots__ = ("_bounds", "_full")
+
+    def __init__(self, bounds: np.ndarray, full: np.ndarray) -> None:
+        self._bounds = bounds
+        self._full = full
+
+    def __len__(self) -> int:
+        return len(self._bounds)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return _PasteSources(self._bounds[i], self._full[i])
+        return None if self._full[i] else bounds_to_slices(self._bounds[i])
 
 
 class CompressedArray:
@@ -254,30 +329,36 @@ class CompressedArray:
             tuple(hi - lo for lo, hi in bbox), self.fill_value, dtype=np.float64
         )
         n = len(handles)
-        blocks: List[Optional[np.ndarray]] = [None] * n
+        if not n:
+            return out
+        # Plan every paste in a handful of vectorised calls (no per-block
+        # Python arithmetic), then decode straight into the output windows:
+        # fully-covered blocks reconstruct in place, edge blocks paste only
+        # their overlap.  Windows are built lazily, one chunk at a time.
+        dst_bounds, src_bounds, full = paste_slices_batch(coords, unit, bbox)
+        dsts = _PasteWindows(out, dst_bounds)
+        srcs = _PasteSources(src_bounds, full)
         if self.cache is None:
-            if n:
-                blocks = source.decode(self._level, handles)
-        else:
-            keys = [
-                (source.token, self._level, tuple(int(x) for x in coords[i]))
-                for i in range(n)
-            ]
-            missing = []
-            for i, key in enumerate(keys):
-                blocks[i] = self.cache.get(key)
-                if blocks[i] is None:
-                    missing.append(i)
-            if missing:
-                decoded = source.decode(
-                    self._level, [handles[i] for i in missing]
-                )
-                for i, block in zip(missing, decoded):
-                    blocks[i] = block
-                    self.cache.put(keys[i], block)
-        for block, coord in zip(blocks, coords):
-            dst, src = paste_slices(coord, unit, bbox)
-            out[dst] = block[src]
+            source.decode_into(self._level, handles, dsts, srcs)
+            return out
+        token, level = source.token, self._level
+        coords_list = coords.tolist()
+        missing = []
+        for i in range(n):
+            block = self.cache.get((token, level, tuple(coords_list[i])))
+            if block is None:
+                missing.append(i)
+            else:
+                src = srcs[i]
+                np.copyto(dsts[i], block if src is None else block[src])
+        if missing:
+            # Cache misses decode once into their (read-only) cache slot —
+            # the block must outlive this query — then paste the overlap.
+            decoded = source.decode(self._level, [handles[i] for i in missing])
+            for i, block in zip(missing, decoded):
+                self.cache.put((token, level, tuple(coords_list[i])), block)
+                src = srcs[i]
+                np.copyto(dsts[i], block if src is None else block[src])
         return out
 
     def __array__(self, dtype=None, copy=None) -> np.ndarray:

@@ -187,6 +187,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="serve for this many seconds then exit cleanly (default: until ctrl-c)",
     )
+    serve.add_argument(
+        "--refresh-ttl",
+        type=float,
+        default=0.05,
+        help="debounce the per-request store-manifest stat to at most once per "
+        "TTL seconds (default 0.05; 0 stats on every request, always fresh)",
+    )
 
     run = sub.add_parser(
         "run", help="execute a serialized repro.api workflow/pipeline config (JSON)"
@@ -409,7 +416,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     cache = BlockCache(
         max_blocks=args.cache_blocks, max_bytes=int(args.cache_mb * 2 ** 20)
     )
-    daemon = ReadDaemon(store, host=host, port=port, cache=cache)
+    if args.refresh_ttl < 0:
+        raise SystemExit("error: --refresh-ttl must be >= 0")
+    daemon = ReadDaemon(
+        store, host=host, port=port, cache=cache, refresh_ttl=args.refresh_ttl
+    )
     # SIGTERM (systemd, CI, `kill`) shuts down as cleanly as ctrl-c; shells
     # without job control start background children with SIGINT ignored, so
     # TERM is the only reliably deliverable stop signal there.  Installed
@@ -438,7 +449,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(
         f"daemon stopped after {stats['requests']} requests "
         f"({stats['reads']} reads, {stats['blocks_decoded']} blocks decoded, "
-        f"{stats['cache']['hits']} cache hits)"
+        f"{stats['cache']['hits']} cache hits, "
+        f"{stats['cache']['bytes_resident']} B resident)"
     )
     return 0
 
@@ -485,8 +497,10 @@ def _cmd_store(args: argparse.Namespace) -> int:
             print(
                 f"read [{args.index}] of {args.field} step {args.step} level "
                 f"{args.level} -> {args.output}, shape {field.shape} "
-                f"(decoded {stats['blocks_decoded']}/{view.n_blocks} blocks, "
-                f"cache hits {stats.get('cache_hits', 0)})"
+                f"(decoded {stats['blocks_decoded']}/{view.n_blocks} blocks in "
+                f"{stats.get('fetch_ranges', 0)} coalesced fetches, "
+                f"cache hits {stats.get('cache_hits', 0)}, "
+                f"cache resident {stats.get('cache_bytes_resident', 0)} B)"
             )
         return 0
     except KeyError as exc:

@@ -95,15 +95,21 @@ class CompressedArray:
 
     def to_bytes(self) -> bytes:
         """Serialise header + payload to a single byte string (for file I/O)."""
-        return self._header_bytes() + self.payload
+        return b"".join((self._header_bytes(), self.payload))
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "CompressedArray":
-        """Invert :meth:`to_bytes`."""
-        if blob[:4] != _HEADER_MAGIC:
+        """Invert :meth:`to_bytes`.
+
+        Accepts any bytes-like object.  Handed a ``memoryview`` — how the
+        store's coalesced payload fetches arrive — the payload stays a
+        zero-copy view into the caller's buffer; only the small JSON header
+        is materialised.
+        """
+        if bytes(blob[:4]) != _HEADER_MAGIC:
             raise DecompressionError("not a CompressedArray blob (bad magic)")
         (length,) = struct.unpack_from("<I", blob, 4)
-        meta = json.loads(blob[8 : 8 + length].decode("utf-8"))
+        meta = json.loads(bytes(blob[8 : 8 + length]).decode("utf-8"))
         payload = blob[8 + length :]
         return cls(
             codec=meta["codec"],
@@ -200,6 +206,33 @@ class Compressor(ABC):
         out = self._decompress_impl(compressed)
         return out.reshape(compressed.shape)
 
+    def decompress_into(
+        self, compressed: CompressedArray, out: np.ndarray, src=None
+    ) -> np.ndarray:
+        """Reconstruct straight into a caller-preallocated destination.
+
+        ``out`` receives the reconstruction (restricted to the ``src`` index
+        window when given, so an edge block pastes only its overlap); it may
+        be any float64 view — typically a strided window of a query's output
+        array.  Codecs that implement :meth:`_decompress_into_impl` write
+        their final reconstruction pass directly into ``out`` (no per-block
+        temporary); others fall back to decode-then-copy, so the call is
+        always correct and at worst costs what the two-step path did.
+        """
+        if compressed.codec != self.name:
+            raise DecompressionError(
+                f"payload was produced by {compressed.codec!r}, not {self.name!r}"
+            )
+        if src is None and tuple(out.shape) == tuple(compressed.shape):
+            result = self._decompress_into_impl(compressed, out)
+            if result is None:  # codec reconstructed in place
+                return out
+            np.copyto(out, result.reshape(compressed.shape))
+            return out
+        block = self._decompress_impl(compressed).reshape(compressed.shape)
+        np.copyto(out, block if src is None else block[src])
+        return out
+
     def roundtrip(
         self,
         data: np.ndarray,
@@ -240,6 +273,14 @@ class Compressor(ABC):
     @abstractmethod
     def _decompress_impl(self, compressed: CompressedArray) -> np.ndarray:
         """Return the flattened/ shaped reconstruction (reshaped by the caller)."""
+
+    def _decompress_into_impl(
+        self, compressed: CompressedArray, out: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Optionally reconstruct in place: write into ``out`` (shaped like the
+        payload) and return ``None``, or return a freshly decoded array for the
+        base class to copy.  The default defers to :meth:`_decompress_impl`."""
+        return self._decompress_impl(compressed)
 
 
 # -- registry ----------------------------------------------------------------

@@ -93,8 +93,14 @@ def pack_streams(streams: Dict[str, bytes]) -> bytes:
 
 
 def unpack_streams(blob: bytes) -> Dict[str, bytes]:
-    """Invert :func:`pack_streams`."""
-    if blob[:4] != _MAGIC:
+    """Invert :func:`pack_streams`.
+
+    Accepts any bytes-like object; handed a ``memoryview`` (the store's
+    zero-copy payload path) the returned streams are themselves zero-copy
+    views into it — every lossless backend and array decoder downstream
+    consumes buffers, so no payload byte is ever duplicated on the way in.
+    """
+    if bytes(blob[:4]) != _MAGIC:
         raise DecompressionError("bad container magic; payload is not a repro stream bundle")
     version, count = struct.unpack_from("<BI", blob, 4)
     if version != _VERSION:
@@ -104,7 +110,7 @@ def unpack_streams(blob: bytes) -> Dict[str, bytes]:
     for _ in range(count):
         (name_len,) = struct.unpack_from("<B", blob, offset)
         offset += 1
-        name = blob[offset : offset + name_len].decode("utf-8")
+        name = bytes(blob[offset : offset + name_len]).decode("utf-8")
         offset += name_len
         (size,) = struct.unpack_from("<Q", blob, offset)
         offset += 8

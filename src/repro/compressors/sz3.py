@@ -132,6 +132,22 @@ class SZ3Compressor(Compressor):
 
     # -- decompression ------------------------------------------------------
     def _decompress_impl(self, compressed: CompressedArray) -> np.ndarray:
+        return self._reconstruct(compressed, None)
+
+    def _decompress_into_impl(
+        self, compressed: CompressedArray, out: np.ndarray
+    ) -> Optional[np.ndarray]:
+        # The interpolation traversal is a sequence of strided assignments, so
+        # it reconstructs directly inside any float64 destination view — e.g.
+        # a window of a query's output array — with no block temporary.
+        if out.dtype != np.float64:
+            return self._reconstruct(compressed, None)
+        self._reconstruct(compressed, out)
+        return None
+
+    def _reconstruct(
+        self, compressed: CompressedArray, out: Optional[np.ndarray]
+    ) -> np.ndarray:
         meta = compressed.metadata
         streams = unpack_streams(compressed.payload)
         codes_blob = streams["codes"]
@@ -151,7 +167,13 @@ class SZ3Compressor(Compressor):
         radius = int(meta.get("quantizer_radius", DEFAULT_CODE_RADIUS))
         quantizer = LinearQuantizer(radius=radius)
 
-        recon = np.zeros(plan.shape, dtype=np.float64)
+        if out is None:
+            recon = np.zeros(plan.shape, dtype=np.float64)
+        else:
+            # In-place path: the traversal writes every cell, but zero-fill
+            # first so correctness never rests on that coverage argument.
+            recon = out
+            recon[...] = 0.0
         anchor_view = recon[plan.anchor]
         if anchors.size != anchor_view.size:
             raise DecompressionError("anchor stream size mismatch")

@@ -31,9 +31,9 @@ from repro.serve.protocol import (
     ProtocolError,
     decode_ndarray,
     index_to_wire,
-    pack_frame,
     raise_remote_error,
     read_frame,
+    send_frame,
 )
 
 __all__ = ["RemoteStore", "RemoteArray", "connect"]
@@ -78,7 +78,7 @@ class RemoteStore:
             if self._closed:
                 raise ProtocolError(f"connection to {self.address} is closed")
             try:
-                self._sock.sendall(pack_frame(header, payload))
+                send_frame(self._sock, header, payload)
                 frame = read_frame(self._fh, max_payload=None)
             except (OSError, ProtocolError):
                 self._teardown()
@@ -173,6 +173,10 @@ class RemoteArray:
     geometry known from the opening ``describe``, so only ``__getitem__`` and
     :meth:`read_roi` move payload bytes.  :attr:`stats` accumulates the
     per-request accounting the daemon returns in its response headers.
+
+    Results are **read-only zero-copy views** over the response buffer (one
+    allocation per response, no ``frombuffer(...).copy()``); call ``.copy()``
+    (or ``np.array(result)``) for a private writable array before mutating.
     """
 
     def __init__(

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
@@ -38,8 +39,8 @@ from repro.serve.protocol import (
     encode_ndarray,
     error_header,
     index_from_wire,
-    pack_frame,
     read_frame,
+    send_frame,
 )
 
 __all__ = ["ReadDaemon", "parse_address"]
@@ -100,6 +101,10 @@ class _CountingSource:
         self.decoded += len(handles)
         return self._source.decode(level, handles)
 
+    def decode_into(self, level, handles, outs, srcs=None):
+        self.decoded += len(handles)
+        self._source.decode_into(level, handles, outs, srcs)
+
     @property
     def stats(self):
         return self._source.stats
@@ -121,6 +126,12 @@ class ReadDaemon:
         remote clients share one pool.
     backlog:
         Listen backlog of the accept socket.
+    refresh_ttl:
+        Debounce for the per-request :meth:`Store.refresh` manifest stat, in
+        seconds.  ``0`` (default) stats on every request — always-fresh, the
+        historical behaviour; a small positive value (``repro serve``
+        defaults to 50 ms) removes the stat syscall from hot query streams
+        while keeping cross-process appends visible within the TTL.
     """
 
     def __init__(
@@ -130,11 +141,14 @@ class ReadDaemon:
         port: int = 0,
         cache=None,
         backlog: int = 32,
+        refresh_ttl: float = 0.0,
     ) -> None:
         from repro.store import Store
 
         self.store = store if isinstance(store, Store) else Store(store)
         self.cache = self.store.block_cache if cache is None else cache
+        self.refresh_ttl = float(refresh_ttl)
+        self._last_refresh = float("-inf")
         self._host = str(host)
         self._port = int(port)
         self._backlog = int(backlog)
@@ -289,7 +303,9 @@ class ReadDaemon:
 
     def _send(self, conn: socket.socket, header: Dict, payload: bytes = b"") -> bool:
         try:
-            conn.sendall(pack_frame(header, payload))
+            # Scatter-gather: the payload is the result array's own buffer
+            # and goes out via sendmsg — no multi-MB frame concatenation.
+            send_frame(conn, header, payload)
             return True
         except OSError:
             return False
@@ -303,7 +319,15 @@ class ReadDaemon:
             # One stat per request keeps the catalog live against writers in
             # other processes (append-as-you-simulate); entry rows replaced
             # by an overwrite then invalidate their cached readers below.
-            self.store.refresh()
+            # With a positive refresh_ttl the stat is debounced: hot query
+            # streams skip it until the TTL lapses.
+            now = time.monotonic()
+            with self._lock:
+                due = now - self._last_refresh >= self.refresh_ttl
+                if due:
+                    self._last_refresh = now
+            if due:
+                self.store.refresh()
             if op == "describe":
                 return self._op_describe(header), b""
             if op == "catalog":

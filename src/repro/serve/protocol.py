@@ -13,6 +13,14 @@ the ``repro store read`` shape serialized: ``(field, step, level)`` plus a
 JSON-encodable index expression (:func:`index_to_wire`), exactly the plain
 data a :class:`repro.array.CompressedArray` query compiles to.
 
+The hot path is zero-copy end to end: a sender hands :func:`send_frame` the
+result array's own buffer and it leaves through ``socket.sendmsg`` as a
+scatter-gather pair (head+header, payload) with no concatenated frame bytes;
+a receiver's :func:`read_frame` lands the payload in one preallocated buffer
+(``readinto``) and :func:`decode_ndarray` wraps it as a read-only view — one
+payload-sized allocation per response, total.  ``pack_frame`` (join the
+parts) remains for tests and non-socket streams and is byte-identical.
+
 Framing errors are their own exception tree so the daemon can answer them
 with a clean error response instead of hanging or killing the connection
 mid-frame: :class:`ProtocolError` for bad magic / truncation / oversized
@@ -40,6 +48,8 @@ __all__ = [
     "VersionMismatch",
     "RemoteError",
     "pack_frame",
+    "frame_parts",
+    "send_frame",
     "read_frame",
     "encode_ndarray",
     "decode_ndarray",
@@ -78,17 +88,66 @@ class RemoteError(RuntimeError):
     """A daemon-side failure of a type the client cannot reconstruct."""
 
 
-def pack_frame(
+def frame_parts(
     header: Mapping[str, Any], payload: bytes = b"", version: int = PROTOCOL_VERSION
-) -> bytes:
-    """Serialize one frame; ``version`` is overridable for mismatch tests."""
+) -> List:
+    """One frame as a scatter-gather list: ``[head + header blob, payload]``.
+
+    The payload element is the caller's buffer, untouched: a bytes-like
+    object passes through as-is, anything else exporting a buffer (an
+    ndarray's data, an :func:`encode_ndarray` view) is wrapped as a flat
+    ``memoryview`` — never concatenated.  :func:`pack_frame` joins the parts
+    for tests and golden files; :func:`send_frame` writes them with one
+    ``sendmsg`` so a multi-megabyte response leaves the process without an
+    intermediate copy.
+    """
     blob = json.dumps(dict(header), sort_keys=True).encode("utf-8")
     if len(blob) > MAX_HEADER_BYTES:
         raise ProtocolError(
             f"frame header is {len(blob)} bytes; the protocol caps headers at "
             f"{MAX_HEADER_BYTES}"
         )
-    return _HEAD.pack(PROTOCOL_MAGIC, int(version), len(blob), len(payload)) + blob + payload
+    if not isinstance(payload, (bytes, bytearray)):
+        payload = memoryview(payload).cast("B")
+    head = _HEAD.pack(PROTOCOL_MAGIC, int(version), len(blob), len(payload))
+    return [head + blob, payload]
+
+
+def pack_frame(
+    header: Mapping[str, Any], payload: bytes = b"", version: int = PROTOCOL_VERSION
+) -> bytes:
+    """Serialize one frame; ``version`` is overridable for mismatch tests."""
+    return b"".join(frame_parts(header, payload, version))
+
+
+def send_frame(sock, header: Mapping[str, Any], payload: bytes = b"",
+               version: int = PROTOCOL_VERSION) -> int:
+    """Write one frame to a socket with scatter-gather I/O; returns bytes sent.
+
+    The head+header and the payload leave as separate buffers through
+    ``socket.sendmsg`` (with a ``sendall`` fallback for sockets that lack
+    it), so the payload — typically the C-order buffer of a whole result
+    array — is never copied into a concatenated frame.  Partial sends are
+    resumed until the frame is fully written; transport failures surface as
+    ``OSError`` exactly like ``sendall``.
+    """
+    views = [memoryview(p).cast("B") for p in frame_parts(header, payload, version)]
+    views = [v for v in views if len(v)]
+    sendmsg = getattr(sock, "sendmsg", None)
+    total = 0
+    while views:
+        if sendmsg is not None:
+            n = sendmsg(views)
+        else:
+            sock.sendall(views[0])
+            n = len(views[0])
+        total += n
+        while views and n >= len(views[0]):
+            n -= len(views[0])
+            views.pop(0)
+        if views and n:
+            views[0] = views[0][n:]
+    return total
 
 
 def _read_exact(fh: BinaryIO, n: int, what: str) -> bytes:
@@ -101,6 +160,32 @@ def _read_exact(fh: BinaryIO, n: int, what: str) -> bytes:
             )
         buf += chunk
     return buf
+
+
+def _read_exact_into(fh: BinaryIO, n: int, what: str) -> memoryview:
+    """Read exactly ``n`` bytes into one preallocated buffer (single allocation).
+
+    The one payload-sized allocation a response costs: the bytes land via
+    ``readinto`` (no per-chunk ``+=`` concatenation), and the returned
+    ``memoryview`` is what :func:`decode_ndarray` wraps zero-copy.
+    """
+    buf = bytearray(n)
+    view = memoryview(buf)
+    readinto = getattr(fh, "readinto", None)
+    got = 0
+    while got < n:
+        if readinto is not None:
+            count = readinto(view[got:])
+        else:
+            chunk = fh.read(n - got)
+            count = len(chunk)
+            view[got : got + count] = chunk
+        if not count:
+            raise ProtocolError(
+                f"truncated frame: expected {n} bytes of {what}, got {got}"
+            )
+        got += count
+    return view
 
 
 def read_frame(
@@ -147,23 +232,42 @@ def read_frame(
         raise ProtocolError(f"corrupt frame header ({exc})") from exc
     if not isinstance(header, dict):
         raise ProtocolError(f"frame header must be a JSON object, got {type(header).__name__}")
-    payload = _read_exact(fh, payload_len, "frame payload")
+    payload = _read_exact_into(fh, payload_len, "frame payload")
     return header, payload
 
 
 # -- ndarray payloads ----------------------------------------------------------
-def encode_ndarray(arr: np.ndarray) -> Tuple[Dict[str, Any], bytes]:
-    """Describe an array for a frame header and serialize its C-order buffer."""
+def encode_ndarray(arr: np.ndarray) -> Tuple[Dict[str, Any], memoryview]:
+    """Describe an array for a frame header and expose its C-order buffer.
+
+    The returned payload is a flat read-through ``memoryview`` of the
+    array's own memory — zero-copy for contiguous input (the view keeps the
+    array's buffer alive); only non-contiguous input pays a compacting copy.
+    :func:`frame_parts` / :func:`send_frame` pass the view through to the
+    socket untouched.
+    """
     arr = np.asarray(arr)
     if not arr.flags.c_contiguous:
         # ascontiguousarray would also promote 0-d to 1-d, so only copy when
         # the layout actually requires it.
         arr = np.ascontiguousarray(arr).reshape(arr.shape)
-    return {"dtype": arr.dtype.str, "shape": list(arr.shape)}, arr.tobytes()
+    meta = {"dtype": arr.dtype.str, "shape": list(arr.shape)}
+    # reshape(-1) is a view on contiguous data; cast("B") flattens to bytes
+    # without touching them (works for 0-d and read-only arrays alike).
+    return meta, memoryview(arr.reshape(-1)).cast("B")
 
 
-def decode_ndarray(meta: Mapping[str, Any], payload: bytes) -> np.ndarray:
-    """Rebuild an array from its header description and raw buffer."""
+def decode_ndarray(
+    meta: Mapping[str, Any], payload: bytes, copy: bool = False
+) -> np.ndarray:
+    """Rebuild an array from its header description and raw buffer.
+
+    By default the result is a **read-only zero-copy view** over ``payload``
+    (which stays alive as the array's base) — receiving a response costs one
+    payload-sized allocation in :func:`read_frame` and nothing here.  Pass
+    ``copy=True`` for a private writable array, e.g. when the caller mutates
+    the result in place.
+    """
     dtype = np.dtype(meta["dtype"])
     shape = tuple(int(s) for s in meta["shape"])
     expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
@@ -172,7 +276,12 @@ def decode_ndarray(meta: Mapping[str, Any], payload: bytes) -> np.ndarray:
             f"ndarray payload is {len(payload)} bytes but dtype {dtype} and "
             f"shape {shape} require {expected}"
         )
-    return np.frombuffer(payload, dtype=dtype).reshape(shape).copy()
+    arr = np.frombuffer(payload, dtype=dtype).reshape(shape)
+    if copy:
+        return arr.copy()
+    if arr.flags.writeable:
+        arr.flags.writeable = False
+    return arr
 
 
 # -- index expressions ---------------------------------------------------------

@@ -24,7 +24,7 @@ import numpy as np
 from repro.compressors.base import CompressedArray, Compressor, get_compressor
 from repro.insitu.scheduler import EXECUTORS, default_workers, parallel_map
 
-__all__ = ["CodecEngine", "decode_payloads"]
+__all__ = ["CodecEngine", "decode_payloads", "decode_payloads_into"]
 
 #: Upper bound on blocks per pool task; keeps per-task payloads a few MiB.
 _MAX_CHUNK = 128
@@ -35,6 +35,13 @@ def _encode_chunk(task: Tuple[str, dict, float, np.ndarray]) -> List[bytes]:
     kind, options, error_bound, blocks = task
     codec = get_compressor(kind, **options)
     return [codec.compress(block, error_bound).to_bytes() for block in blocks]
+
+
+def _decode_into_chunk(task) -> list:
+    """Worker: decode one chunk of payloads into its destination views."""
+    payloads, outs, srcs = task
+    decode_payloads_into(payloads, outs, srcs)
+    return []
 
 
 def decode_payloads(payloads: Sequence[bytes]) -> List[np.ndarray]:
@@ -54,6 +61,32 @@ def decode_payloads(payloads: Sequence[bytes]) -> List[np.ndarray]:
             codec = codecs[compressed.codec] = get_compressor(compressed.codec)
         out.append(codec.decompress(compressed))
     return out
+
+
+def decode_payloads_into(
+    payloads: Sequence[bytes],
+    outs: Sequence[np.ndarray],
+    srcs: Optional[Sequence] = None,
+) -> None:
+    """Decode payload blobs straight into caller-preallocated destinations.
+
+    ``outs[i]`` receives the reconstruction of ``payloads[i]`` — restricted
+    to the ``srcs[i]`` source window when given (edge blocks paste only their
+    overlap).  Codecs implementing the in-place hook reconstruct inside the
+    destination view with no per-block temporary; others decode then copy,
+    so the two entry points are always bit-for-bit identical.  Module-level
+    and loop-shaped like :func:`decode_payloads` on purpose: it is the
+    thread-pool chunk worker for :meth:`CodecEngine.decode_blocks_into`.
+    """
+    codecs: Dict[str, Compressor] = {}
+    for i, blob in enumerate(payloads):
+        compressed = CompressedArray.from_bytes(blob)
+        codec = codecs.get(compressed.codec)
+        if codec is None:
+            codec = codecs[compressed.codec] = get_compressor(compressed.codec)
+        codec.decompress_into(
+            compressed, outs[i], src=None if srcs is None else srcs[i]
+        )
 
 
 class CodecEngine:
@@ -130,8 +163,43 @@ class CodecEngine:
     def decode_blocks(self, payloads: Sequence[bytes]) -> List[np.ndarray]:
         """Decode per-block payload blobs back into block arrays (file order)."""
         payloads = list(payloads)
+        if self.executor == "process":
+            # Zero-copy fetch hands out memoryviews, which cannot cross a
+            # process boundary; materialise them for pickling.
+            payloads = [p if isinstance(p, bytes) else bytes(p) for p in payloads]
         tasks = [payloads[a:b] for a, b in self._chunk_bounds(len(payloads))]
         return self._run(decode_payloads, tasks)
+
+    def decode_blocks_into(
+        self,
+        payloads: Sequence[bytes],
+        outs: Sequence[np.ndarray],
+        srcs: Optional[Sequence] = None,
+    ) -> None:
+        """Decode payload blobs straight into preallocated destination views.
+
+        The batched :func:`decode_payloads_into`: serial and thread backends
+        write into the shared destinations directly (NumPy assignments
+        release the GIL, so chunks overlap); the process backend cannot share
+        the caller's memory, so it falls back to :meth:`decode_blocks` plus
+        one paste per block — same bytes, one extra touch.
+        """
+        n = len(payloads)
+        if n == 0:
+            return
+        if self.executor == "process":
+            for i, block in enumerate(self.decode_blocks(payloads)):
+                src = None if srcs is None else srcs[i]
+                np.copyto(outs[i], block if src is None else block[src])
+            return
+        payloads = list(payloads)
+        # outs/srcs are sliced, not listified: the caller may hand in a lazy
+        # window sequence that materialises destination views per access.
+        tasks = [
+            (payloads[a:b], outs[a:b], None if srcs is None else srcs[a:b])
+            for a, b in self._chunk_bounds(n)
+        ]
+        self._run(_decode_into_chunk, tasks)
 
     def describe(self) -> str:
         """Short configuration string (mirrors ``MultiResolutionCompressor.describe``)."""

@@ -27,6 +27,9 @@ __all__ = [
     "blocks_in_range",
     "block_cell_slices",
     "paste_slices",
+    "paste_slices_batch",
+    "bounds_to_slices",
+    "coalesce_ranges",
 ]
 
 BBox = Tuple[Tuple[int, int], ...]
@@ -101,3 +104,81 @@ def paste_slices(
         dst.append(slice(a - lo, b - lo))
         src.append(slice(a - start, b - start))
     return tuple(dst), tuple(src)
+
+
+def paste_slices_batch(
+    coords: np.ndarray, unit_size: int, bbox: BBox
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised :func:`paste_slices` over every block at once.
+
+    For ``coords`` of shape ``(n, ndim)`` returns ``(dst, src, full)``:
+    ``dst``/``src`` are ``(n, ndim, 2)`` int64 bound arrays (``[..., 0]`` the
+    start, ``[..., 1]`` the stop of each axis slice) and ``full`` is a
+    boolean mask marking blocks whose source window covers the whole unit
+    block — the blocks a decoder may write straight into the destination.
+    One NumPy call per bound instead of a Python loop per block: this is the
+    batch planner behind :meth:`repro.array.CompressedArray.__getitem__`.
+    """
+    coords = np.asarray(coords, dtype=np.int64)
+    n = coords.shape[0]
+    ndim = len(bbox)
+    coords = coords.reshape(n, ndim)
+    u = np.int64(int(unit_size))
+    lo = np.fromiter((b[0] for b in bbox), dtype=np.int64, count=ndim)
+    hi = np.fromiter((b[1] for b in bbox), dtype=np.int64, count=ndim)
+    start = coords * u
+    a = np.maximum(start, lo)
+    b = np.minimum(start + u, hi)
+    dst = np.stack([a - lo, b - lo], axis=-1)
+    src = np.stack([a - start, b - start], axis=-1)
+    if ndim:
+        full = np.logical_and.reduce(
+            (src[:, :, 0] == 0) & (src[:, :, 1] == u), axis=1
+        )
+    else:
+        full = np.ones(n, dtype=bool)
+    return dst, src, full
+
+
+def bounds_to_slices(bounds: np.ndarray) -> Tuple[slice, ...]:
+    """One ``(ndim, 2)`` bound row (from :func:`paste_slices_batch`) as slices."""
+    return tuple(slice(int(lo), int(hi)) for lo, hi in bounds)
+
+
+def coalesce_ranges(
+    offsets: np.ndarray, lengths: np.ndarray, max_gap: int = 0
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Merge ``(offset, length)`` byte ranges into covering fetch ranges.
+
+    Ranges closer than ``max_gap`` bytes (or overlapping) are merged so a
+    reader can serve many blocks with one contiguous fetch each.  Returns
+    ``(fetch_lo, fetch_hi, which)``: the merged half-open ranges sorted by
+    offset, plus for every *input* range the index of the merged range that
+    contains it, so ``offsets[i]``'s payload lives at
+    ``fetch[which[i]][offsets[i] - fetch_lo[which[i]] : ... + lengths[i]]``.
+    Fully vectorised — one ``argsort`` plus a handful of NumPy calls,
+    regardless of how many ranges are requested.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    n = offsets.shape[0]
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    gap = np.int64(max(0, int(max_gap)))
+    order = np.argsort(offsets, kind="stable")
+    o = offsets[order]
+    ends = o + lengths[order]
+    # A new fetch range starts wherever the next offset lies beyond the
+    # furthest end seen so far (plus the merge gap).
+    reach = np.maximum.accumulate(ends)
+    starts_new = np.empty(n, dtype=bool)
+    starts_new[0] = True
+    starts_new[1:] = o[1:] > reach[:-1] + gap
+    group = np.cumsum(starts_new) - 1
+    first = np.flatnonzero(starts_new)
+    fetch_lo = o[first]
+    fetch_hi = np.maximum.reduceat(ends, first)
+    which = np.empty(n, dtype=np.int64)
+    which[order] = group
+    return fetch_lo, fetch_hi, which

@@ -20,6 +20,7 @@ __all__ = [
     "assemble_blocks",
     "num_blocks",
     "block_index_grid",
+    "block_bounds",
     "block_reduce_range",
     "block_reduce_mean",
     "block_reduce_max",
@@ -138,6 +139,32 @@ def block_index_grid(shape: Sequence[int], block_size: int | Sequence[int]) -> n
     return np.stack([g.ravel() for g in grids], axis=1)
 
 
+def block_bounds(
+    coords: np.ndarray,
+    block_size: int | Sequence[int],
+    shape: Sequence[int] | None = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cell-space ``(starts, stops)`` of many blocks in one vectorised call.
+
+    ``coords`` is ``(n, ndim)`` unit-block coordinates; the result arrays are
+    both ``(n, ndim)`` int64.  With ``shape`` the stops are clamped to the
+    domain, which is how overhanging edge blocks get their ragged extents.
+    The batched replacement for calling :func:`block_cell_slices
+    <repro.store.query.block_cell_slices>` in a Python loop per block.
+    """
+    coords = np.asarray(coords, dtype=np.int64)
+    if coords.ndim != 2:
+        raise ValueError(f"coords must be (n, ndim), got shape {coords.shape}")
+    bs = np.asarray(
+        _normalize_block_size(block_size, coords.shape[1]), dtype=np.int64
+    )
+    starts = coords * bs
+    stops = starts + bs
+    if shape is not None:
+        stops = np.minimum(stops, np.asarray(tuple(shape), dtype=np.int64))
+    return starts, stops
+
+
 def _blockwise_reduce(data: np.ndarray, block_size, func) -> np.ndarray:
     padded = pad_to_multiple(data, block_size)
     bv = block_view(padded, block_size)
@@ -214,11 +241,8 @@ def iter_block_slices(
     shape: Sequence[int], block_size: int | Sequence[int]
 ) -> Iterable[Tuple[slice, ...]]:
     """Yield slice tuples covering ``shape`` in blocks (last blocks may be ragged)."""
-    bs = _normalize_block_size(block_size, len(shape))
-    ranges = [range(0, int(n), b) for n, b in zip(shape, bs)]
-    grids = np.meshgrid(*[np.asarray(list(r)) for r in ranges], indexing="ij")
-    starts = np.stack([g.ravel() for g in grids], axis=1)
-    for start in starts:
-        yield tuple(
-            slice(int(s), int(min(s + b, n))) for s, b, n in zip(start, bs, shape)
-        )
+    starts, stops = block_bounds(
+        block_index_grid(shape, block_size), block_size, shape=shape
+    )
+    for lo, hi in zip(starts.tolist(), stops.tolist()):
+        yield tuple(slice(a, b) for a, b in zip(lo, hi))
