@@ -31,8 +31,15 @@ full surface.
 from __future__ import annotations
 
 import importlib
+import logging
 
 from repro._version import __version__
+
+# Library logging contract: repro modules emit records (the serve daemon's
+# access log, slow-request warnings) but never configure handlers on import;
+# the NullHandler silences the "no handlers found" complaint for apps that
+# don't opt in via repro.obs.configure_logging().
+logging.getLogger("repro").addHandler(logging.NullHandler())
 
 #: facade names re-exported from repro.api, resolved on first access so that
 #: importing a submodule (e.g. repro.compressors) never drags in the world.
@@ -83,5 +90,5 @@ def describe() -> str:
         "  connect               remote lazy views via a read daemon (repro.serve)\n"
         "  run_workflow          execute a WorkflowConfig on an array or hierarchy\n"
         "  run_config            execute a serialized config (the `repro run` engine)\n"
-        "CLI: repro compress|decompress|info|evaluate|store ls|get|roi|read|run|serve\n"
+        "CLI: repro compress|decompress|info|evaluate|store ls|get|roi|read|run|serve|stats\n"
     )

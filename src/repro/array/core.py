@@ -35,6 +35,7 @@ serialises — its per-request accounting wraps this protocol unchanged.
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -42,6 +43,8 @@ import numpy as np
 
 from repro.array.cache import BlockCache
 from repro.array.indexing import compile_index
+from repro.obs import REGISTRY
+from repro.obs import span as obs_span
 from repro.store.query import (
     BBox,
     bbox_to_block_range,
@@ -49,6 +52,19 @@ from repro.store.query import (
     normalize_bbox,
     paste_slices_batch,
 )
+
+#: Where a read's blocks came from: served from the block cache or decoded.
+_READ_BLOCKS = REGISTRY.counter(
+    "repro_read_blocks_total",
+    "Blocks consumed by lazy-view reads, by how they were obtained.",
+    labelnames=("outcome",),
+)
+_READ_SECONDS = REGISTRY.histogram(
+    "repro_read_seconds",
+    "End-to-end bbox read latency (plan + decode + paste).",
+)
+_BLOCKS_HIT = _READ_BLOCKS.labels(outcome="hit")
+_BLOCKS_DECODED = _READ_BLOCKS.labels(outcome="decoded")
 
 __all__ = [
     "CompressedArray",
@@ -320,6 +336,7 @@ class CompressedArray:
         return self._read_bbox(normalize_bbox(bbox, self.shape))
 
     def _read_bbox(self, bbox: BBox) -> np.ndarray:
+        start = time.perf_counter()
         source = self._source
         unit = source.unit_size(self._level)
         handles, coords = source.intersecting(
@@ -330,6 +347,7 @@ class CompressedArray:
         )
         n = len(handles)
         if not n:
+            _READ_SECONDS.observe(time.perf_counter() - start)
             return out
         # Plan every paste in a handful of vectorised calls (no per-block
         # Python arithmetic), then decode straight into the output windows:
@@ -340,25 +358,34 @@ class CompressedArray:
         srcs = _PasteSources(src_bounds, full)
         if self.cache is None:
             source.decode_into(self._level, handles, dsts, srcs)
+            _BLOCKS_DECODED.inc(n)
+            _READ_SECONDS.observe(time.perf_counter() - start)
             return out
         token, level = source.token, self._level
         coords_list = coords.tolist()
         missing = []
-        for i in range(n):
-            block = self.cache.get((token, level, tuple(coords_list[i])))
-            if block is None:
-                missing.append(i)
-            else:
-                src = srcs[i]
-                np.copyto(dsts[i], block if src is None else block[src])
+        with obs_span("paste", blocks=n) as sp:
+            for i in range(n):
+                block = self.cache.get((token, level, tuple(coords_list[i])))
+                if block is None:
+                    missing.append(i)
+                else:
+                    src = srcs[i]
+                    np.copyto(dsts[i], block if src is None else block[src])
+            if sp is not None:
+                sp.set(hits=n - len(missing))
         if missing:
             # Cache misses decode once into their (read-only) cache slot —
             # the block must outlive this query — then paste the overlap.
             decoded = source.decode(self._level, [handles[i] for i in missing])
-            for i, block in zip(missing, decoded):
-                self.cache.put((token, level, tuple(coords_list[i])), block)
-                src = srcs[i]
-                np.copyto(dsts[i], block if src is None else block[src])
+            with obs_span("paste", blocks=len(missing), decoded=True):
+                for i, block in zip(missing, decoded):
+                    self.cache.put((token, level, tuple(coords_list[i])), block)
+                    src = srcs[i]
+                    np.copyto(dsts[i], block if src is None else block[src])
+        _BLOCKS_HIT.inc(n - len(missing))
+        _BLOCKS_DECODED.inc(len(missing))
+        _READ_SECONDS.observe(time.perf_counter() - start)
         return out
 
     def __array__(self, dtype=None, copy=None) -> np.ndarray:

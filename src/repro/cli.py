@@ -194,6 +194,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="debounce the per-request store-manifest stat to at most once per "
         "TTL seconds (default 0.05; 0 stats on every request, always fresh)",
     )
+    serve.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="-v logs one access line per request, -vv adds connection/reader "
+        "lifecycle chatter (default: warnings only)",
+    )
+    serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit log records as JSON lines instead of key=value text",
+    )
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help="log a WARNING (with accounting) for requests slower than this "
+        "many milliseconds",
+    )
+    serve.add_argument(
+        "--trace",
+        action="store_true",
+        help="record request traces into the daemon's in-memory ring "
+        "(inspect via `repro stats` clients or the trace wire op)",
+    )
+    serve.add_argument(
+        "--max-readers",
+        type=int,
+        default=None,
+        help="bound on the daemon's per-entry container reader LRU "
+        "(default 64); evicted readers close once their reads drain",
+    )
+
+    stats = sub.add_parser(
+        "stats", help="scrape a running daemon's telemetry (repro.obs)"
+    )
+    stats.add_argument("addr", help="daemon address (host:port from `repro serve`)")
+    stats.add_argument(
+        "--prom",
+        action="store_true",
+        help="render the metrics registry snapshot as Prometheus text "
+        "(default: JSON)",
+    )
+    stats.add_argument(
+        "--watch",
+        action="store_true",
+        help="re-scrape every --interval seconds until interrupted",
+    )
+    stats.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between scrapes with --watch (default 2)",
+    )
 
     run = sub.add_parser(
         "run", help="execute a serialized repro.api workflow/pipeline config (JSON)"
@@ -406,6 +461,7 @@ def _cmd_store_read_remote(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.array import BlockCache
+    from repro.obs import TRACER, configure_logging
     from repro.serve import ReadDaemon, parse_address
 
     try:
@@ -418,8 +474,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     if args.refresh_ttl < 0:
         raise SystemExit("error: --refresh-ttl must be >= 0")
+    configure_logging(verbosity=args.verbose, json_lines=args.log_json)
+    if args.trace:
+        TRACER.enable()
+    daemon_kwargs = {}
+    if args.max_readers is not None:
+        if args.max_readers < 1:
+            raise SystemExit("error: --max-readers must be >= 1")
+        daemon_kwargs["max_readers"] = args.max_readers
     daemon = ReadDaemon(
-        store, host=host, port=port, cache=cache, refresh_ttl=args.refresh_ttl
+        store,
+        host=host,
+        port=port,
+        cache=cache,
+        refresh_ttl=args.refresh_ttl,
+        slow_ms=args.slow_ms,
+        **daemon_kwargs,
     )
     # SIGTERM (systemd, CI, `kill`) shuts down as cleanly as ctrl-c; shells
     # without job control start background children with SIGINT ignored, so
@@ -509,6 +579,41 @@ def _cmd_store(args: argparse.Namespace) -> int:
         raise SystemExit(f"error: {exc}")
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """``repro stats ADDR``: scrape a daemon's telemetry surface.
+
+    One ``stats`` round trip per scrape; ``--prom`` renders the registry
+    snapshot as Prometheus text (what a scrape job would ingest), otherwise
+    the full stats response prints as JSON.
+    """
+    import time as _time
+
+    from repro.obs import render_prometheus
+    from repro.serve import ProtocolError, RemoteStore
+
+    try:
+        with RemoteStore(args.addr) as client:
+            while True:
+                stats = client.stats()
+                if args.prom:
+                    # render_prometheus output is newline-terminated already;
+                    # print() would add a blank line scrapers reject.
+                    sys.stdout.write(render_prometheus(stats.get("metrics", [])))
+                    sys.stdout.flush()
+                else:
+                    print(json.dumps(stats, indent=2, sort_keys=True), flush=True)
+                if not args.watch:
+                    break
+                _time.sleep(max(0.1, args.interval))
+    except OSError as exc:
+        raise SystemExit(f"error: cannot connect to daemon at {args.addr}: {exc}")
+    except ProtocolError as exc:
+        raise SystemExit(f"error: {exc}")
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.api import run_config
 
@@ -539,6 +644,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "evaluate": _cmd_evaluate,
         "store": _cmd_store,
         "serve": _cmd_serve,
+        "stats": _cmd_stats,
         "run": _cmd_run,
     }
     try:

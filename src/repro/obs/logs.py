@@ -1,0 +1,91 @@
+"""Stdlib-logging plumbing for the serving stack.
+
+The library itself only ever *emits* records (``repro.serve.daemon`` is the
+chatty one: access lines, slow-request warnings, connection lifecycle) and
+installs a ``NullHandler`` at the package root, so importing ``repro`` never
+configures logging behind an application's back.  :func:`configure_logging`
+is the opt-in for processes that *are* the application — ``repro serve -v``
+and the examples — attaching one stream handler with either a human
+``key=value`` line format or JSON lines for log shippers.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Optional
+
+__all__ = ["configure_logging", "JsonLineFormatter", "access_extra"]
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per record: timestamp, level, logger, message, fields.
+
+    Structured fields attached via ``extra={"fields": {...}}`` (see
+    :func:`access_extra`) are merged into the top-level object, so an access
+    line is machine-parseable without regexing the message.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        out = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, dict):
+            out.update(fields)
+        if record.exc_info and record.exc_info[0] is not None:
+            out["exception"] = self.formatException(record.exc_info)
+        return json.dumps(out, sort_keys=True, default=str)
+
+
+class KeyValueFormatter(logging.Formatter):
+    """Human format: timestamped message plus sorted ``key=value`` fields."""
+
+    default_msec_format = "%s.%03d"
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = super().format(record)
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, dict) and fields:
+            base += " " + " ".join(f"{k}={v}" for k, v in sorted(fields.items()))
+        return base
+
+
+def access_extra(**fields) -> dict:
+    """``extra=`` payload carrying structured fields both formatters render."""
+    return {"fields": fields}
+
+
+def configure_logging(
+    verbosity: int = 0,
+    json_lines: bool = False,
+    stream: Optional[IO[str]] = None,
+    logger: str = "repro",
+) -> logging.Logger:
+    """Attach one configured stream handler to the ``repro`` logger tree.
+
+    ``verbosity`` 0 keeps the library quiet (WARNING: slow requests and
+    errors only), 1 adds the per-request access log (INFO), 2 adds
+    connection/reader lifecycle chatter (DEBUG).  Idempotent per stream: a
+    handler this function installed earlier is replaced, not duplicated.
+    """
+    target = logging.getLogger(logger)
+    level = (logging.WARNING, logging.INFO, logging.DEBUG)[min(int(verbosity), 2)]
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if json_lines:
+        handler.setFormatter(JsonLineFormatter())
+    else:
+        handler.setFormatter(
+            KeyValueFormatter("%(asctime)s %(levelname)s %(name)s: %(message)s")
+        )
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    for existing in list(target.handlers):
+        if getattr(existing, "_repro_obs_handler", False):
+            target.removeHandler(existing)
+    target.addHandler(handler)
+    target.setLevel(level)
+    return target

@@ -1,0 +1,86 @@
+"""Prometheus text-format exposition of a registry snapshot.
+
+A pure function over the plain-data snapshot
+(:meth:`repro.obs.MetricsRegistry.snapshot`), so the daemon ships data and
+any side — the serving process, the ``repro stats --prom`` client, a test —
+renders identical text.  Output follows the Prometheus text exposition
+format version 0.0.4: ``# HELP`` / ``# TYPE`` preambles, escaped label
+values, histograms expanded into cumulative ``_bucket{le=...}`` series plus
+``_sum`` and ``_count``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping
+
+__all__ = ["render_prometheus"]
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: Any) -> str:
+    value = float(value)
+    if value != value:
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _labels_text(labels: Mapping[str, Any], extra: Mapping[str, str] = ()) -> str:
+    items = [(str(k), str(v)) for k, v in labels.items()]
+    items += [(str(k), str(v)) for k, v in dict(extra).items()]
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in sorted(items))
+    return "{" + body + "}"
+
+
+def _bucket_sort_key(bound: str):
+    return float("inf") if bound == "+Inf" else float(bound)
+
+
+def render_prometheus(families: Iterable[Dict[str, Any]]) -> str:
+    """Render snapshot families as Prometheus exposition text.
+
+    Accepts exactly what :meth:`MetricsRegistry.snapshot` produces (and what
+    the ``stats`` wire op carries under ``"metrics"``).  Deterministic:
+    families render in input order (the snapshot already sorts by name),
+    labels sort within a sample, histogram buckets sort numerically.
+    """
+    lines: List[str] = []
+    for family in families:
+        name = family["name"]
+        kind = family.get("type", "untyped")
+        help_text = family.get("help", "")
+        if help_text:
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in family.get("samples", ()):
+            labels = sample.get("labels", {})
+            if kind == "histogram":
+                buckets = sample.get("buckets", {})
+                for bound in sorted(buckets, key=_bucket_sort_key):
+                    lines.append(
+                        f"{name}_bucket{_labels_text(labels, {'le': bound})} "
+                        f"{_format_value(buckets[bound])}"
+                    )
+                lines.append(
+                    f"{name}_sum{_labels_text(labels)} {_format_value(sample.get('sum', 0.0))}"
+                )
+                lines.append(
+                    f"{name}_count{_labels_text(labels)} {_format_value(sample.get('count', 0))}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_labels_text(labels)} {_format_value(sample.get('value', 0.0))}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,338 @@
+"""Request tracing: lightweight spans in a bounded in-memory ring.
+
+A *trace* is one logical request — a ``RemoteArray.__getitem__``, a daemon
+request, a local view read — and a *span* is one timed stage inside it
+(``fetch``, ``decode``, ``paste``, ``send``).  Instrumented code never names
+a tracer; it calls :func:`span`, which consults the ambient trace context
+(a :class:`contextvars.ContextVar`): with no trace active that is a single
+lookup returning a shared no-op, so tracing costs nothing until someone
+turns it on.
+
+Traces cross the wire by id: the client opens a root span, ships
+``{"trace": {"id": ..., "parent": ...}}`` in the request header, and the
+daemon — when its tracer is enabled — parents its ``request`` span (and the
+``fetch``/``decode``/``paste`` children the read path emits) on the client's
+span.  Request-scoped daemon spans return to the client inside the response
+header and are grafted into the client's ring, so one trace tree spans both
+sides; only the daemon's ``send`` span (which by construction outlives the
+response) stays server-side, retrievable via the ``trace`` wire op.
+
+The ring (:meth:`Tracer.traces`) is bounded per trace count, so a long-lived
+daemon keeps a sliding window of recent request trees and nothing grows
+without bound.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import OrderedDict
+from contextvars import ContextVar
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "TRACER", "span", "current_trace", "format_trace"]
+
+#: Ambient trace context: ``None`` (tracing inactive on this logical thread
+#: of control) or a ``_TraceCtx`` naming the live tracer, trace and parent.
+_CURRENT: "ContextVar[Optional[_TraceCtx]]" = ContextVar("repro_obs_trace", default=None)
+
+
+def _new_id(nbytes: int) -> str:
+    return os.urandom(nbytes).hex()
+
+
+class Span:
+    """One completed, timed stage of a trace (plain data once finished)."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "start", "duration", "attrs")
+
+    def __init__(self, name: str, trace_id: str, span_id: str,
+                 parent_id: Optional[str], start: float, duration: float,
+                 attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.duration = duration
+        self.attrs = attrs
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form — what crosses the wire and what the ring hands out."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        return cls(
+            name=str(data.get("name", "")),
+            trace_id=str(data.get("trace_id", "")),
+            span_id=str(data.get("span_id", "")),
+            parent_id=data.get("parent_id"),
+            start=float(data.get("start", 0.0)),
+            duration=float(data.get("duration", 0.0)),
+            attrs=dict(data.get("attrs", {})),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, trace={self.trace_id[:8]}, "
+            f"{self.duration * 1e3:.3f} ms, attrs={self.attrs})"
+        )
+
+
+class _TraceCtx:
+    __slots__ = ("tracer", "trace_id", "span_id", "sink")
+
+    def __init__(self, tracer: "Tracer", trace_id: str, span_id: str,
+                 sink: Optional[List[Dict[str, Any]]]) -> None:
+        self.tracer = tracer
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.sink = sink
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager: the cost of tracing-off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _LiveSpan:
+    """Context manager recording one span into the ambient trace on exit."""
+
+    __slots__ = ("_name", "_attrs", "_ctx", "_span_id", "_wall", "_perf", "_token")
+
+    def __init__(self, name: str, attrs: Dict[str, Any], ctx: _TraceCtx) -> None:
+        self._name = name
+        self._attrs = attrs
+        self._ctx = ctx
+        self._span_id = _new_id(4)
+
+    def __enter__(self) -> "_LiveSpan":
+        self._wall = time.time()
+        self._perf = time.perf_counter()
+        self._token = _CURRENT.set(
+            _TraceCtx(self._ctx.tracer, self._ctx.trace_id, self._span_id, self._ctx.sink)
+        )
+        return self
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered mid-span (block counts, byte totals)."""
+        self._attrs.update(attrs)
+
+    @property
+    def span_id(self) -> str:
+        return self._span_id
+
+    @property
+    def trace_id(self) -> str:
+        return self._ctx.trace_id
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._perf
+        _CURRENT.reset(self._token)
+        if exc_type is not None:
+            self._attrs["error"] = exc_type.__name__
+        self._ctx.tracer._record(
+            Span(self._name, self._ctx.trace_id, self._span_id,
+                 self._ctx.span_id, self._wall, duration, self._attrs),
+            self._ctx.sink,
+        )
+        return False
+
+
+def span(name: str, **attrs: Any):
+    """Time one stage of the ambient trace; a no-op when no trace is active.
+
+    Usage at the instrumentation sites::
+
+        with obs.span("decode", blocks=len(handles)):
+            ...
+
+    The returned object (when live) supports ``.set(**attrs)`` for values
+    known only mid-stage.
+    """
+    ctx = _CURRENT.get()
+    if ctx is None:
+        return _NOOP
+    return _LiveSpan(name, attrs, ctx)
+
+
+def current_trace() -> Optional[Dict[str, str]]:
+    """``{"id": trace_id, "parent": span_id}`` of the ambient trace, or ``None``.
+
+    Exactly the wire shape the client puts under the request header's
+    ``"trace"`` key.
+    """
+    ctx = _CURRENT.get()
+    if ctx is None:
+        return None
+    return {"id": ctx.trace_id, "parent": ctx.span_id}
+
+
+class Tracer:
+    """Bounded ring of recent traces plus the entry points that start them.
+
+    ``enabled`` gates *root creation only*: child spans follow whatever trace
+    context is ambient, so a daemon whose tracer is enabled traces exactly
+    the requests that asked for it (or all of them, when it opens its own
+    roots) with zero configuration in the layers below.
+    """
+
+    def __init__(self, max_traces: int = 256) -> None:
+        self.enabled = False
+        self.max_traces = int(max_traces)
+        self._lock = threading.Lock()
+        # trace id -> (span dicts in completion order, set of span ids)
+        self._ring: "OrderedDict[str, List[Dict[str, Any]]]" = OrderedDict()
+        self._seen: Dict[str, set] = {}
+
+    # -- lifecycle --------------------------------------------------------------
+    def enable(self, max_traces: Optional[int] = None) -> "Tracer":
+        if max_traces is not None:
+            self.max_traces = int(max_traces)
+        self.enabled = True
+        return self
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self._seen.clear()
+
+    # -- starting traces --------------------------------------------------------
+    def trace(self, name: str, trace_id: Optional[str] = None,
+              parent_id: Optional[str] = None,
+              sink: Optional[List[Dict[str, Any]]] = None, **attrs: Any):
+        """Open a root (or wire-continued) span for one logical request.
+
+        With the tracer disabled this is the same no-op as :func:`span`.  If
+        a trace is already ambient (a traced caller above us), the new span
+        nests inside it and ``trace_id``/``parent_id`` are ignored — one
+        request stays one trace.  ``sink``, when given, additionally receives
+        every span completed under this root (the daemon uses it to return a
+        request's spans in the response header).
+        """
+        ambient = _CURRENT.get()
+        if ambient is not None:
+            return _LiveSpan(name, attrs, ambient)
+        if not self.enabled:
+            return _NOOP
+        # The ctx's span_id is what the root span records as its parent:
+        # the wire parent when the caller sent one, else nothing (a root).
+        ctx = _TraceCtx(self, trace_id or _new_id(8), parent_id, sink)
+        return _LiveSpan(name, attrs, ctx)
+
+    # -- recording --------------------------------------------------------------
+    def _record(self, completed: Span, sink: Optional[List[Dict[str, Any]]]) -> None:
+        data = completed.to_dict()
+        if sink is not None:
+            sink.append(data)
+        self._store(data)
+
+    def add_span(self, name: str, trace_id: str, parent_id: Optional[str] = None,
+                 start: float = 0.0, duration: float = 0.0, **attrs: Any) -> None:
+        """Record one externally-timed span.
+
+        For stages that by construction outlive the scope a context manager
+        could cover — the daemon's ``send`` span is timed around ``sendmsg``
+        and recorded after the response (including the request's other spans)
+        has already left the process.
+        """
+        self._store(
+            Span(name, str(trace_id), _new_id(4), parent_id, start, duration,
+                 dict(attrs)).to_dict()
+        )
+
+    def graft(self, spans: List[Dict[str, Any]]) -> None:
+        """Adopt spans another process completed for traces in this ring.
+
+        Span ids dedupe, so grafting spans that were (in-process) already
+        recorded by the same tracer is harmless.
+        """
+        for data in spans:
+            if isinstance(data, dict) and data.get("trace_id"):
+                self._store(dict(data))
+
+    def _store(self, data: Dict[str, Any]) -> None:
+        trace_id = str(data["trace_id"])
+        with self._lock:
+            spans = self._ring.get(trace_id)
+            if spans is None:
+                spans = self._ring[trace_id] = []
+                self._seen[trace_id] = set()
+                while len(self._ring) > self.max_traces:
+                    evicted, _ = self._ring.popitem(last=False)
+                    self._seen.pop(evicted, None)
+            else:
+                self._ring.move_to_end(trace_id)
+            span_id = str(data.get("span_id", ""))
+            if span_id in self._seen[trace_id]:
+                return
+            self._seen[trace_id].add(span_id)
+            spans.append(data)
+
+    # -- reading ----------------------------------------------------------------
+    def trace_spans(self, trace_id: str) -> List[Dict[str, Any]]:
+        """All recorded spans of one trace (completion order)."""
+        with self._lock:
+            return [dict(s) for s in self._ring.get(str(trace_id), ())]
+
+    def traces(self, limit: Optional[int] = None) -> Dict[str, List[Dict[str, Any]]]:
+        """Recent traces, oldest first; ``limit`` keeps only the newest N."""
+        with self._lock:
+            items = list(self._ring.items())
+        if limit is not None:
+            items = items[-int(limit):]
+        return {tid: [dict(s) for s in spans] for tid, spans in items}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+
+def format_trace(spans: List[Dict[str, Any]]) -> str:
+    """Render one trace's spans as an indented tree (roots first)."""
+    by_parent: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    ids = {s.get("span_id") for s in spans}
+    for s in spans:
+        parent = s.get("parent_id")
+        by_parent.setdefault(parent if parent in ids else None, []).append(s)
+    lines: List[str] = []
+
+    def walk(parent: Optional[str], depth: int) -> None:
+        for s in sorted(by_parent.get(parent, ()), key=lambda x: x.get("start", 0.0)):
+            attrs = " ".join(f"{k}={v}" for k, v in sorted(s.get("attrs", {}).items()))
+            lines.append(
+                f"{'  ' * depth}{s.get('name')}  {s.get('duration', 0.0) * 1e3:.3f} ms"
+                + (f"  [{attrs}]" if attrs else "")
+            )
+            walk(s.get("span_id"), depth + 1)
+
+    walk(None, 0)
+    return "\n".join(lines)
+
+
+#: The process-wide default tracer: the client, daemon and CLI all use it
+#: unless handed a private one.
+TRACER = Tracer()

@@ -22,10 +22,13 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.obs import REGISTRY, TRACER, current_trace
+from repro.obs import span as obs_span
 from repro.serve.daemon import parse_address
 from repro.serve.protocol import (
     ProtocolError,
@@ -37,6 +40,19 @@ from repro.serve.protocol import (
 )
 
 __all__ = ["RemoteStore", "RemoteArray", "connect"]
+
+_CLIENT_SECONDS = REGISTRY.histogram(
+    "repro_client_request_seconds",
+    "Client-observed request round-trip latency by operation.",
+    labelnames=("op",),
+)
+_PAYLOAD_BYTES = REGISTRY.counter(
+    "repro_client_payload_bytes_total",
+    "Frame payload bytes moved by remote clients, by direction.",
+    labelnames=("direction",),
+)
+_PAYLOAD_SENT = _PAYLOAD_BYTES.labels(direction="sent")
+_PAYLOAD_RECEIVED = _PAYLOAD_BYTES.labels(direction="received")
 
 
 def connect(addr: Union[str, Tuple[str, int]], timeout: float = 30.0) -> "RemoteStore":
@@ -54,9 +70,15 @@ class RemoteStore:
     context manager; :meth:`close` hangs up politely.
     """
 
-    def __init__(self, addr: Union[str, Tuple[str, int]], timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        addr: Union[str, Tuple[str, int]],
+        timeout: float = 30.0,
+        tracer=None,
+    ) -> None:
         host, port = parse_address(addr)
         self.address = f"{host}:{port}"
+        self.tracer = TRACER if tracer is None else tracer
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._fh = self._sock.makefile("rb")
         self._lock = threading.Lock()
@@ -74,11 +96,21 @@ class RemoteStore:
         usable.  Responses are read uncapped — a whole-level read is
         legitimately as large as the level.
         """
+        op = str(header.get("op"))
+        if "trace" not in header:
+            # Propagate the ambient trace (if any) in the request header, so
+            # the daemon parents its request span on ours and one remote read
+            # stays one trace across the wire.
+            wire_trace = current_trace()
+            if wire_trace is not None:
+                header = {**header, "trace": wire_trace}
+        start = time.perf_counter()
         with self._lock:
             if self._closed:
                 raise ProtocolError(f"connection to {self.address} is closed")
             try:
-                send_frame(self._sock, header, payload)
+                with obs_span("encode", op=op, bytes=len(payload)):
+                    send_frame(self._sock, header, payload)
                 frame = read_frame(self._fh, max_payload=None)
             except (OSError, ProtocolError):
                 self._teardown()
@@ -89,6 +121,15 @@ class RemoteStore:
                     f"daemon at {self.address} closed the connection mid-request"
                 )
         resp, resp_payload = frame
+        _CLIENT_SECONDS.labels(op=op).observe(time.perf_counter() - start)
+        _PAYLOAD_SENT.inc(len(payload))
+        _PAYLOAD_RECEIVED.inc(len(resp_payload))
+        # The daemon returns its request-scoped spans in the response header;
+        # graft them into our ring (span-id dedupe makes the in-process
+        # shared-tracer case harmless).  Errors carry spans too.
+        spans = resp.pop("spans", None)
+        if spans:
+            self.tracer.graft(spans)
         if resp.get("status") != "ok":
             raise_remote_error(resp)
         return resp, resp_payload
@@ -141,10 +182,28 @@ class RemoteStore:
         return int(self.describe()["n_entries"])
 
     def stats(self) -> Dict[str, Any]:
-        """Daemon-wide counters + shared-cache snapshot."""
+        """Daemon-wide counters + shared-cache snapshot.
+
+        The ``"metrics"`` key holds the daemon process's full registry
+        snapshot — feed it to :func:`repro.obs.render_prometheus` for text
+        exposition (that is all ``repro stats ADDR --prom`` does).
+        """
         resp, _ = self.request({"op": "stats"})
         resp.pop("status", None)
         return resp
+
+    def traces(
+        self, trace_id: Optional[str] = None, limit: Optional[int] = None
+    ) -> Dict[str, List[Dict[str, Any]]]:
+        """Recent request traces from the daemon's ring (includes ``send``
+        spans, which never travel in response headers)."""
+        header: Dict[str, Any] = {"op": "trace"}
+        if trace_id is not None:
+            header["id"] = str(trace_id)
+        if limit is not None:
+            header["limit"] = int(limit)
+        resp, _ = self.request(header)
+        return dict(resp.get("traces", {}))
 
     # -- views -----------------------------------------------------------------
     def array(
@@ -263,16 +322,22 @@ class RemoteArray:
 
     # -- reading ----------------------------------------------------------------
     def _read(self, request_body: Dict[str, Any]) -> np.ndarray:
-        resp, payload = self._store.request(
-            {
-                "op": "read",
-                "field": self._field,
-                "step": self._step,
-                "level": self._level,
-                "fill_value": self.fill_value,
-                **request_body,
-            }
-        )
+        # Root span of the whole remote read: with the tracer enabled, its
+        # trace id rides the request header and the daemon's fetch/decode/
+        # paste spans come back under it — one trace, both sides of the wire.
+        with self._store.tracer.trace(
+            "remote_read", field=self._field, step=self._step, level=self._level
+        ):
+            resp, payload = self._store.request(
+                {
+                    "op": "read",
+                    "field": self._field,
+                    "step": self._step,
+                    "level": self._level,
+                    "fill_value": self.fill_value,
+                    **request_body,
+                }
+            )
         accounting = resp.get("accounting", {})
         self.stats["requests"] += 1
         for key in ("blocks_touched", "blocks_decoded", "cache_hits"):

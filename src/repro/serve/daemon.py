@@ -27,13 +27,26 @@ under SIGINT) always exits cleanly.
 
 from __future__ import annotations
 
+import logging
 import socket
 import threading
 import time
+from collections import OrderedDict
+from contextlib import contextmanager
 from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.obs import (
+    REGISTRY,
+    TRACER,
+    access_extra,
+    cache_collector,
+    counter_family,
+    engine_collector,
+    gauge_family,
+    reader_stats_family,
+)
 from repro.serve.protocol import (
     ProtocolError,
     encode_ndarray,
@@ -45,9 +58,24 @@ from repro.serve.protocol import (
 
 __all__ = ["ReadDaemon", "parse_address"]
 
+log = logging.getLogger("repro.serve.daemon")
+
 #: Protocol-v1 requests carry no payload; anything past this cap on an
 #: incoming frame is a framing error, answered instead of awaited.
 MAX_REQUEST_PAYLOAD = 1 << 20
+
+#: Default bound on the daemon's per-entry container reader cache.  Each
+#: cached reader pins a parsed index plus (for mmap containers) a mapping and
+#: file descriptor, so an unbounded dict leaks fds against a store that keeps
+#: appending entries; 64 covers every test/bench working set while keeping a
+#: long-lived daemon's fd count flat.
+DEFAULT_MAX_READERS = 64
+
+_REQUEST_SECONDS = REGISTRY.histogram(
+    "repro_daemon_request_seconds",
+    "Daemon request latency by operation (dispatch through response send).",
+    labelnames=("op",),
+)
 
 
 def parse_address(addr: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
@@ -62,6 +90,54 @@ def parse_address(addr: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
         return host, int(port)
     except ValueError:
         raise ValueError(f"bad daemon address {addr!r}; port must be an integer") from None
+
+
+class _CountingStream:
+    """Byte-counting shim over a connection's read file.
+
+    Forwards ``read``/``readinto`` (the two entry points
+    :func:`~repro.serve.protocol.read_frame` uses) while summing bytes
+    consumed, so the daemon can account request wire traffic without the
+    protocol layer knowing.
+    """
+
+    __slots__ = ("_fh", "bytes_read")
+
+    def __init__(self, fh) -> None:
+        self._fh = fh
+        self.bytes_read = 0
+
+    def read(self, n: int = -1) -> bytes:
+        data = self._fh.read(n)
+        self.bytes_read += len(data)
+        return data
+
+    def readinto(self, buf) -> int:
+        count = self._fh.readinto(buf)
+        if count:
+            self.bytes_read += count
+        return count
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+class _ReaderSlot:
+    """One cached :class:`ContainerReader` plus lease bookkeeping.
+
+    ``refs`` counts in-flight requests using the reader; ``retired`` marks a
+    slot evicted from the LRU (or invalidated by an overwrite) whose reader
+    must close once the last lease drains — closing under an active fetch
+    would yank the mmap out from under it.
+    """
+
+    __slots__ = ("entry", "reader", "refs", "retired")
+
+    def __init__(self, entry, reader) -> None:
+        self.entry = entry
+        self.reader = reader
+        self.refs = 0
+        self.retired = False
 
 
 class _CountingSource:
@@ -110,6 +186,18 @@ class _CountingSource:
         return self._source.stats
 
 
+def _request_fields(header: Dict, response: Dict) -> Dict[str, Any]:
+    """Structured access-log fields: what was asked plus what it cost."""
+    out: Dict[str, Any] = {}
+    if header.get("field") is not None:
+        out["field"] = header["field"]
+        out["step"] = header.get("step", 0)
+    accounting = response.get("accounting")
+    if isinstance(accounting, dict):
+        out.update(accounting)
+    return out
+
+
 class ReadDaemon:
     """Read daemon over one store, one block cache and one codec engine.
 
@@ -132,6 +220,20 @@ class ReadDaemon:
         historical behaviour; a small positive value (``repro serve``
         defaults to 50 ms) removes the stat syscall from hot query streams
         while keeping cross-process appends visible within the TTL.
+    max_readers:
+        Bound on the per-entry container reader LRU.  An evicted reader
+        closes (releasing its mmap/fd) only after its in-flight fetches
+        drain; its fetch counters fold into a retired accumulator so the
+        aggregate reader metrics stay monotone.
+    tracer:
+        :class:`repro.obs.Tracer` recording request traces; defaults to the
+        process-wide :data:`repro.obs.TRACER`.  When enabled, every request
+        gets a ``request`` span (continuing the client's trace id when the
+        header carries one) and the request's spans return to the client in
+        the response header.
+    slow_ms:
+        Requests slower than this many milliseconds log a WARNING with the
+        request's accounting — visible even at the default verbosity.
     """
 
     def __init__(
@@ -142,12 +244,18 @@ class ReadDaemon:
         cache=None,
         backlog: int = 32,
         refresh_ttl: float = 0.0,
+        max_readers: int = DEFAULT_MAX_READERS,
+        tracer=None,
+        slow_ms: Optional[float] = None,
     ) -> None:
         from repro.store import Store
 
         self.store = store if isinstance(store, Store) else Store(store)
         self.cache = self.store.block_cache if cache is None else cache
         self.refresh_ttl = float(refresh_ttl)
+        self.max_readers = max(1, int(max_readers))
+        self.tracer = TRACER if tracer is None else tracer
+        self.slow_ms = None if slow_ms is None else float(slow_ms)
         self._last_refresh = float("-inf")
         self._host = str(host)
         self._port = int(port)
@@ -156,7 +264,9 @@ class ReadDaemon:
         self._accept_thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self._lock = threading.Lock()
-        self._readers: Dict[str, Any] = {}
+        self._readers: "OrderedDict[str, _ReaderSlot]" = OrderedDict()
+        self._retired_reader_stats: Dict[str, int] = {}
+        self._collector_fns: list = []
         self._connections: set = set()
         self._workers: list = []
         self._counters: Dict[str, int] = {
@@ -167,6 +277,7 @@ class ReadDaemon:
             "blocks_touched": 0,
             "blocks_decoded": 0,
             "result_bytes_sent": 0,
+            "request_bytes_received": 0,
         }
 
     # -- lifecycle ------------------------------------------------------------
@@ -188,10 +299,24 @@ class ReadDaemon:
         self._host, self._port = listener.getsockname()[:2]
         self._listener = listener
         self._stop.clear()
+        # Expose the daemon's own accounting (and the shared cache/engine it
+        # wraps) through the process-wide registry for the lifetime of the
+        # daemon; stop() unregisters, so a stopped daemon reports nothing.
+        self._collector_fns = [
+            REGISTRY.add_collector(self._collect_families, owner=self),
+            REGISTRY.add_collector(
+                cache_collector(self.cache, {"cache": "serve"}), owner=self
+            ),
+        ]
+        if self.store.engine is not None:
+            self._collector_fns.append(
+                REGISTRY.add_collector(engine_collector(self.store.engine), owner=self)
+            )
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="repro-serve-accept", daemon=True
         )
         self._accept_thread.start()
+        log.debug("daemon started", extra=access_extra(address=self.address))
         return self.address
 
     def serve_forever(self, timeout: Optional[float] = None) -> None:
@@ -233,6 +358,15 @@ class ReadDaemon:
             workers = list(self._workers)
         for worker in workers:
             worker.join(timeout)
+        for collect in self._collector_fns:
+            REGISTRY.remove_collector(collect)
+        self._collector_fns = []
+        with self._lock:
+            slots = list(self._readers.values())
+            self._readers.clear()
+        for slot in slots:
+            # Workers are joined: no leases remain, close unconditionally.
+            self._close_slot(slot)
         self._listener = None
         self._accept_thread = None
 
@@ -267,9 +401,15 @@ class ReadDaemon:
             worker.start()
 
     def _serve_connection(self, conn: socket.socket) -> None:
-        fh = conn.makefile("rb")
+        fh = _CountingStream(conn.makefile("rb"))
+        try:
+            peer = "%s:%s" % conn.getpeername()[:2]
+        except OSError:
+            peer = "?"
+        log.debug("connection open", extra=access_extra(peer=peer))
         try:
             while not self._stop.is_set():
+                before = fh.bytes_read
                 try:
                     frame = read_frame(fh, max_payload=MAX_REQUEST_PAYLOAD)
                 except (OSError, ValueError):
@@ -281,13 +421,17 @@ class ReadDaemon:
                     # framing failure the stream position is untrustworthy.
                     with self._lock:
                         self._counters["errors"] += 1
+                    log.warning(
+                        "protocol error: %s", exc, extra=access_extra(peer=peer)
+                    )
                     self._send(conn, error_header(exc))
                     break
                 if frame is None:
                     break  # client hung up cleanly
+                with self._lock:
+                    self._counters["request_bytes_received"] += fh.bytes_read - before
                 header, _payload = frame
-                response, payload = self._dispatch(header)
-                if not self._send(conn, response, payload):
+                if not self._handle_request(conn, header, peer):
                     break
         finally:
             try:
@@ -300,6 +444,68 @@ class ReadDaemon:
                 pass
             with self._lock:
                 self._connections.discard(conn)
+            log.debug("connection closed", extra=access_extra(peer=peer))
+
+    def _handle_request(self, conn: socket.socket, header: Dict, peer: str) -> bool:
+        """Dispatch one request, send its response, record telemetry.
+
+        Returns whether the connection is still usable (the send succeeded).
+        """
+        op = str(header.get("op"))
+        start = time.perf_counter()
+        tracer = self.tracer
+        # The sink collects every span this request completes (the read
+        # path's fetch/decode/paste children plus the request span itself);
+        # it rides back in the response header so the client can graft the
+        # daemon's side of the trace into its own ring.
+        sink: Optional[list] = [] if tracer.enabled else None
+        trace_id = parent_id = None
+        wire_trace = header.get("trace")
+        if tracer.enabled and isinstance(wire_trace, dict):
+            trace_id = wire_trace.get("id")
+            parent_id = wire_trace.get("parent")
+        root = tracer.trace(
+            "request", trace_id=trace_id, parent_id=parent_id, sink=sink, op=op
+        )
+        with root:
+            response, payload = self._dispatch(header)
+        if sink:
+            response["spans"] = sink
+        send_wall = time.time()
+        send_start = time.perf_counter()
+        ok = self._send(conn, response, payload)
+        done = time.perf_counter()
+        root_trace = getattr(root, "trace_id", None)
+        if root_trace is not None:
+            # The send span outlives the response it travels in, so it is
+            # recorded server-side only (readable via the "trace" op).
+            tracer.add_span(
+                "send", root_trace, parent_id=root.span_id, start=send_wall,
+                duration=done - send_start, bytes=len(payload), ok=ok,
+            )
+        elapsed = done - start
+        _REQUEST_SECONDS.labels(op=op).observe(elapsed)
+        ms = elapsed * 1e3
+        status = response.get("status", "error")
+        if self.slow_ms is not None and ms >= self.slow_ms:
+            log.warning(
+                "slow request",
+                extra=access_extra(
+                    op=op, status=status, ms=round(ms, 3), peer=peer,
+                    **_request_fields(header, response),
+                ),
+            )
+        if log.isEnabledFor(logging.INFO):
+            fields = _request_fields(header, response)
+            if root_trace is not None:
+                fields["trace"] = root_trace
+            log.info(
+                "request",
+                extra=access_extra(
+                    op=op, status=status, ms=round(ms, 3), peer=peer, **fields
+                ),
+            )
+        return ok
 
     def _send(self, conn: socket.socket, header: Dict, payload: bytes = b"") -> bool:
         try:
@@ -333,46 +539,121 @@ class ReadDaemon:
             if op == "catalog":
                 return self._op_catalog(), b""
             if op == "stats":
-                return {"status": "ok", **self.stats()}, b""
+                # The stats op is the scrape surface: daemon counters for
+                # compatibility plus the full registry snapshot (instruments
+                # and collectors) that `repro stats --prom` renders.
+                return {
+                    "status": "ok",
+                    **self.stats(),
+                    "metrics": REGISTRY.snapshot(),
+                }, b""
+            if op == "trace":
+                return self._op_trace(header), b""
             if op == "read":
                 return self._op_read(header)
             raise ValueError(
                 f"unknown operation {op!r}; the daemon serves describe, catalog, "
-                "read and stats"
+                "read, stats and trace"
             )
         except Exception as exc:  # noqa: BLE001 - every failure becomes a response
             with self._lock:
                 self._counters["errors"] += 1
             return error_header(exc), b""
 
-    def _reader(self, field: str, step: int):
-        """Shared per-``(field, step)`` container reader, opened once per entry.
+    @contextmanager
+    def _lease(self, field: str, step: int):
+        """Borrow the shared per-``(field, step)`` container reader.
 
         The cached reader is keyed by the catalog *entry*, not just the key:
         an overwrite-append (or ``adopt(..., overwrite=True)``) replaces the
         entry row, so the stale reader — whose parsed index describes the old
-        bytes — is reopened and the shared cache is cleared (the overwritten
+        bytes — is retired and the shared cache is cleared (the overwritten
         container reuses its path, which is the cache token).  Construction
         (file I/O, index parse) happens outside the daemon lock so a cold
         open never stalls other connections.
+
+        Readers are held in a bounded LRU (``max_readers``): a lease bumps
+        recency and pins the reader, so an eviction racing an in-flight fetch
+        only *marks* the slot retired — the close happens here, when the last
+        lease releases.
         """
+        slot = self._acquire_slot(field, step)
+        try:
+            yield slot.reader
+        finally:
+            with self._lock:
+                slot.refs -= 1
+                drained = slot.retired and slot.refs == 0
+            if drained:
+                self._close_slot(slot)
+
+    def _acquire_slot(self, field: str, step: int) -> _ReaderSlot:
         entry = self.store.entry(str(field), int(step))
         with self._lock:
-            cached = self._readers.get(entry.key)
-            if cached is not None and cached[0] == entry:
-                return cached[1]
+            slot = self._readers.get(entry.key)
+            if slot is not None and slot.entry == entry:
+                slot.refs += 1
+                self._readers.move_to_end(entry.key)
+                return slot
         from repro.store.format import ContainerReader
 
         reader = ContainerReader(self.store.root / entry.path, engine=self.store.engine)
+        redundant = None
+        to_close: list = []
+        invalidated = False
         with self._lock:
             current = self._readers.get(entry.key)
-            if current is not None and current[0] == entry:
-                return current[1]  # another thread opened it first
-            invalidated = current is not None
-            self._readers[entry.key] = (entry, reader)
+            if current is not None and current.entry == entry:
+                # Another thread opened it first; ours never served a fetch.
+                current.refs += 1
+                self._readers.move_to_end(entry.key)
+                slot, redundant = current, reader
+            else:
+                if current is not None:
+                    invalidated = True
+                    self._retire_locked(current, to_close)
+                    del self._readers[entry.key]
+                slot = _ReaderSlot(entry, reader)
+                slot.refs = 1
+                self._readers[entry.key] = slot
+                while len(self._readers) > self.max_readers:
+                    key, old = next(iter(self._readers.items()))
+                    if old is slot:
+                        break
+                    del self._readers[key]
+                    self._retire_locked(old, to_close)
+        if redundant is not None:
+            redundant.close()
+        for old in to_close:
+            self._close_slot(old)
         if invalidated:
             self.cache.clear()
-        return reader
+        return slot
+
+    def _retire_locked(self, slot: _ReaderSlot, to_close: list) -> None:
+        """Mark a slot evicted; schedule the close if no lease pins it."""
+        slot.retired = True
+        if slot.refs == 0:
+            to_close.append(slot)
+
+    def _close_slot(self, slot: _ReaderSlot) -> None:
+        """Close a retired reader, folding its counters into the accumulator.
+
+        Folding keeps the aggregate reader metrics monotone across evictions:
+        a collector summing live readers only would *decrease* when an evicted
+        reader's history left the working set — poison for rate() queries.
+        """
+        stats = dict(slot.reader.stats)
+        with self._lock:
+            for key, value in stats.items():
+                self._retired_reader_stats[key] = (
+                    self._retired_reader_stats.get(key, 0) + int(value)
+                )
+        slot.reader.close()
+        log.debug(
+            "reader closed",
+            extra=access_extra(entry=slot.entry.key, retired=slot.retired),
+        )
 
     def _op_describe(self, header: Dict) -> Dict:
         if header.get("field") is None:
@@ -383,48 +664,64 @@ class ReadDaemon:
                 "n_entries": len(self.store),
                 "fields": self.store.fields(),
             }
-        reader = self._reader(header["field"], header.get("step", 0))
-        return {
-            "status": "ok",
-            "kind": "container",
-            "codec": reader.codec,
-            "error_bound": reader.error_bound,
-            "metadata": reader.metadata,
-            "levels": [
-                {
-                    "level": info.level,
-                    "level_shape": list(info.level_shape),
-                    "unit_size": info.unit_size,
-                    "n_blocks": info.n_blocks,
-                }
-                for info in reader.levels
-            ],
-        }
+        with self._lease(header["field"], header.get("step", 0)) as reader:
+            return {
+                "status": "ok",
+                "kind": "container",
+                "codec": reader.codec,
+                "error_bound": reader.error_bound,
+                "metadata": reader.metadata,
+                "levels": [
+                    {
+                        "level": info.level,
+                        "level_shape": list(info.level_shape),
+                        "unit_size": info.unit_size,
+                        "n_blocks": info.n_blocks,
+                    }
+                    for info in reader.levels
+                ],
+            }
 
     def _op_catalog(self) -> Dict:
         from dataclasses import asdict
 
         return {"status": "ok", "entries": [asdict(e) for e in self.store.entries()]}
 
+    def _op_trace(self, header: Dict) -> Dict:
+        """Recent request traces from the daemon's ring (newest last).
+
+        ``{"id": ...}`` selects one trace; ``{"limit": N}`` bounds the count.
+        Server-side-only spans (``send``) are visible here and nowhere else.
+        """
+        trace_id = header.get("id")
+        if trace_id is not None:
+            spans = self.tracer.trace_spans(str(trace_id))
+            return {"status": "ok", "traces": {str(trace_id): spans}}
+        limit = header.get("limit")
+        return {
+            "status": "ok",
+            "traces": self.tracer.traces(None if limit is None else int(limit)),
+        }
+
     def _op_read(self, header: Dict) -> Tuple[Dict, bytes]:
         from repro.array import CompressedArray, ContainerSource
 
         if ("index" in header) == ("bbox" in header):
             raise ValueError("a read request needs exactly one of 'index' or 'bbox'")
-        reader = self._reader(header["field"], header.get("step", 0))
-        source = _CountingSource(ContainerSource(reader))
-        view = CompressedArray(
-            source,
-            level=int(header.get("level", 0)),
-            fill_value=float(header.get("fill_value", 0.0)),
-            cache=self.cache,
-        )
-        if "index" in header:
-            result = view[index_from_wire(header["index"])]
-        else:
-            bbox = [(int(lo), int(hi)) for lo, hi in header["bbox"]]
-            result = view.read_roi(bbox)
-        meta, payload = encode_ndarray(np.asarray(result))
+        with self._lease(header["field"], header.get("step", 0)) as reader:
+            source = _CountingSource(ContainerSource(reader))
+            view = CompressedArray(
+                source,
+                level=int(header.get("level", 0)),
+                fill_value=float(header.get("fill_value", 0.0)),
+                cache=self.cache,
+            )
+            if "index" in header:
+                result = view[index_from_wire(header["index"])]
+            else:
+                bbox = [(int(lo), int(hi)) for lo, hi in header["bbox"]]
+                result = view.read_roi(bbox)
+            meta, payload = encode_ndarray(np.asarray(result))
         accounting = {
             "blocks_touched": source.touched,
             "blocks_decoded": source.decoded,
@@ -452,3 +749,51 @@ class ReadDaemon:
         out["cache"] = self.cache.stats
         out["entries"] = len(self.store)
         return out
+
+    def _collect_families(self) -> list:
+        """Registry collector: daemon counters and gauges as metric families."""
+        with self._lock:
+            counters = dict(self._counters)
+            open_readers = len(self._readers)
+            active = len(self._connections)
+            reader_stats = dict(self._retired_reader_stats)
+            slots = list(self._readers.values())
+        for slot in slots:
+            for key, value in slot.reader.stats.items():
+                reader_stats[key] = reader_stats.get(key, 0) + int(value)
+        families = [
+            counter_family("repro_daemon_requests_total",
+                           "Requests dispatched by the read daemon.",
+                           counters["requests"]),
+            counter_family("repro_daemon_reads_total",
+                           "Successful read operations served.",
+                           counters["reads"]),
+            counter_family("repro_daemon_errors_total",
+                           "Requests answered with an error response.",
+                           counters["errors"]),
+            counter_family("repro_daemon_connections_total",
+                           "Client connections accepted since start.",
+                           counters["connections"]),
+            counter_family("repro_daemon_blocks_touched_total",
+                           "Blocks intersected by read requests.",
+                           counters["blocks_touched"]),
+            counter_family("repro_daemon_blocks_decoded_total",
+                           "Blocks decoded for read requests (cache misses).",
+                           counters["blocks_decoded"]),
+            counter_family("repro_daemon_result_bytes_total",
+                           "Result payload bytes sent to clients.",
+                           counters["result_bytes_sent"]),
+            counter_family("repro_daemon_request_bytes_total",
+                           "Request wire bytes received from clients.",
+                           counters["request_bytes_received"]),
+            gauge_family("repro_daemon_open_readers",
+                         "Container readers currently cached by the daemon LRU.",
+                         open_readers),
+            gauge_family("repro_daemon_active_connections",
+                         "Client connections currently open.",
+                         active),
+        ]
+        # Aggregate container reader accounting: live LRU slots plus the
+        # retired accumulator, so evictions never make the totals regress.
+        families.extend(reader_stats_family(reader_stats))
+        return families

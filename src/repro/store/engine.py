@@ -17,14 +17,25 @@ tests and single-core hosts.
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.compressors.base import CompressedArray, Compressor, get_compressor
 from repro.insitu.scheduler import EXECUTORS, default_workers, parallel_map
+from repro.obs import REGISTRY
 
 __all__ = ["CodecEngine", "decode_payloads", "decode_payloads_into"]
+
+#: Whole-batch encode/decode latency per backend: the number the upcoming
+#: codec-kernel work must move, broken down the way it will be optimised.
+_BATCH_SECONDS = REGISTRY.histogram(
+    "repro_engine_batch_seconds",
+    "Codec engine batch latency (one public encode/decode call).",
+    labelnames=("op", "backend"),
+)
 
 #: Upper bound on blocks per pool task; keeps per-task payloads a few MiB.
 _MAX_CHUNK = 128
@@ -125,6 +136,17 @@ class CodecEngine:
         self.executor = executor
         self.max_workers = default_workers() if max_workers is None else int(max_workers)
         self.chunksize = None if chunksize is None else max(1, int(chunksize))
+        # Batch accounting, exposed process-wide via obs.engine_collector:
+        # engines are shared across daemon connections, so updates lock.
+        self.stats: Dict[str, int] = {
+            "encode_batches": 0,
+            "decode_batches": 0,
+            "blocks_encoded": 0,
+            "blocks_decoded": 0,
+        }
+        self._stats_lock = threading.Lock()
+        self._hist_encode = _BATCH_SECONDS.labels(op="encode", backend=executor)
+        self._hist_decode = _BATCH_SECONDS.labels(op="decode", backend=executor)
         # Validate the codec spec eagerly (raises UnknownCompressorError).
         get_compressor(self.codec, **self.codec_options)
 
@@ -149,6 +171,12 @@ class CodecEngine:
         )
         return [item for chunk in chunks for item in chunk]
 
+    def _account(self, op: str, n_blocks: int, seconds: float) -> None:
+        with self._stats_lock:
+            self.stats[f"{op}_batches"] += 1
+            self.stats[f"blocks_{op}d"] += int(n_blocks)
+        (self._hist_encode if op == "encode" else self._hist_decode).observe(seconds)
+
     # -- public API -----------------------------------------------------------
     def encode_blocks(self, blocks: np.ndarray, error_bound: float) -> List[bytes]:
         """Encode ``(n, u, u[, u])`` unit blocks into per-block payload blobs."""
@@ -158,7 +186,10 @@ class CodecEngine:
             (self.codec, self.codec_options, eb, blocks[a:b])
             for a, b in self._chunk_bounds(blocks.shape[0])
         ]
-        return self._run(_encode_chunk, tasks)
+        start = time.perf_counter()
+        out = self._run(_encode_chunk, tasks)
+        self._account("encode", blocks.shape[0], time.perf_counter() - start)
+        return out
 
     def decode_blocks(self, payloads: Sequence[bytes]) -> List[np.ndarray]:
         """Decode per-block payload blobs back into block arrays (file order)."""
@@ -168,7 +199,10 @@ class CodecEngine:
             # process boundary; materialise them for pickling.
             payloads = [p if isinstance(p, bytes) else bytes(p) for p in payloads]
         tasks = [payloads[a:b] for a, b in self._chunk_bounds(len(payloads))]
-        return self._run(decode_payloads, tasks)
+        start = time.perf_counter()
+        out = self._run(decode_payloads, tasks)
+        self._account("decode", len(payloads), time.perf_counter() - start)
+        return out
 
     def decode_blocks_into(
         self,
@@ -188,6 +222,8 @@ class CodecEngine:
         if n == 0:
             return
         if self.executor == "process":
+            # decode_blocks does its own batch accounting; the paste loop
+            # adds nothing worth a second histogram entry.
             for i, block in enumerate(self.decode_blocks(payloads)):
                 src = None if srcs is None else srcs[i]
                 np.copyto(outs[i], block if src is None else block[src])
@@ -199,7 +235,9 @@ class CodecEngine:
             (payloads[a:b], outs[a:b], None if srcs is None else srcs[a:b])
             for a, b in self._chunk_bounds(n)
         ]
+        start = time.perf_counter()
         self._run(_decode_into_chunk, tasks)
+        self._account("decode", n, time.perf_counter() - start)
 
     def describe(self) -> str:
         """Short configuration string (mirrors ``MultiResolutionCompressor.describe``)."""

@@ -26,6 +26,7 @@ import json
 import os
 import struct
 import threading
+import time
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -35,6 +36,8 @@ import numpy as np
 
 from repro.compressors.errors import DecompressionError
 from repro.core.partition import UnitBlockSet
+from repro.obs import REGISTRY
+from repro.obs import span as obs_span
 from repro.store.index import RECORD_BYTES, BlockIndex
 from repro.store.query import BBox, coalesce_ranges
 from repro.utils.morton import morton_encode2d, morton_encode3d
@@ -48,6 +51,14 @@ FORMAT_VERSION = 2
 #: fetch — about one page: reading a page-sized gap is cheaper than a second
 #: syscall (file source) or a second view (mmap source).
 DEFAULT_COALESCE_GAP = 4096
+
+#: One observation per coalesced fetch batch, split by payload source so a
+#: snapshot shows whether slow reads paid mmap slices or seek/read syscalls.
+_FETCH_SECONDS = REGISTRY.histogram(
+    "repro_store_fetch_seconds",
+    "Payload fetch latency per coalesced batch.",
+    labelnames=("source",),
+)
 
 
 class _FilePayloadSource:
@@ -448,20 +459,26 @@ class ContainerReader:
             which = np.arange(n, dtype=np.int64)
         else:
             lo, hi, which = coalesce_ranges(offsets, lengths, self.coalesce_gap)
-        buffers = self._payload_source().fetch(lo, hi)
-        sizes = (hi - lo).tolist()
-        for j, buf in enumerate(buffers):
-            if len(buf) < sizes[j]:
-                short = int(positions[int(np.flatnonzero(which == j)[0])])
-                raise DecompressionError(
-                    f"{self.path}: truncated payload at index entry {short}"
-                )
-        rel = (offsets - lo[which]).tolist()
-        lens = lengths.tolist()
-        views = [
-            buffers[w][r : r + ln]
-            for w, r, ln in zip(which.tolist(), rel, lens)
-        ]
+        source = self._payload_source()
+        start = time.perf_counter()
+        with obs_span("fetch", blocks=n, source=source.kind) as sp:
+            buffers = source.fetch(lo, hi)
+            sizes = (hi - lo).tolist()
+            for j, buf in enumerate(buffers):
+                if len(buf) < sizes[j]:
+                    short = int(positions[int(np.flatnonzero(which == j)[0])])
+                    raise DecompressionError(
+                        f"{self.path}: truncated payload at index entry {short}"
+                    )
+            rel = (offsets - lo[which]).tolist()
+            lens = lengths.tolist()
+            views = [
+                buffers[w][r : r + ln]
+                for w, r, ln in zip(which.tolist(), rel, lens)
+            ]
+            if sp is not None:
+                sp.set(ranges=len(buffers), bytes=int((hi - lo).sum()))
+        _FETCH_SECONDS.labels(source=source.kind).observe(time.perf_counter() - start)
         with self._stats_lock:
             self.stats["payload_bytes_read"] += int(lengths.sum())
             self.stats["fetch_ranges"] += len(buffers)
@@ -471,11 +488,12 @@ class ContainerReader:
     def _decode_payloads(self, payloads: List[memoryview]) -> List[np.ndarray]:
         with self._stats_lock:
             self.stats["blocks_decoded"] += len(payloads)
-        if self.engine is not None:
-            return self.engine.decode_blocks(payloads)
-        from repro.store.engine import decode_payloads
+        with obs_span("decode", blocks=len(payloads)):
+            if self.engine is not None:
+                return self.engine.decode_blocks(payloads)
+            from repro.store.engine import decode_payloads
 
-        return decode_payloads(payloads)
+            return decode_payloads(payloads)
 
     def decode_entries(self, positions: Sequence[int]) -> List[np.ndarray]:
         """Fetch and decode the payloads of the given index-entry positions.
@@ -506,12 +524,13 @@ class ContainerReader:
         payloads = self.fetch_entries(np.asarray(positions, dtype=np.int64))
         with self._stats_lock:
             self.stats["blocks_decoded"] += len(payloads)
-        if self.engine is not None:
-            self.engine.decode_blocks_into(payloads, outs, srcs)
-        else:
-            from repro.store.engine import decode_payloads_into
+        with obs_span("decode", blocks=len(payloads), into=True):
+            if self.engine is not None:
+                self.engine.decode_blocks_into(payloads, outs, srcs)
+            else:
+                from repro.store.engine import decode_payloads_into
 
-            decode_payloads_into(payloads, outs, srcs)
+                decode_payloads_into(payloads, outs, srcs)
 
     # -- queries --------------------------------------------------------------
     def read_blocks(self, level: int, region: Optional[BBox] = None) -> UnitBlockSet:

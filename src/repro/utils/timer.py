@@ -7,7 +7,18 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List
 
+from repro.obs import REGISTRY
+
 __all__ = ["Timer", "TimingBreakdown"]
+
+#: Every phase recorded through a TimingBreakdown also lands here, so the
+#: pipeline's per-phase costs show up in the process-wide registry (and a
+#: ``repro stats --prom`` scrape) without the breakdown API changing.
+_PHASE_SECONDS = REGISTRY.histogram(
+    "repro_phase_seconds",
+    "Per-phase wall-clock durations recorded through TimingBreakdown.",
+    labelnames=("phase",),
+)
 
 
 class Timer:
@@ -61,6 +72,10 @@ class TimingBreakdown:
             self.add(name, time.perf_counter() - start)
 
     def add(self, name: str, seconds: float) -> None:
+        self._accumulate(name, seconds)
+        _PHASE_SECONDS.labels(phase=name).observe(float(seconds))
+
+    def _accumulate(self, name: str, seconds: float) -> None:
         if name not in self.phases:
             self.phases[name] = 0.0
             self.order.append(name)
@@ -76,10 +91,12 @@ class TimingBreakdown:
         return name in self.phases
 
     def merge(self, other: "TimingBreakdown") -> "TimingBreakdown":
+        # Merging re-groups durations already observed once; bypassing add()
+        # keeps the histogram from double-counting them.
         merged = TimingBreakdown()
         for src in (self, other):
             for name in src.order:
-                merged.add(name, src.phases[name])
+                merged._accumulate(name, src.phases[name])
         return merged
 
     def as_dict(self) -> Dict[str, float]:
