@@ -132,17 +132,21 @@ def open_array(
     return _open_array(path, level=level, fill_value=fill_value, engine=engine)
 
 
-def connect(addr, timeout: float = 30.0):
+def connect(addr, timeout: float = 30.0, retries: int = 0, backoff: float = 0.05):
     """Connect to a read daemon (``repro serve``) at ``"host:port"``.
 
     Returns a :class:`repro.serve.RemoteStore` whose surface mirrors the
     read side of a local store: ``remote[field, step]`` is a lazy
     :class:`~repro.serve.RemoteArray` view, indexing round-trips through the
-    daemon's shared block cache, and errors keep their local types.
+    daemon's shared block cache, and errors keep their local types.  The
+    address may equally be a shard router (``repro shard serve``) — the
+    wire surface is identical.  ``retries``/``backoff`` add bounded
+    exponential-backoff retry on connection refusal, for clients racing a
+    daemon that is still starting.
     """
     from repro.serve import RemoteStore
 
-    return RemoteStore(addr, timeout=timeout)
+    return RemoteStore(addr, timeout=timeout, retries=retries, backoff=backoff)
 
 
 def run_workflow(

@@ -250,6 +250,90 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds between scrapes with --watch (default 2)",
     )
 
+    shard = sub.add_parser(
+        "shard", help="shard a store across N daemons behind a router (repro.shard)"
+    )
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+
+    split = shard_sub.add_parser(
+        "split", help="distribute one store's entries into a topology's shard stores"
+    )
+    split.add_argument("topology", type=Path, help="shard map JSON (shards need 'store' paths)")
+    split.add_argument("source", type=Path, help="source store directory to split")
+
+    plan = shard_sub.add_parser(
+        "plan", help="print the minimal move list between two topologies (JSON)"
+    )
+    plan.add_argument("old", type=Path, help="current shard map JSON")
+    plan.add_argument("new", type=Path, help="target shard map JSON")
+
+    rebalance = shard_sub.add_parser(
+        "rebalance", help="execute the move list between two topologies via adopt+drop"
+    )
+    rebalance.add_argument("old", type=Path, help="current shard map JSON")
+    rebalance.add_argument("new", type=Path, help="target shard map JSON")
+    rebalance.add_argument(
+        "--copy-only",
+        action="store_true",
+        help="phase 1 only: copy entries to their new shards, leave sources "
+        "intact (switch routers to the new topology, then run --prune-only)",
+    )
+    rebalance.add_argument(
+        "--prune-only",
+        action="store_true",
+        help="phase 3 only: drop moved entries from their old shards "
+        "(run after every router serves the new topology)",
+    )
+
+    shard_serve = shard_sub.add_parser(
+        "serve", help="route the wire protocol across a topology's shard daemons"
+    )
+    shard_serve.add_argument("topology", type=Path, help="shard map JSON with daemon addresses")
+    shard_serve.add_argument(
+        "--addr",
+        default="127.0.0.1:0",
+        help="host:port to bind (default 127.0.0.1:0; port 0 picks a free port, "
+        "printed on startup)",
+    )
+    shard_serve.add_argument(
+        "--seconds",
+        type=float,
+        default=None,
+        help="serve for this many seconds then exit cleanly (default: until ctrl-c)",
+    )
+    shard_serve.add_argument(
+        "--connect-retries",
+        type=int,
+        default=8,
+        help="backend connect retries (exponential backoff) while shard "
+        "daemons are still binding (default 8)",
+    )
+    shard_serve.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="-v logs one access line per routed request, -vv adds "
+        "connection/backend lifecycle chatter (default: warnings only)",
+    )
+    shard_serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit log records as JSON lines instead of key=value text",
+    )
+    shard_serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help="log a WARNING for routed requests slower than this many milliseconds",
+    )
+    shard_serve.add_argument(
+        "--trace",
+        action="store_true",
+        help="record routed request traces (shard spans grafted in) into the "
+        "router's in-memory ring",
+    )
+
     run = sub.add_parser(
         "run", help="execute a serialized repro.api workflow/pipeline config (JSON)"
     )
@@ -614,6 +698,125 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_shard_map(path: Path):
+    from repro.shard import ShardMap
+
+    try:
+        return ShardMap.load(path)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    if args.shard_command == "split":
+        return _cmd_shard_split(args)
+    if args.shard_command == "plan":
+        return _cmd_shard_plan(args)
+    if args.shard_command == "rebalance":
+        return _cmd_shard_rebalance(args)
+    return _cmd_shard_serve(args)
+
+
+def _cmd_shard_split(args: argparse.Namespace) -> int:
+    from repro.shard import split_store
+
+    source = _open_store(args.source)
+    placed = split_store(source, _load_shard_map(args.topology))
+    for name in sorted(placed):
+        keys = placed[name]
+        print(f"{name}: {len(keys)} entries" + (f" ({', '.join(keys)})" if keys else ""))
+    print(f"split {len(source)} entries across {len(placed)} shards (source intact)")
+    return 0
+
+
+def _cmd_shard_plan(args: argparse.Namespace) -> int:
+    from repro.shard import plan_for_stores
+
+    moves = plan_for_stores(_load_shard_map(args.old), _load_shard_map(args.new))
+    print(json.dumps([m.to_dict() for m in moves], indent=2))
+    print(f"{len(moves)} moves", file=sys.stderr)
+    return 0
+
+
+def _cmd_shard_rebalance(args: argparse.Namespace) -> int:
+    from repro.shard import execute_plan, plan_for_stores
+
+    if args.copy_only and args.prune_only:
+        raise SystemExit("error: --copy-only and --prune-only are mutually exclusive")
+    old, new = _load_shard_map(args.old), _load_shard_map(args.new)
+    moves = plan_for_stores(old, new)
+    result = execute_plan(
+        moves,
+        old,
+        new,
+        copy=not args.prune_only,
+        prune=not args.copy_only,
+    )
+    phase = "copy+prune"
+    if args.copy_only:
+        phase = "copy"
+    elif args.prune_only:
+        phase = "prune"
+    print(
+        f"rebalanced ({phase}): {result['moves']} moves, "
+        f"{result['copied']} copied, {result['pruned']} pruned"
+    )
+    return 0
+
+
+def _cmd_shard_serve(args: argparse.Namespace) -> int:
+    from repro.obs import TRACER, configure_logging
+    from repro.serve import parse_address
+    from repro.shard import RouterDaemon, ShardError
+
+    try:
+        host, port = parse_address(args.addr)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    shard_map = _load_shard_map(args.topology)
+    configure_logging(verbosity=args.verbose, json_lines=args.log_json)
+    if args.trace:
+        TRACER.enable()
+    router = RouterDaemon(
+        shard_map,
+        host=host,
+        port=port,
+        slow_ms=args.slow_ms,
+        retries=args.connect_retries,
+    )
+    # Same SIGTERM discipline as `repro serve`: installed before the banner,
+    # so once the address is printed a TERM always exits cleanly.
+    import signal
+
+    previous = signal.signal(signal.SIGTERM, lambda signum, frame: router.request_stop())
+    try:
+        router.start()
+    except (OSError, ShardError) as exc:
+        signal.signal(signal.SIGTERM, previous)
+        raise SystemExit(f"error: cannot start router: {exc}")
+    print(
+        f"routing {len(shard_map.shards)} shards "
+        f"({', '.join(s.name + '=' + s.address for s in shard_map.shards)}) "
+        f"at {router.address} (ctrl-c to stop)",
+        flush=True,
+    )
+    try:
+        router.serve_forever(timeout=args.seconds)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        stats = router.stats()
+        router.stop()
+    print(
+        f"router stopped after {stats['requests']} requests "
+        f"({stats['reads_forwarded']} reads forwarded, "
+        f"{stats['relay_bytes']} B relayed, "
+        f"{stats['backend_errors']} backend errors)"
+    )
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.api import run_config
 
@@ -644,6 +847,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "evaluate": _cmd_evaluate,
         "store": _cmd_store,
         "serve": _cmd_serve,
+        "shard": _cmd_shard,
         "stats": _cmd_stats,
         "run": _cmd_run,
     }

@@ -50,6 +50,8 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    label_snapshot,
+    merge_snapshots,
 )
 from repro.obs.prometheus import render_prometheus
 from repro.obs.tracing import TRACER, Span, Tracer, current_trace, format_trace, span
@@ -61,6 +63,8 @@ __all__ = [
     "MetricsRegistry",
     "REGISTRY",
     "DEFAULT_BUCKETS",
+    "label_snapshot",
+    "merge_snapshots",
     "render_prometheus",
     "Span",
     "Tracer",

@@ -435,5 +435,43 @@ def _merge_samples(samples: List[Dict[str, Any]], kind: str) -> List[Dict[str, A
     return [by_labels[key] for key in sorted(by_labels)]
 
 
+def label_snapshot(
+    families: List[Dict[str, Any]], labels: Mapping[str, str]
+) -> List[Dict[str, Any]]:
+    """Deep-copy a snapshot with extra labels stamped onto every sample.
+
+    The multi-process aggregation primitive: a router stamps each shard
+    daemon's snapshot with ``{"shard": name}`` before merging, so one scrape
+    of the router distinguishes every process's series.  Labels already
+    present on a sample win — stamping never rewrites a family's own
+    dimensions (e.g. a shard's ``op`` or ``cache`` labels survive).
+    """
+    extra = {str(k): str(v) for k, v in labels.items()}
+    out = []
+    for fam in families:
+        samples = []
+        for sample in fam.get("samples", ()):
+            copied = dict(sample)
+            copied["labels"] = {**extra, **dict(sample.get("labels", {}))}
+            if "buckets" in copied:
+                copied["buckets"] = dict(copied["buckets"])
+            samples.append(copied)
+        out.append({**fam, "samples": samples})
+    return out
+
+
+def merge_snapshots(*snapshots: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Merge registry snapshots into one, exactly like one registry would.
+
+    Families sharing a name concatenate (types must agree); samples sharing
+    a label set sum.  Feed shard snapshots through :func:`label_snapshot`
+    first so distinct processes never collapse into one series.
+    """
+    families: List[Dict[str, Any]] = []
+    for snap in snapshots:
+        families.extend(snap)
+    return _merge_families(families)
+
+
 #: The process-wide default registry every built-in instrument reports into.
 REGISTRY = MetricsRegistry()

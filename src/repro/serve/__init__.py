@@ -30,7 +30,7 @@ Three pieces:
 """
 
 from repro.serve.client import RemoteArray, RemoteStore, connect
-from repro.serve.daemon import ReadDaemon, parse_address
+from repro.serve.daemon import ReadDaemon, WireDaemon, parse_address
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -40,6 +40,7 @@ from repro.serve.protocol import (
 
 __all__ = [
     "ReadDaemon",
+    "WireDaemon",
     "RemoteStore",
     "RemoteArray",
     "connect",

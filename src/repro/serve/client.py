@@ -55,9 +55,20 @@ _PAYLOAD_SENT = _PAYLOAD_BYTES.labels(direction="sent")
 _PAYLOAD_RECEIVED = _PAYLOAD_BYTES.labels(direction="received")
 
 
-def connect(addr: Union[str, Tuple[str, int]], timeout: float = 30.0) -> "RemoteStore":
-    """Connect to a :class:`~repro.serve.daemon.ReadDaemon` at ``host:port``."""
-    return RemoteStore(addr, timeout=timeout)
+def connect(
+    addr: Union[str, Tuple[str, int]],
+    timeout: float = 30.0,
+    retries: int = 0,
+    backoff: float = 0.05,
+) -> "RemoteStore":
+    """Connect to a :class:`~repro.serve.daemon.ReadDaemon` at ``host:port``.
+
+    ``retries`` adds bounded retry with exponential backoff on
+    ``ConnectionRefusedError`` — a daemon that is launching but has not
+    bound yet.  Off by default; the shard router turns it on for its
+    backend connections so router startup never races shard daemon bind.
+    """
+    return RemoteStore(addr, timeout=timeout, retries=retries, backoff=backoff)
 
 
 class RemoteStore:
@@ -75,18 +86,38 @@ class RemoteStore:
         addr: Union[str, Tuple[str, int]],
         timeout: float = 30.0,
         tracer=None,
+        retries: int = 0,
+        backoff: float = 0.05,
     ) -> None:
         host, port = parse_address(addr)
         self.address = f"{host}:{port}"
         self.tracer = TRACER if tracer is None else tracer
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        # Bounded retry on refusal only: refusal means nothing is bound yet
+        # (a daemon still launching), which backoff genuinely fixes; every
+        # other connect failure (unreachable host, timeout) raises at once.
+        attempt = 0
+        while True:
+            try:
+                self._sock = socket.create_connection((host, port), timeout=timeout)
+                break
+            except ConnectionRefusedError:
+                if attempt >= int(retries):
+                    raise
+                time.sleep(min(float(backoff) * (2 ** attempt), 1.0))
+                attempt += 1
         self._fh = self._sock.makefile("rb")
         self._lock = threading.Lock()
         self._closed = False
 
     # -- transport -------------------------------------------------------------
-    def request(self, header: Dict[str, Any], payload: bytes = b"") -> Tuple[Dict, bytes]:
-        """One framed request/response exchange; raises typed daemon errors.
+    def exchange(self, header: Dict[str, Any], payload: bytes = b"") -> Tuple[Dict, bytes]:
+        """One framed request/response exchange, returned verbatim.
+
+        The raw transport half of :meth:`request`: sends the frame, reads
+        the response, records client metrics — and hands back the response
+        header *exactly as the daemon wrote it*, error responses and
+        ``spans`` included.  The shard router relays on this surface so a
+        shard's typed error reaches the far client byte-for-byte.
 
         A *transport* failure mid-exchange (send error, recv timeout,
         truncated or garbled response) leaves the stream position unknowable,
@@ -124,6 +155,14 @@ class RemoteStore:
         _CLIENT_SECONDS.labels(op=op).observe(time.perf_counter() - start)
         _PAYLOAD_SENT.inc(len(payload))
         _PAYLOAD_RECEIVED.inc(len(resp_payload))
+        return resp, resp_payload
+
+    def request(self, header: Dict[str, Any], payload: bytes = b"") -> Tuple[Dict, bytes]:
+        """One exchange with the client niceties: graft spans, raise errors.
+
+        See :meth:`exchange` for the transport contract.
+        """
+        resp, resp_payload = self.exchange(header, payload)
         # The daemon returns its request-scoped spans in the response header;
         # graft them into our ring (span-id dedupe makes the in-process
         # shared-tracer case harmless).  Errors carry spans too.
@@ -145,6 +184,12 @@ class RemoteStore:
             self._sock.close()
         except OSError:
             pass
+
+    @property
+    def closed(self) -> bool:
+        """Whether the connection was closed (by us) or poisoned (by a
+        transport failure); a closed store never becomes usable again."""
+        return self._closed
 
     def close(self) -> None:
         with self._lock:

@@ -9,6 +9,13 @@ ROADMAP names after the lazy view API: a view query is plain data
 ``(field, step, level, compiled index)``, so serving it is framing, not new
 read logic.
 
+The socket machinery lives in :class:`WireDaemon`, a dispatch-agnostic base
+class (bind/accept loop, per-connection workers, framed request handling,
+request tracing, access logging, graceful shutdown).  :class:`ReadDaemon`
+plugs the store read path into it; the shard router
+(:class:`repro.shard.RouterDaemon`) plugs a fan-out relay into the *same*
+base, so both ends of a routed request speak literally the same server code.
+
 Concurrency model
 -----------------
 A background accept loop hands each connection to its own worker thread;
@@ -20,9 +27,9 @@ accounting (blocks touched / decoded / served from cache) is measured by a
 counting wrapper around the block source, so every ``read`` response reports
 exactly what it cost — the numbers ``repro store read --remote`` prints.
 
-Shutdown is graceful: :meth:`stop` closes the listener and every open
-connection, then joins the workers, so a test fixture (or ``repro serve``
-under SIGINT) always exits cleanly.
+Shutdown is graceful: :meth:`WireDaemon.stop` closes the listener and every
+open connection, then joins the workers, so a test fixture (or ``repro
+serve`` under SIGINT) always exits cleanly.
 """
 
 from __future__ import annotations
@@ -33,7 +40,7 @@ import threading
 import time
 from collections import OrderedDict
 from contextlib import contextmanager
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -56,7 +63,7 @@ from repro.serve.protocol import (
     send_frame,
 )
 
-__all__ = ["ReadDaemon", "parse_address"]
+__all__ = ["WireDaemon", "ReadDaemon", "parse_address"]
 
 log = logging.getLogger("repro.serve.daemon")
 
@@ -198,33 +205,25 @@ def _request_fields(header: Dict, response: Dict) -> Dict[str, Any]:
     return out
 
 
-class ReadDaemon:
-    """Read daemon over one store, one block cache and one codec engine.
+class WireDaemon:
+    """Dispatch-agnostic framed-protocol server: the socket half of a daemon.
+
+    Owns the listener, the accept loop, per-connection worker threads, the
+    per-request trace/metric/log plumbing and graceful shutdown — everything
+    a :mod:`repro.serve.protocol` server needs except the meaning of a
+    request.  Subclasses implement :meth:`_dispatch` (one request header in,
+    one ``(response header, payload)`` out; every exception they let escape
+    is answered as a typed error response by their own dispatch wrapper) and
+    may extend :meth:`_collectors` with registry collectors that live exactly
+    as long as the daemon runs.
 
     Parameters
     ----------
-    store:
-        A :class:`repro.store.Store` instance or a store root directory.
     host / port:
         Bind address; the default binds the loopback interface on an
         OS-assigned free port (read it back from :attr:`address`).
-    cache:
-        Decoded-block LRU shared by every request; defaults to the store's
-        own :attr:`~repro.store.Store.block_cache`, so in-process views and
-        remote clients share one pool.
     backlog:
         Listen backlog of the accept socket.
-    refresh_ttl:
-        Debounce for the per-request :meth:`Store.refresh` manifest stat, in
-        seconds.  ``0`` (default) stats on every request — always-fresh, the
-        historical behaviour; a small positive value (``repro serve``
-        defaults to 50 ms) removes the stat syscall from hot query streams
-        while keeping cross-process appends visible within the TTL.
-    max_readers:
-        Bound on the per-entry container reader LRU.  An evicted reader
-        closes (releasing its mmap/fd) only after its in-flight fetches
-        drain; its fetch counters fold into a retired accumulator so the
-        aggregate reader metrics stay monotone.
     tracer:
         :class:`repro.obs.Tracer` recording request traces; defaults to the
         process-wide :data:`repro.obs.TRACER`.  When enabled, every request
@@ -236,27 +235,19 @@ class ReadDaemon:
         request's accounting — visible even at the default verbosity.
     """
 
+    #: Thread name of the accept loop (overridden by subclasses for ps/py-spy).
+    _accept_thread_name = "repro-serve-accept"
+
     def __init__(
         self,
-        store,
         host: str = "127.0.0.1",
         port: int = 0,
-        cache=None,
         backlog: int = 32,
-        refresh_ttl: float = 0.0,
-        max_readers: int = DEFAULT_MAX_READERS,
         tracer=None,
         slow_ms: Optional[float] = None,
     ) -> None:
-        from repro.store import Store
-
-        self.store = store if isinstance(store, Store) else Store(store)
-        self.cache = self.store.block_cache if cache is None else cache
-        self.refresh_ttl = float(refresh_ttl)
-        self.max_readers = max(1, int(max_readers))
         self.tracer = TRACER if tracer is None else tracer
         self.slow_ms = None if slow_ms is None else float(slow_ms)
-        self._last_refresh = float("-inf")
         self._host = str(host)
         self._port = int(port)
         self._backlog = int(backlog)
@@ -264,19 +255,13 @@ class ReadDaemon:
         self._accept_thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self._lock = threading.Lock()
-        self._readers: "OrderedDict[str, _ReaderSlot]" = OrderedDict()
-        self._retired_reader_stats: Dict[str, int] = {}
         self._collector_fns: list = []
         self._connections: set = set()
         self._workers: list = []
         self._counters: Dict[str, int] = {
             "requests": 0,
-            "reads": 0,
             "errors": 0,
             "connections": 0,
-            "blocks_touched": 0,
-            "blocks_decoded": 0,
-            "result_bytes_sent": 0,
             "request_bytes_received": 0,
         }
 
@@ -287,6 +272,10 @@ class ReadDaemon:
         if self._listener is None:
             raise RuntimeError("daemon is not started; call start() first")
         return f"{self._host}:{self._port}"
+
+    def _collectors(self) -> List[Callable]:
+        """Registry collectors to expose for the daemon's lifetime."""
+        return []
 
     def start(self) -> str:
         """Bind, spawn the accept loop and return the bound address."""
@@ -299,21 +288,15 @@ class ReadDaemon:
         self._host, self._port = listener.getsockname()[:2]
         self._listener = listener
         self._stop.clear()
-        # Expose the daemon's own accounting (and the shared cache/engine it
-        # wraps) through the process-wide registry for the lifetime of the
-        # daemon; stop() unregisters, so a stopped daemon reports nothing.
+        # Expose the daemon's own accounting (and whatever shared machinery
+        # the subclass wraps) through the process-wide registry for the
+        # lifetime of the daemon; stop() unregisters, so a stopped daemon
+        # reports nothing.
         self._collector_fns = [
-            REGISTRY.add_collector(self._collect_families, owner=self),
-            REGISTRY.add_collector(
-                cache_collector(self.cache, {"cache": "serve"}), owner=self
-            ),
+            REGISTRY.add_collector(fn, owner=self) for fn in self._collectors()
         ]
-        if self.store.engine is not None:
-            self._collector_fns.append(
-                REGISTRY.add_collector(engine_collector(self.store.engine), owner=self)
-            )
         self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="repro-serve-accept", daemon=True
+            target=self._accept_loop, name=self._accept_thread_name, daemon=True
         )
         self._accept_thread.start()
         log.debug("daemon started", extra=access_extra(address=self.address))
@@ -337,6 +320,13 @@ class ReadDaemon:
         """Close the listener and every connection; join the workers."""
         self._stop.set()
         if self._listener is not None:
+            # shutdown() before close(): on Linux, close() alone does not
+            # wake a thread blocked in accept() — the join below would then
+            # burn its full timeout on every stop.
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 self._listener.close()
             except OSError:
@@ -361,25 +351,15 @@ class ReadDaemon:
         for collect in self._collector_fns:
             REGISTRY.remove_collector(collect)
         self._collector_fns = []
-        with self._lock:
-            slots = list(self._readers.values())
-            self._readers.clear()
-        for slot in slots:
-            # Workers are joined: no leases remain, close unconditionally.
-            self._close_slot(slot)
         self._listener = None
         self._accept_thread = None
 
-    def __enter__(self) -> "ReadDaemon":
+    def __enter__(self) -> "WireDaemon":
         self.start()
         return self
 
     def __exit__(self, *exc) -> None:
         self.stop()
-
-    def __repr__(self) -> str:
-        bound = f"at {self._host}:{self._port}" if self._listener else "(not started)"
-        return f"ReadDaemon({self.store.root} {bound}, {len(self.store)} entries)"
 
     # -- accept / connection loops --------------------------------------------
     def _accept_loop(self) -> None:
@@ -470,7 +450,10 @@ class ReadDaemon:
         with root:
             response, payload = self._dispatch(header)
         if sink:
-            response["spans"] = sink
+            # A relaying dispatch (the shard router) may already carry the
+            # backend's spans in the response; ours append, the client grafts
+            # both sides into one tree (span ids dedupe).
+            response["spans"] = list(response.get("spans", ())) + sink
         send_wall = time.time()
         send_start = time.perf_counter()
         ok = self._send(conn, response, payload)
@@ -515,6 +498,120 @@ class ReadDaemon:
             return True
         except OSError:
             return False
+
+    # -- request handling ------------------------------------------------------
+    def _dispatch(self, header: Dict) -> Tuple[Dict, bytes]:
+        """One request in, one ``(response header, payload)`` out.
+
+        Implementations must answer *every* failure as an error response
+        (:func:`~repro.serve.protocol.error_header`) rather than raising —
+        a request must never kill its connection worker.
+        """
+        raise NotImplementedError
+
+    def _op_trace(self, header: Dict) -> Dict:
+        """Recent request traces from the daemon's ring (newest last).
+
+        ``{"id": ...}`` selects one trace; ``{"limit": N}`` bounds the count.
+        Server-side-only spans (``send``) are visible here and nowhere else.
+        """
+        trace_id = header.get("id")
+        if trace_id is not None:
+            spans = self.tracer.trace_spans(str(trace_id))
+            return {"status": "ok", "traces": {str(trace_id): spans}}
+        limit = header.get("limit")
+        return {
+            "status": "ok",
+            "traces": self.tracer.traces(None if limit is None else int(limit)),
+        }
+
+    # -- introspection ---------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Daemon-wide counters as plain data (subclasses add their layers)."""
+        with self._lock:
+            return dict(self._counters)
+
+
+class ReadDaemon(WireDaemon):
+    """Read daemon over one store, one block cache and one codec engine.
+
+    Parameters
+    ----------
+    store:
+        A :class:`repro.store.Store` instance or a store root directory.
+    host / port / backlog / tracer / slow_ms:
+        See :class:`WireDaemon`.
+    cache:
+        Decoded-block LRU shared by every request; defaults to the store's
+        own :attr:`~repro.store.Store.block_cache`, so in-process views and
+        remote clients share one pool.
+    refresh_ttl:
+        Debounce for the per-request :meth:`Store.refresh` manifest stat, in
+        seconds.  ``0`` (default) stats on every request — always-fresh, the
+        historical behaviour; a small positive value (``repro serve``
+        defaults to 50 ms) removes the stat syscall from hot query streams
+        while keeping cross-process appends visible within the TTL.
+    max_readers:
+        Bound on the per-entry container reader LRU.  An evicted reader
+        closes (releasing its mmap/fd) only after its in-flight fetches
+        drain; its fetch counters fold into a retired accumulator so the
+        aggregate reader metrics stay monotone.
+    """
+
+    def __init__(
+        self,
+        store,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache=None,
+        backlog: int = 32,
+        refresh_ttl: float = 0.0,
+        max_readers: int = DEFAULT_MAX_READERS,
+        tracer=None,
+        slow_ms: Optional[float] = None,
+    ) -> None:
+        from repro.store import Store
+
+        super().__init__(
+            host=host, port=port, backlog=backlog, tracer=tracer, slow_ms=slow_ms
+        )
+        self.store = store if isinstance(store, Store) else Store(store)
+        self.cache = self.store.block_cache if cache is None else cache
+        self.refresh_ttl = float(refresh_ttl)
+        self.max_readers = max(1, int(max_readers))
+        self._last_refresh = float("-inf")
+        self._readers: "OrderedDict[str, _ReaderSlot]" = OrderedDict()
+        self._retired_reader_stats: Dict[str, int] = {}
+        self._counters.update(
+            {
+                "reads": 0,
+                "blocks_touched": 0,
+                "blocks_decoded": 0,
+                "result_bytes_sent": 0,
+            }
+        )
+
+    def _collectors(self) -> List[Callable]:
+        fns = [
+            self._collect_families,
+            cache_collector(self.cache, {"cache": "serve"}),
+        ]
+        if self.store.engine is not None:
+            fns.append(engine_collector(self.store.engine))
+        return fns
+
+    def stop(self, timeout: float = 5.0) -> None:
+        super().stop(timeout)
+        with self._lock:
+            slots = list(self._readers.values())
+            self._readers.clear()
+        for slot in slots:
+            # Workers are joined: no leases remain, close unconditionally.
+            self._close_slot(slot)
+
+    def __repr__(self) -> str:
+        bound = f"at {self._host}:{self._port}" if self._listener else "(not started)"
+        return f"ReadDaemon({self.store.root} {bound}, {len(self.store)} entries)"
 
     # -- request handling ------------------------------------------------------
     def _dispatch(self, header: Dict) -> Tuple[Dict, bytes]:
@@ -686,22 +783,6 @@ class ReadDaemon:
         from dataclasses import asdict
 
         return {"status": "ok", "entries": [asdict(e) for e in self.store.entries()]}
-
-    def _op_trace(self, header: Dict) -> Dict:
-        """Recent request traces from the daemon's ring (newest last).
-
-        ``{"id": ...}`` selects one trace; ``{"limit": N}`` bounds the count.
-        Server-side-only spans (``send``) are visible here and nowhere else.
-        """
-        trace_id = header.get("id")
-        if trace_id is not None:
-            spans = self.tracer.trace_spans(str(trace_id))
-            return {"status": "ok", "traces": {str(trace_id): spans}}
-        limit = header.get("limit")
-        return {
-            "status": "ok",
-            "traces": self.tracer.traces(None if limit is None else int(limit)),
-        }
 
     def _op_read(self, header: Dict) -> Tuple[Dict, bytes]:
         from repro.array import CompressedArray, ContainerSource

@@ -57,6 +57,7 @@ __all__ = [
     "index_from_wire",
     "error_header",
     "raise_remote_error",
+    "register_error_type",
 ]
 
 PROTOCOL_MAGIC = b"RPSV"  # "RePro SerVe"
@@ -350,6 +351,19 @@ _ERROR_TYPES = {
     "ProtocolError": ProtocolError,
     "VersionMismatch": VersionMismatch,
 }
+
+
+def register_error_type(cls: type) -> type:
+    """Register an exception type for typed transport by its class name.
+
+    Layered subsystems (the shard router's :class:`~repro.shard.ShardError`)
+    register their error types at import time so clients that imported the
+    layer reconstruct them exactly; clients that did not still get the
+    message via the :class:`RemoteError` fallback.  Returns ``cls`` so it
+    works as a decorator.
+    """
+    _ERROR_TYPES[cls.__name__] = cls
+    return cls
 
 
 def error_header(exc: BaseException) -> Dict[str, str]:

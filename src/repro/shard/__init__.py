@@ -1,0 +1,47 @@
+"""``repro.shard`` — consistent-hash placement, routing and rebalancing.
+
+The scale-out layer over :mod:`repro.serve`: a :class:`ShardMap` places
+every ``(field, step)`` on one of N named shards with consistent hashing (no
+central metadata — every process computes the same owner), a
+:class:`RouterDaemon` speaks the single-daemon wire protocol in front of N
+shard daemons (``repro.connect()`` cannot tell the difference), and
+:mod:`repro.shard.rebalance` moves entries between shards live — copy,
+switch the map, prune — without a read ever missing.
+
+Topology is one JSON document::
+
+    {"type": "shardmap", "virtual_nodes": 64,
+     "shards": [{"name": "s0", "address": "127.0.0.1:4815", "store": "shards/s0"},
+                {"name": "s1", "address": "127.0.0.1:4816", "store": "shards/s1"}]}
+
+``repro shard split/plan/rebalance/serve`` are the operator verbs.
+"""
+
+from repro.shard.rebalance import (
+    execute_plan,
+    plan_for_stores,
+    shard_stores,
+    split_store,
+)
+from repro.shard.router import RouterDaemon, ShardError
+from repro.shard.shardmap import (
+    RebalanceMove,
+    ShardMap,
+    ShardSpec,
+    entry_key,
+    plan_rebalance,
+)
+
+__all__ = [
+    "ShardMap",
+    "ShardSpec",
+    "RebalanceMove",
+    "plan_rebalance",
+    "entry_key",
+    "RouterDaemon",
+    "ShardError",
+    "split_store",
+    "plan_for_stores",
+    "execute_plan",
+    "shard_stores",
+]

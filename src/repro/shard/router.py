@@ -1,0 +1,381 @@
+"""``RouterDaemon``: one wire-protocol front door over N shard daemons.
+
+The router speaks the exact :mod:`repro.serve` protocol on its front socket
+— ``repro.connect()`` pointed at a router is bit-for-bit a single-daemon
+client — and fans out over one :class:`~repro.serve.client.RemoteStore`
+backend connection per shard:
+
+* ``catalog`` merges every shard's catalog into one entry list (preferring
+  the owning shard's row for keys that transiently exist on two shards
+  mid-rebalance);
+* ``describe``/``read`` forward to the shard the :class:`ShardMap` names
+  as the entry's owner.  The relay is zero-copy: the shard's response
+  header is rewritten (spans merged), the ndarray payload is passed through
+  untouched — the router never decodes, copies or even inspects result
+  bytes;
+* ``stats`` merges per-shard counters and registry snapshots, each stamped
+  with a ``shard`` label (the router's own snapshot under
+  ``shard="router"``), so one scrape sees every process;
+* ``trace`` serves the router's own ring, which — because shard spans are
+  grafted as responses relay through — holds the *complete* tree of every
+  traced request: client root, router ``route`` span, shard fetch/decode.
+
+Backend failures surface as typed :class:`ShardError` responses naming the
+shard and address; application errors from a shard (a bad index, a missing
+entry) relay verbatim so clients see exactly the error a single daemon
+would have sent.  Backend connections retry with exponential backoff on
+refusal, so launching a router alongside its shard daemons never races
+their binds, and a poisoned backend connection (shard restarted) is
+replaced transparently on the next request that needs it.
+
+The shard map is swappable live (:meth:`RouterDaemon.set_map`): rebalancing
+installs the new topology between its copy and prune phases, so routed
+reads never observe a missing entry.
+"""
+
+from __future__ import annotations
+
+import logging
+from numbers import Number
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs import access_extra, label_snapshot, merge_snapshots
+from repro.obs import span as obs_span
+from repro.obs.tracing import current_trace
+from repro.obs.collectors import counter_family, gauge_family
+from repro.serve.client import RemoteStore
+from repro.serve.daemon import WireDaemon
+from repro.serve.protocol import (
+    ProtocolError,
+    error_header,
+    register_error_type,
+)
+from repro.shard.shardmap import ShardMap, entry_key
+
+__all__ = ["RouterDaemon", "ShardError"]
+
+log = logging.getLogger("repro.shard.router")
+
+
+@register_error_type
+class ShardError(RuntimeError):
+    """A shard backend failed at the transport level (named in the message).
+
+    Registered for typed transport: clients that imported :mod:`repro.shard`
+    re-raise it exactly; others get the message via ``RemoteError``.
+    Application errors from a shard are *not* wrapped — they relay with
+    their original type and message.
+    """
+
+
+class RouterDaemon(WireDaemon):
+    """Shard-fan-out daemon: one front socket, one backend per shard.
+
+    Parameters
+    ----------
+    shard_map:
+        The :class:`ShardMap` naming the shards and placing entries.
+    host / port / backlog / tracer / slow_ms:
+        See :class:`~repro.serve.daemon.WireDaemon`.
+    timeout:
+        Socket timeout of each backend connection.
+    retries / backoff:
+        Backend connect retry policy (see
+        :func:`repro.serve.client.connect`); the default rides out a shard
+        daemon that is still binding when the router starts.
+    """
+
+    _accept_thread_name = "repro-shard-router-accept"
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backlog: int = 32,
+        tracer=None,
+        slow_ms: Optional[float] = None,
+        timeout: float = 30.0,
+        retries: int = 8,
+        backoff: float = 0.05,
+    ) -> None:
+        super().__init__(
+            host=host, port=port, backlog=backlog, tracer=tracer, slow_ms=slow_ms
+        )
+        self.shard_map = shard_map
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self._backends: Dict[str, RemoteStore] = {}
+        self._counters.update(
+            {
+                "reads_forwarded": 0,
+                "relay_bytes": 0,
+                "backend_errors": 0,
+            }
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self) -> str:
+        if self._listener is not None:
+            return self.address
+        # Connect every backend before accepting clients: a misconfigured
+        # topology fails here, loudly, not on the first routed request.
+        for spec in self.shard_map.shards:
+            self._backend(spec.name)
+        return super().start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        super().stop(timeout)
+        with self._lock:
+            backends = list(self._backends.values())
+            self._backends.clear()
+        for backend in backends:
+            backend.close()
+
+    def set_map(self, shard_map: ShardMap) -> None:
+        """Install a new topology live; routed requests use it immediately.
+
+        Backends of shards that left the map (or changed address) close;
+        new shards connect lazily on first forward.  Rebalancing calls this
+        *between* copying entries to their new owners and pruning the old
+        copies, so every entry is readable at its routed location throughout.
+        """
+        to_close: List[RemoteStore] = []
+        with self._lock:
+            self.shard_map = shard_map
+            live = {s.name: s for s in shard_map.shards}
+            for name, backend in list(self._backends.items()):
+                spec = live.get(name)
+                if spec is None or backend.address != _normalize(spec.address):
+                    to_close.append(self._backends.pop(name))
+        for backend in to_close:
+            backend.close()
+        log.info(
+            "shard map installed",
+            extra=access_extra(shards=shard_map.names()),
+        )
+
+    def _backend(self, name: str) -> RemoteStore:
+        """The live backend connection for a shard, (re)connecting as needed."""
+        spec = self.shard_map.spec(name)
+        with self._lock:
+            backend = self._backends.get(name)
+        if backend is not None and not backend.closed:
+            return backend
+        fresh = RemoteStore(
+            spec.address,
+            timeout=self.timeout,
+            tracer=self.tracer,
+            retries=self.retries,
+            backoff=self.backoff,
+        )
+        with self._lock:
+            current = self._backends.get(name)
+            if current is not None and not current.closed:
+                # Lost the reconnect race; use the winner.
+                self._backends[name] = current
+            else:
+                self._backends[name] = fresh
+                current = None
+        if current is not None:
+            fresh.close()
+            return current
+        return fresh
+
+    def __repr__(self) -> str:
+        bound = f"at {self._host}:{self._port}" if self._listener else "(not started)"
+        return f"RouterDaemon({', '.join(self.shard_map.names())} {bound})"
+
+    # -- request handling ------------------------------------------------------
+    def _dispatch(self, header: Dict) -> Tuple[Dict, bytes]:
+        op = header.get("op")
+        with self._lock:
+            self._counters["requests"] += 1
+        try:
+            if op == "catalog":
+                return {"status": "ok", "entries": self._merged_catalog()}, b""
+            if op == "describe":
+                if header.get("field") is None:
+                    return self._op_describe_store(), b""
+                return self._forward_to_owner(header)
+            if op == "read":
+                resp, payload = self._forward_to_owner(header)
+                with self._lock:
+                    self._counters["reads_forwarded"] += 1
+                    self._counters["relay_bytes"] += len(payload)
+                return resp, payload
+            if op == "stats":
+                return self._op_stats(), b""
+            if op == "trace":
+                return self._op_trace(header), b""
+            raise ValueError(
+                f"unknown operation {op!r}; the router serves describe, catalog, "
+                "read, stats and trace"
+            )
+        except Exception as exc:  # noqa: BLE001 - every failure becomes a response
+            with self._lock:
+                self._counters["errors"] += 1
+            return error_header(exc), b""
+
+    def _forward_to_owner(self, header: Dict) -> Tuple[Dict, bytes]:
+        name = self.shard_map.owner_name(
+            str(header["field"]), int(header.get("step", 0))
+        )
+        return self._forward(name, header)
+
+    def _forward(self, name: str, header: Dict, payload: bytes = b"") -> Tuple[Dict, bytes]:
+        """Relay one request to a shard; the response passes through zero-copy.
+
+        Inside the ``route`` span the ambient trace points at *us*, so the
+        forwarded header's ``trace`` is rewritten and the shard's request
+        span parents on the route span — one tree across three processes.
+        With the router's tracer disabled the client's original trace rides
+        through untouched and the shard parents on the client directly.
+        """
+        op = header.get("op")
+        spec = self.shard_map.spec(name)
+        with obs_span("route", shard=name, op=op):
+            forwarded = header
+            wire_trace = current_trace()
+            if wire_trace is not None:
+                forwarded = {**header, "trace": wire_trace}
+            try:
+                backend = self._backend(name)
+                resp, resp_payload = backend.exchange(forwarded, payload)
+            except (OSError, ProtocolError) as exc:
+                with self._lock:
+                    self._counters["backend_errors"] += 1
+                raise ShardError(
+                    f"shard {name!r} at {spec.address} failed during {op!r}: {exc}"
+                ) from exc
+        spans = resp.pop("spans", None)
+        if spans:
+            if self.tracer.enabled:
+                # The shard's half of the trace lands in the router's ring,
+                # so the router's "trace" op shows complete trees.
+                self.tracer.graft(spans)
+            # ...and rides on to the client; the base request handler appends
+            # the router's own spans behind these (span ids dedupe).
+            resp["spans"] = spans
+        return resp, resp_payload
+
+    # -- merged ops ------------------------------------------------------------
+    def _shard_request(self, name: str, header: Dict) -> Dict:
+        """A routed *internal* request (catalog/stats); typed errors raise."""
+        resp, _ = self._forward(name, header)
+        if resp.get("status") != "ok":
+            from repro.serve.protocol import raise_remote_error
+
+            raise_remote_error(resp)
+        return resp
+
+    def _merged_catalog(self) -> List[Dict[str, Any]]:
+        """Every shard's entries as one catalog, owner's row winning.
+
+        Mid-rebalance an entry legitimately exists on two shards (copied to
+        the destination, not yet pruned from the source); the merge keeps the
+        row from the shard the current map routes reads to.
+        """
+        merged: Dict[str, Dict[str, Any]] = {}
+        for spec in self.shard_map.shards:
+            resp = self._shard_request(spec.name, {"op": "catalog"})
+            for row in resp.get("entries", ()):
+                key = entry_key(str(row["field"]), int(row["step"]))
+                owner = self.shard_map.owner_name(str(row["field"]), int(row["step"]))
+                if key not in merged or owner == spec.name:
+                    merged[key] = dict(row)
+        return [merged[key] for key in sorted(merged)]
+
+    def _op_describe_store(self) -> Dict[str, Any]:
+        entries = self._merged_catalog()
+        return {
+            "status": "ok",
+            "kind": "store",
+            "root": f"shard-router[{','.join(self.shard_map.names())}]",
+            "n_entries": len(entries),
+            "fields": sorted({str(e["field"]) for e in entries}),
+        }
+
+    def _op_stats(self) -> Dict[str, Any]:
+        """Fleet stats: summed counters, per-shard detail, labeled metrics.
+
+        Top-level numeric counters sum across shards (so ``repro stats``
+        against a router reads like one big daemon); ``shards`` keeps each
+        daemon's full stats; ``router`` is the router's own accounting;
+        ``metrics`` merges every process's registry snapshot with a
+        ``shard`` label telling their series apart.
+        """
+        totals: Dict[str, float] = {}
+        shards: Dict[str, Any] = {}
+        snapshots = [label_snapshot(self._own_snapshot(), {"shard": "router"})]
+        for spec in self.shard_map.shards:
+            resp = self._shard_request(spec.name, {"op": "stats"})
+            resp.pop("status", None)
+            metrics = resp.pop("metrics", None)
+            if metrics:
+                snapshots.append(label_snapshot(metrics, {"shard": spec.name}))
+            shards[spec.name] = resp
+            for key, value in resp.items():
+                if isinstance(value, Number) and not isinstance(value, bool):
+                    totals[key] = totals.get(key, 0) + value
+        return {
+            "status": "ok",
+            **totals,
+            "router": self.stats(),
+            "shards": shards,
+            "metrics": merge_snapshots(*snapshots),
+        }
+
+    def _own_snapshot(self) -> List[Dict[str, Any]]:
+        from repro.obs import REGISTRY
+
+        return REGISTRY.snapshot()
+
+    # -- introspection ---------------------------------------------------------
+    def _collectors(self) -> List[Callable]:
+        return [self._collect_families]
+
+    def _collect_families(self) -> list:
+        with self._lock:
+            counters = dict(self._counters)
+            active = len(self._connections)
+            backends = sum(1 for b in self._backends.values() if not b.closed)
+        return [
+            counter_family("repro_router_requests_total",
+                           "Requests dispatched by the shard router.",
+                           counters["requests"]),
+            counter_family("repro_router_reads_forwarded_total",
+                           "Read operations relayed to a shard.",
+                           counters["reads_forwarded"]),
+            counter_family("repro_router_relay_bytes_total",
+                           "Result payload bytes relayed shard-to-client.",
+                           counters["relay_bytes"]),
+            counter_family("repro_router_errors_total",
+                           "Requests answered with a router-level error.",
+                           counters["errors"]),
+            counter_family("repro_router_backend_errors_total",
+                           "Transport failures talking to shard backends.",
+                           counters["backend_errors"]),
+            counter_family("repro_router_connections_total",
+                           "Client connections accepted since start.",
+                           counters["connections"]),
+            gauge_family("repro_router_active_connections",
+                         "Client connections currently open.",
+                         active),
+            gauge_family("repro_router_backends_connected",
+                         "Shard backend connections currently live.",
+                         backends),
+        ]
+
+    def stats(self) -> Dict[str, Any]:
+        out = super().stats()
+        out["shards"] = self.shard_map.names()
+        return out
+
+
+def _normalize(address: str) -> str:
+    from repro.serve.daemon import parse_address
+
+    host, port = parse_address(address)
+    return f"{host}:{port}"

@@ -1,0 +1,267 @@
+"""``ShardMap``: deterministic placement of ``(field, step)`` onto N shards.
+
+Consistent hashing on a ring of virtual nodes: each shard contributes
+``virtual_nodes`` points at ``blake2b(f"{name}#{i}")``, an entry key
+``field/stepNNNNN`` hashes to a point, and the entry lives on the shard
+owning the first ring point at or after it.  Two properties make this the
+right placement function for a routed store:
+
+* **No central metadata.**  The map is a handful of shard names plus two
+  integers; every router (and every human with the topology JSON) computes
+  the same owner for every entry, so there is no placement table to keep
+  consistent — the same move the paper's bounded Wang tilings make, where a
+  small fixed rule set assembles arbitrarily large domains.
+* **Minimal movement.**  Adding a shard steals only the ring arcs its new
+  points land on: ≈ 1/N of the entries move, all of them *to* the new
+  shard; removing one scatters only its own entries.  :func:`plan_rebalance`
+  turns that difference into the literal list of entry moves.
+
+The hash is ``blake2b`` (stdlib, keyed by nothing) truncated to 64 bits —
+stable across processes, platforms and Python versions, unlike ``hash()``
+which is salted per process.  Serialization follows the :mod:`repro.api`
+config idiom: strict ``to_dict``/``from_dict`` round-trips, unknown keys
+rejected.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from bisect import bisect_left
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = ["ShardSpec", "ShardMap", "RebalanceMove", "plan_rebalance", "entry_key"]
+
+DEFAULT_VIRTUAL_NODES = 64
+
+
+def entry_key(field: str, step: int) -> str:
+    """The catalog key — identical to ``Store``'s ``field/stepNNNNN``."""
+    return f"{field}/{int(step):05d}"
+
+
+def _point(token: str) -> int:
+    """64-bit ring position of a token; stable everywhere."""
+    return int.from_bytes(
+        hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard: a stable name plus where to reach it.
+
+    ``name`` is the ring identity — renaming a shard moves its entries;
+    re-addressing it (new host/port, same name) moves nothing.  ``store``
+    optionally pins the shard's store root for rebalancing CLI runs that
+    operate on directories rather than daemons.
+    """
+
+    name: str
+    address: str
+    store: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"name": self.name, "address": self.address}
+        if self.store is not None:
+            out["store"] = self.store
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShardSpec":
+        unknown = set(data) - {"name", "address", "store"}
+        if unknown:
+            raise ValueError(f"unknown ShardSpec keys: {sorted(unknown)}")
+        if not data.get("name"):
+            raise ValueError("a shard needs a non-empty name")
+        if not data.get("address"):
+            raise ValueError(f"shard {data.get('name')!r} needs an address")
+        return cls(
+            name=str(data["name"]),
+            address=str(data["address"]),
+            store=None if data.get("store") is None else str(data["store"]),
+        )
+
+
+class ShardMap:
+    """Consistent-hash ring over named shards; the topology document.
+
+    Parameters
+    ----------
+    shards:
+        :class:`ShardSpec` instances (or their dicts).  Names must be
+        unique — the name is the hash identity.
+    virtual_nodes:
+        Ring points per shard.  More points smooth the load split at the
+        cost of a longer (still tiny) sorted ring; 64 keeps the imbalance
+        across shards within a few percent for realistic catalogs.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[Union[ShardSpec, Mapping[str, Any]]],
+        virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
+    ) -> None:
+        specs = [
+            s if isinstance(s, ShardSpec) else ShardSpec.from_dict(s) for s in shards
+        ]
+        if not specs:
+            raise ValueError("a shard map needs at least one shard")
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate shard names in {names}")
+        self.shards: Tuple[ShardSpec, ...] = tuple(specs)
+        self.virtual_nodes = int(virtual_nodes)
+        if self.virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        ring: List[Tuple[int, str]] = []
+        for spec in self.shards:
+            for i in range(self.virtual_nodes):
+                ring.append((_point(f"{spec.name}#{i}"), spec.name))
+        # Ties (astronomically unlikely 64-bit collisions) resolve by name so
+        # every process still agrees on the owner.
+        ring.sort()
+        self._ring_points = [p for p, _ in ring]
+        self._ring_names = [n for _, n in ring]
+        self._by_name = {s.name: s for s in self.shards}
+
+    # -- placement -------------------------------------------------------------
+    def owner(self, field: str, step: int) -> ShardSpec:
+        """The shard an entry lives on."""
+        return self._by_name[self.owner_name(field, step)]
+
+    def owner_name(self, field: str, step: int) -> str:
+        point = _point(entry_key(field, step))
+        i = bisect_left(self._ring_points, point)
+        if i == len(self._ring_points):  # wrap past the last ring point
+            i = 0
+        return self._ring_names[i]
+
+    def spec(self, name: str) -> ShardSpec:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"no shard named {name!r}; shards: {', '.join(self.names())}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return [s.name for s in self.shards]
+
+    def assign(
+        self, entries: Sequence[Tuple[str, int]]
+    ) -> Dict[str, List[Tuple[str, int]]]:
+        """Group entries by owning shard (every shard present, even empty)."""
+        out: Dict[str, List[Tuple[str, int]]] = {s.name: [] for s in self.shards}
+        for field, step in entries:
+            out[self.owner_name(field, step)].append((str(field), int(step)))
+        return out
+
+    # -- serialization ---------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "shardmap",
+            "virtual_nodes": self.virtual_nodes,
+            "shards": [s.to_dict() for s in self.shards],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShardMap":
+        data = dict(data)
+        kind = data.pop("type", "shardmap")
+        if kind != "shardmap":
+            raise ValueError(f"not a shard map (type={kind!r})")
+        unknown = set(data) - {"virtual_nodes", "shards"}
+        if unknown:
+            raise ValueError(f"unknown ShardMap keys: {sorted(unknown)}")
+        return cls(
+            shards=[ShardSpec.from_dict(s) for s in data.get("shards", [])],
+            virtual_nodes=int(data.get("virtual_nodes", DEFAULT_VIRTUAL_NODES)),
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n", "utf-8")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ShardMap":
+        try:
+            raw = json.loads(Path(path).read_text("utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"{path}: cannot read shard map ({exc})") from exc
+        return cls.from_dict(raw)
+
+    # -- comparison / repr -----------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ShardMap):
+            return NotImplemented
+        return (
+            self.shards == other.shards and self.virtual_nodes == other.virtual_nodes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.shards, self.virtual_nodes))
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardMap([{', '.join(self.names())}], "
+            f"virtual_nodes={self.virtual_nodes})"
+        )
+
+
+@dataclass(frozen=True)
+class RebalanceMove:
+    """One entry relocation: ``field/step`` leaves ``source`` for ``dest``."""
+
+    field: str
+    step: int
+    source: str
+    dest: str
+
+    @property
+    def key(self) -> str:
+        return entry_key(self.field, self.step)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "field": self.field,
+            "step": self.step,
+            "source": self.source,
+            "dest": self.dest,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RebalanceMove":
+        unknown = set(data) - {"field", "step", "source", "dest"}
+        if unknown:
+            raise ValueError(f"unknown RebalanceMove keys: {sorted(unknown)}")
+        return cls(
+            field=str(data["field"]),
+            step=int(data["step"]),
+            source=str(data["source"]),
+            dest=str(data["dest"]),
+        )
+
+
+def plan_rebalance(
+    old: ShardMap, new: ShardMap, entries: Sequence[Tuple[str, int]]
+) -> List[RebalanceMove]:
+    """The minimal move list taking ``entries`` from ``old`` to ``new``.
+
+    Minimal by construction: an entry appears iff its owner differs between
+    the maps, which consistent hashing keeps to ≈ |changed shards| / N of
+    the catalog.  Moves are sorted (by key) so plans are deterministic and
+    diffable; a shard present in ``old`` but not ``new`` contributes all its
+    entries, one present only in ``new`` only receives.
+    """
+    moves: List[RebalanceMove] = []
+    for field, step in entries:
+        src = old.owner_name(field, step)
+        dst = new.owner_name(field, step)
+        if src != dst:
+            moves.append(
+                RebalanceMove(field=str(field), step=int(step), source=src, dest=dst)
+            )
+    moves.sort(key=lambda m: (m.key, m.source, m.dest))
+    return moves

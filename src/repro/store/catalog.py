@@ -84,6 +84,7 @@ class Store:
         engine: Optional[CodecEngine] = None,
     ) -> None:
         self.root = Path(root)
+        created = not self.root.exists()
         self.root.mkdir(parents=True, exist_ok=True)
         self.compressor = compressor or MultiResolutionCompressor()
         self.engine = engine or CodecEngine.from_compressor(self.compressor)
@@ -92,6 +93,13 @@ class Store:
         self._manifest_sig: Optional[Tuple[int, int]] = None
         self._refresh_lock = threading.Lock()
         self._load_manifest()
+        # A directory this constructor just created is unambiguously ours, so
+        # the empty manifest is materialised immediately — a freshly split
+        # shard store with no entries yet must still be servable by `repro
+        # serve`.  Pre-existing directories keep the lazy behaviour: nothing
+        # is written into a directory that was not already a store.
+        if created and not self.manifest_path.exists():
+            self._write_manifest()
 
     # -- manifest -------------------------------------------------------------
     @property
@@ -264,8 +272,22 @@ class Store:
             self._block_cache.clear()
 
         container = Path(container)
-        # Validate before any copy, so a bad file never lands in the store.
+        # Validate before any copy, so a bad file never lands in the store;
+        # the reader is closed as soon as its header metadata is harvested
+        # (adopt must not pin the source mmap — rebalancing drops the source
+        # right after).
         reader = ContainerReader(container)
+        try:
+            meta = dict(
+                error_bound=reader.error_bound,
+                codec=reader.codec,
+                n_levels=len(reader.levels),
+                n_blocks=reader.n_blocks,
+                nbytes_original=reader.nbytes_original,
+                nbytes_compressed=reader.nbytes_compressed,
+            )
+        finally:
+            reader.close()
         try:
             rel_path = container.resolve().relative_to(self.root.resolve())
         except ValueError:
@@ -274,23 +296,56 @@ class Store:
             target.parent.mkdir(parents=True, exist_ok=True)
             # Copy-then-rename, like write_container: an overwrite-adopt must
             # never expose a torn container to concurrent readers (a read
-            # daemon may be serving this exact path).
+            # daemon may be serving this exact path).  The *copy* is
+            # re-validated before the rename — a short write (full disk,
+            # source truncated mid-copy) must not be catalogued either.
             tmp = target.with_name(target.name + ".tmp")
-            shutil.copyfile(container, tmp)
-            os.replace(tmp, target)
-        entry = StoreEntry(
-            field=str(field),
-            step=int(step),
-            path=str(rel_path),
-            error_bound=reader.error_bound,
-            codec=reader.codec,
-            n_levels=len(reader.levels),
-            n_blocks=reader.n_blocks,
-            nbytes_original=reader.nbytes_original,
-            nbytes_compressed=reader.nbytes_compressed,
-        )
+            try:
+                shutil.copyfile(container, tmp)
+                ContainerReader(tmp).close()
+                os.replace(tmp, target)
+            except BaseException:
+                tmp.unlink(missing_ok=True)
+                try:
+                    target.parent.rmdir()  # only if the failure left it empty
+                except OSError:
+                    pass
+                raise
+        entry = StoreEntry(field=str(field), step=int(step), path=str(rel_path), **meta)
         self._entries[key] = entry
         self._write_manifest()
+        return entry
+
+    def drop(self, field: str, step: int, delete_file: bool = True) -> StoreEntry:
+        """Remove an entry from the catalog (and, by default, its container.)
+
+        The eviction half of rebalancing: after :meth:`adopt` has landed a
+        container on the destination shard, ``drop`` retires it from the
+        source.  The manifest rewrite is atomic (tmp + ``os.replace``), and
+        on POSIX unlinking the container does not disturb readers that
+        already hold it mmapped — they keep reading the old bytes until they
+        close.  ``delete_file=False`` drops only the catalog row.
+        """
+        key = _entry_key(field, step)
+        entry = self._entries.get(key)
+        if entry is None:
+            raise KeyError(
+                f"store has no entry {key}; fields: {', '.join(self.fields()) or '(none)'}"
+            )
+        del self._entries[key]
+        self._write_manifest()
+        if delete_file:
+            container = self.root / entry.path
+            container.unlink(missing_ok=True)
+            # Prune the field directory if the drop emptied it; best-effort.
+            try:
+                container.parent.rmdir()
+            except OSError:
+                pass
+        if self._block_cache is not None:
+            # The path may be reused by a future append/adopt under the same
+            # cache token; stale decoded blocks must not survive the row.
+            self._block_cache.clear()
         return entry
 
     # -- catalog queries ------------------------------------------------------

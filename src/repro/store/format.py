@@ -334,6 +334,21 @@ class ContainerReader:
 
         self._header = header
         self._data_start = 8 + header_len + n_entries * RECORD_BYTES
+        # The payload section must actually be present: a container whose
+        # index points past EOF (truncated copy, torn download) must fail at
+        # *open*, not on the first unlucky fetch — Store.adopt leans on open
+        # as its validation step before cataloging foreign files.
+        if n_entries:
+            end = int(
+                (self._index.offsets.astype(np.int64) + self._index.lengths).max()
+            )
+            size = self.path.stat().st_size
+            if self._data_start + end > size:
+                raise DecompressionError(
+                    f"{self.path}: truncated container (index expects "
+                    f"payload through byte {self._data_start + end}, "
+                    f"file has {size})"
+                )
         self._levels = {
             int(lvl["level"]): LevelInfo(
                 level=int(lvl["level"]),

@@ -1,0 +1,171 @@
+"""Shard fuzz: router reads ≡ single store ≡ NumPy, across a live rebalance.
+
+Reuses the seeded index-expression machinery from ``test_array_fuzz`` and
+replays it through a three-shard router.  The centrepiece test replays the
+matrix, grows the topology to four shards with the copy → switch → prune
+live-rebalance sequence mid-run, and keeps replaying through the *same*
+client connection — proving reads stay bit-for-bit through a topology
+change.
+
+Entry keys are fixed (field ``fz``, steps ``0..N``) so placement and the
+move list are identical for every ``REPRO_FUZZ_SEED``: the seed varies
+shapes and index draws, never the topology change under test.  Containers
+mirror the 2–3D Morton envelope of the container fuzz; 1–4D indexing is
+covered by the pure-view fuzz in ``test_array_fuzz``.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+from test_array_fuzz import (
+    FUZZ_SEED,
+    INDICES_PER_CASE,
+    build_fuzz_container,
+    check_against_numpy,
+    random_index,
+)
+
+from repro.serve import ReadDaemon, RemoteStore
+from repro.shard import RouterDaemon, ShardMap, ShardSpec, plan_for_stores, execute_plan, split_store
+from repro.store import Store
+from repro.utils.rng import default_rng
+
+N_CASES = 6
+FIELD = "fz"
+SHARDS = ("s0", "s1", "s2")
+JOINER = "s3"
+
+
+def _fuzz_shape(rng):
+    """Mirror the container-fuzz envelope: 2–3D, one axis forced off-grid."""
+    ndim = int(rng.integers(2, 4))
+    unit = int(rng.integers(3, 7))
+    shape = [int(rng.integers(max(2, unit - 1), 4 * unit)) for _ in range(ndim)]
+    forced = int(rng.integers(0, ndim))
+    if shape[forced] % unit == 0:
+        shape[forced] += 1
+    return tuple(shape), unit
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    """Reference store of N fuzz containers, split over three routed shards."""
+    root = tmp_path_factory.mktemp("shard-fuzz")
+    single = Store(root / "single")
+    references = {}
+    for case in range(N_CASES):
+        rng = default_rng(f"{FUZZ_SEED}:shard:{case}")
+        shape, unit = _fuzz_shape(rng)
+        path = root / f"fz{case}.rps2"
+        references[case] = build_fuzz_container(path, rng, shape, unit)
+        single.adopt(FIELD, case, path)
+
+    stores = {name: Store(root / name) for name in SHARDS}
+    placement = ShardMap(
+        [ShardSpec(name, "0:0", store=str(root / name)) for name in SHARDS]
+    )
+    split_store(single, placement, stores=stores)
+    daemons = {name: ReadDaemon(stores[name]) for name in SHARDS}
+    shard_map = ShardMap(
+        [
+            ShardSpec(name, daemons[name].start(), store=str(root / name))
+            for name in SHARDS
+        ]
+    )
+    router = RouterDaemon(shard_map)
+    router.start()
+    cluster = SimpleNamespace(
+        root=root,
+        single=single,
+        references=references,
+        stores=stores,
+        daemons=daemons,
+        shard_map=shard_map,
+        router=router,
+    )
+    yield cluster
+    router.stop()
+    for daemon in cluster.daemons.values():
+        daemon.stop()
+
+
+@pytest.mark.parametrize("case", range(N_CASES))
+def test_router_fuzz_parity(case, cluster):
+    """Random index draws: local view ≡ NumPy ≡ the routed remote view."""
+    reference = cluster.references[case]
+    local = cluster.single.array(FIELD, case)
+    rng = default_rng(f"{FUZZ_SEED}:shard-replay:{case}")
+    label = f"seed={FUZZ_SEED} shard case={case} shape={reference.shape}"
+    with RemoteStore(cluster.router.address) as client:
+        remote = client.array(FIELD, case)
+        assert remote.shape == reference.shape
+        for _ in range(INDICES_PER_CASE):
+            check_against_numpy(
+                local, reference, random_index(rng, reference.shape), label,
+                remote=remote,
+            )
+
+
+def test_live_rebalance_mid_fuzz(cluster, tmp_path):
+    """Replay → grow to four shards live → keep replaying, same connection."""
+    rngs = {
+        case: default_rng(f"{FUZZ_SEED}:shard-rebalance:{case}")
+        for case in range(N_CASES)
+    }
+
+    def replay(client, draws, tag):
+        for case in range(N_CASES):
+            reference = cluster.references[case]
+            local = cluster.single.array(FIELD, case)
+            remote = client.array(FIELD, case)
+            label = f"seed={FUZZ_SEED} rebalance[{tag}] case={case}"
+            for _ in range(draws):
+                check_against_numpy(
+                    local, reference, random_index(rngs[case], reference.shape),
+                    label, remote=remote,
+                )
+
+    joiner_store = Store(tmp_path / JOINER)
+    joiner = ReadDaemon(joiner_store)
+    cluster.stores[JOINER] = joiner_store
+    cluster.daemons[JOINER] = joiner  # module teardown stops it
+    old = cluster.shard_map
+    new = ShardMap(
+        list(old.shards)
+        + [ShardSpec(JOINER, joiner.start(), store=str(joiner_store.root))]
+    )
+
+    with RemoteStore(cluster.router.address) as client:
+        replay(client, 2, "before")
+
+        plan = plan_for_stores(old, new, stores=cluster.stores)
+        # Placement hashes only (field, step); with keys fixed the joiner is
+        # guaranteed work regardless of REPRO_FUZZ_SEED.
+        assert len(plan) >= 1
+        assert all(move.dest == JOINER for move in plan)
+        result = execute_plan(plan, old, new, stores=cluster.stores, router=cluster.router)
+        assert result == {"moves": len(plan), "copied": len(plan), "pruned": len(plan)}
+
+        # Data moved for real: the joiner owns exactly the planned entries and
+        # the sources dropped theirs.
+        assert sorted(e.key for e in joiner_store.entries()) == sorted(
+            move.key for move in plan
+        )
+        for name in SHARDS:
+            for entry in cluster.stores[name].entries():
+                assert new.owner_name(entry.field, entry.step) == name
+
+        # The same client keeps reading through the switch: the replay below
+        # routes at least the moved entries to the brand-new shard.
+        replay(client, 2, "after")
+        for case in range(N_CASES):
+            whole = np.asarray(client.array(FIELD, case)[...])
+            assert np.array_equal(whole, cluster.references[case]), case
+
+        # And the router's merged stats now carry the joiner.
+        stats = client.stats()
+        assert JOINER in stats["shards"]
+        assert stats["shards"][JOINER]["reads"] >= 1

@@ -1,0 +1,166 @@
+"""``ShardMap``: placement determinism, serialization, rebalance planning.
+
+The placement function is the consistency anchor of the whole shard layer —
+router, rebalancer and operators all recompute it independently — so these
+tests pin its observable contract: byte-stable hashing across instances and
+round-trips, the consistent-hashing movement bound (a new shard only
+*receives* entries), and minimal, deterministic rebalance plans.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.shard import (
+    RebalanceMove,
+    ShardMap,
+    ShardSpec,
+    entry_key,
+    plan_rebalance,
+)
+
+
+def three_shards() -> ShardMap:
+    return ShardMap(
+        [
+            ShardSpec("s0", "127.0.0.1:7101", store="shards/s0"),
+            ShardSpec("s1", "127.0.0.1:7102", store="shards/s1"),
+            ShardSpec("s2", "127.0.0.1:7103"),
+        ]
+    )
+
+
+def corpus(n_fields: int = 4, n_steps: int = 32):
+    return [
+        (f"field{f}", step) for f in range(n_fields) for step in range(n_steps)
+    ]
+
+
+def test_entry_key_matches_store_catalog_keys():
+    assert entry_key("density", 3) == "density/00003"
+    assert entry_key("density", 12345) == "density/12345"
+
+
+def test_placement_is_deterministic_across_instances():
+    a, b = three_shards(), three_shards()
+    for field, step in corpus():
+        assert a.owner_name(field, step) == b.owner_name(field, step)
+
+
+def test_placement_survives_json_round_trip(tmp_path):
+    m = three_shards()
+    again = ShardMap.from_dict(json.loads(json.dumps(m.to_dict())))
+    assert again == m
+    for field, step in corpus():
+        assert again.owner_name(field, step) == m.owner_name(field, step)
+
+    path = tmp_path / "topology.json"
+    m.save(path)
+    loaded = ShardMap.load(path)
+    assert loaded == m
+    assert loaded.spec("s0").store == "shards/s0"
+    assert loaded.spec("s2").store is None
+
+
+def test_placement_independent_of_shard_order_and_address():
+    base = three_shards()
+    shuffled = ShardMap(list(reversed(base.shards)))
+    readdressed = ShardMap(
+        [ShardSpec(s.name, f"10.0.0.9:{9000 + i}") for i, s in enumerate(base.shards)]
+    )
+    for field, step in corpus():
+        assert shuffled.owner_name(field, step) == base.owner_name(field, step)
+        # The *name* is the hash identity; moving a shard to a new address
+        # must not move a single entry.
+        assert readdressed.owner_name(field, step) == base.owner_name(field, step)
+
+
+def test_every_shard_gets_a_reasonable_share():
+    m = three_shards()
+    assign = m.assign(corpus(8, 64))
+    sizes = {name: len(keys) for name, keys in assign.items()}
+    assert set(sizes) == {"s0", "s1", "s2"}
+    total = sum(sizes.values())
+    assert total == 8 * 64
+    for name, size in sizes.items():
+        # Virtual nodes keep the split near-uniform; a shard at <10% or >60%
+        # of the corpus would mean the ring is broken, not merely unlucky.
+        assert 0.10 * total < size < 0.60 * total, sizes
+
+
+def test_adding_a_shard_only_moves_entries_to_it():
+    old = three_shards()
+    new = ShardMap([*old.shards, ShardSpec("s3", "127.0.0.1:7104")])
+    entries = corpus()
+    moves = plan_rebalance(old, new, entries)
+    assert moves, "a new shard must take over some arc of the ring"
+    assert all(m.dest == "s3" for m in moves)
+    # Entries that did not move kept their owner (the minimality statement).
+    moved = {m.key for m in moves}
+    for field, step in entries:
+        if entry_key(field, step) not in moved:
+            assert old.owner_name(field, step) == new.owner_name(field, step)
+    # Roughly 1/N of the corpus moves, not half the ring.
+    assert len(moves) < 0.5 * len(entries)
+
+
+def test_removing_a_shard_only_scatters_its_entries():
+    old = three_shards()
+    new = ShardMap([s for s in old.shards if s.name != "s1"])
+    entries = corpus()
+    moves = plan_rebalance(old, new, entries)
+    assert {m.source for m in moves} == {"s1"}
+    assert len(moves) == sum(
+        1 for f, s in entries if old.owner_name(f, s) == "s1"
+    )
+
+
+def test_plan_is_deterministic_and_sorted():
+    old = three_shards()
+    new = ShardMap([*old.shards, ShardSpec("s3", "127.0.0.1:7104")])
+    a = plan_rebalance(old, new, corpus())
+    b = plan_rebalance(old, new, list(reversed(corpus())))
+    assert a == b
+    assert [m.key for m in a] == sorted(m.key for m in a)
+
+
+def test_identical_maps_plan_no_moves():
+    assert plan_rebalance(three_shards(), three_shards(), corpus()) == []
+
+
+def test_rebalance_move_round_trip():
+    move = RebalanceMove(field="density", step=7, source="s0", dest="s3")
+    assert RebalanceMove.from_dict(move.to_dict()) == move
+    assert move.key == "density/00007"
+    with pytest.raises(ValueError, match="unknown RebalanceMove keys"):
+        RebalanceMove.from_dict({**move.to_dict(), "extra": 1})
+
+
+def test_strict_config_validation():
+    with pytest.raises(ValueError, match="at least one shard"):
+        ShardMap([])
+    with pytest.raises(ValueError, match="duplicate shard names"):
+        ShardMap([ShardSpec("s0", "a:1"), ShardSpec("s0", "a:2")])
+    with pytest.raises(ValueError, match="virtual_nodes"):
+        ShardMap([ShardSpec("s0", "a:1")], virtual_nodes=0)
+    with pytest.raises(ValueError, match="unknown ShardMap keys"):
+        ShardMap.from_dict({"shards": [], "surprise": 1})
+    with pytest.raises(ValueError, match="not a shard map"):
+        ShardMap.from_dict({"type": "pipeline"})
+    with pytest.raises(ValueError, match="unknown ShardSpec keys"):
+        ShardSpec.from_dict({"name": "s0", "address": "a:1", "port": 9})
+    with pytest.raises(ValueError, match="non-empty name"):
+        ShardSpec.from_dict({"name": "", "address": "a:1"})
+    with pytest.raises(ValueError, match="needs an address"):
+        ShardSpec.from_dict({"name": "s0"})
+    with pytest.raises(KeyError, match="no shard named"):
+        three_shards().spec("nope")
+
+
+def test_load_rejects_garbage_file(tmp_path):
+    bad = tmp_path / "topology.json"
+    bad.write_text("{not json", "utf-8")
+    with pytest.raises(ValueError, match="cannot read shard map"):
+        ShardMap.load(bad)

@@ -1,0 +1,290 @@
+"""``RouterDaemon``: protocol parity, merged ops, failures, traces, retry.
+
+One module-scoped cluster — a single reference store split three ways, three
+:class:`ReadDaemon` shards and one router — backs most tests; the contract
+under test is the ISSUE's headline: ``repro.connect()`` pointed at the
+router is bit-for-bit a single-daemon client.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.serve import ReadDaemon, RemoteStore, connect
+from repro.shard import RouterDaemon, ShardError, ShardMap, ShardSpec, split_store
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory, smooth_field_3d, smooth_field_2d, small_hierarchy):
+    """Reference store + the same entries split across three routed shards."""
+    from repro.core.mr_compressor import MultiResolutionCompressor
+    from repro.store import Store
+
+    root = tmp_path_factory.mktemp("shard-cluster")
+    single = Store(root / "single", MultiResolutionCompressor(unit_size=8))
+    single.append("density", 0, smooth_field_3d, 0.05)
+    single.append("density", 1, smooth_field_3d * 1.5 + 0.25, 0.05)
+    single.append("plane", 0, smooth_field_2d, 0.05)
+    single.append("amr", 0, small_hierarchy, 0.05)
+
+    placement = ShardMap(
+        [ShardSpec(name, "0:0", store=str(root / name)) for name in ("s0", "s1", "s2")]
+    )
+    split_store(single, placement)
+    stores = {name: Store(root / name) for name in placement.names()}
+    daemons = {name: ReadDaemon(stores[name]) for name in placement.names()}
+    shard_map = ShardMap(
+        [
+            ShardSpec(name, daemons[name].start(), store=str(root / name))
+            for name in placement.names()
+        ]
+    )
+    single_daemon = ReadDaemon(single)
+    single_daemon.start()
+    router = RouterDaemon(shard_map)
+    router.start()
+    yield SimpleNamespace(
+        single=single,
+        single_daemon=single_daemon,
+        stores=stores,
+        daemons=daemons,
+        shard_map=shard_map,
+        router=router,
+    )
+    router.stop()
+    single_daemon.stop()
+    for daemon in daemons.values():
+        daemon.stop()
+
+
+@pytest.fixture()
+def router_client(cluster):
+    with RemoteStore(cluster.router.address) as client:
+        yield client
+
+
+def test_split_covers_every_entry_exactly_once(cluster):
+    single_keys = {e.key for e in cluster.single.entries()}
+    shard_keys = [e.key for store in cluster.stores.values() for e in store.entries()]
+    assert sorted(shard_keys) == sorted(single_keys)
+    # And each shard holds exactly what the map says it owns.
+    for name, store in cluster.stores.items():
+        for entry in store.entries():
+            assert cluster.shard_map.owner_name(entry.field, entry.step) == name
+
+
+def test_catalog_merges_shards_into_the_single_store_catalog(cluster, router_client):
+    merged = {(e["field"], e["step"]) for e in router_client.entries()}
+    assert merged == {(e.field, e.step) for e in cluster.single.entries()}
+    assert router_client.fields() == sorted(cluster.single.fields())
+    assert len(router_client) == len(cluster.single)
+
+
+def test_describe_forwards_to_the_owning_shard(cluster, router_client):
+    with RemoteStore(cluster.single_daemon.address) as direct:
+        for field, step in [("density", 0), ("plane", 0), ("amr", 0)]:
+            via_router = router_client.describe(field, step)
+            assert via_router == direct.describe(field, step)
+
+
+def test_read_parity_with_single_daemon(cluster, router_client):
+    with RemoteStore(cluster.single_daemon.address) as direct:
+        for field, step, index in [
+            ("density", 0, np.s_[...]),
+            ("density", 1, np.s_[4:20, ::2, -1]),
+            ("plane", 0, np.s_[::3, 5]),
+            ("amr", 0, np.s_[1:30:4]),
+        ]:
+            through = np.asarray(router_client[field, step][index])
+            straight = np.asarray(direct[field, step][index])
+            assert through.dtype == straight.dtype
+            assert np.array_equal(through, straight), (field, step, index)
+
+
+def test_read_accounting_relays_from_the_shard(cluster, router_client):
+    arr = router_client["density", 0]
+    arr[...]
+    # The accounting in the response header is the *shard's* — the router
+    # adds none of its own, so cache math keeps working for clients.
+    assert arr.stats["blocks_touched"] > 0
+    assert arr.stats["blocks_touched"] == (
+        arr.stats["blocks_decoded"] + arr.stats["cache_hits"]
+    )
+    before = arr.stats["blocks_decoded"]
+    arr[...]
+    assert arr.stats["blocks_decoded"] == before  # warm on the shard
+
+
+def test_error_relay_preserves_type_and_message(cluster, router_client):
+    with RemoteStore(cluster.single_daemon.address) as direct:
+        for index in [np.s_[99], np.s_[0:0], (0, 1, 2, 3, 4)]:
+            router_err = direct_err = None
+            try:
+                direct["density", 0][index]
+            except Exception as exc:  # noqa: BLE001 - capturing for comparison
+                direct_err = exc
+            try:
+                router_client["density", 0][index]
+            except Exception as exc:  # noqa: BLE001
+                router_err = exc
+            assert direct_err is not None, index
+            assert type(router_err) is type(direct_err), index
+            assert str(router_err) == str(direct_err), index
+
+
+def test_missing_entry_is_a_typed_keyerror(router_client):
+    with pytest.raises(KeyError, match="store has no entry"):
+        router_client.array("no-such-field", 0)
+
+
+def test_unknown_op_names_the_router(router_client):
+    with pytest.raises(ValueError, match="the router serves"):
+        router_client.request({"op": "explode"})
+
+
+def test_stats_merges_counters_and_labels_metrics(cluster, router_client):
+    router_client["density", 0][...]
+    stats = router_client.stats()
+    # Per-shard detail, summed top level, router's own accounting.
+    assert set(stats["shards"]) == {"s0", "s1", "s2"}
+    assert stats["reads"] == sum(s["reads"] for s in stats["shards"].values())
+    assert stats["entries"] == len(cluster.single)
+    assert stats["router"]["reads_forwarded"] >= 1
+    assert stats["router"]["relay_bytes"] > 0
+    # Every process's registry snapshot arrives labeled: shard samples under
+    # their shard name, the router's own under shard="router".
+    by_name = {fam["name"]: fam for fam in stats["metrics"]}
+    router_fam = by_name["repro_router_requests_total"]
+    assert {"shard": "router"} in [s["labels"] for s in router_fam["samples"]]
+    daemon_fam = by_name["repro_daemon_requests_total"]
+    shard_labels = {s["labels"].get("shard") for s in daemon_fam["samples"]}
+    assert {"s0", "s1", "s2"} <= shard_labels
+
+
+def test_stats_render_as_prometheus_with_shard_label(router_client):
+    from repro.obs import render_prometheus
+
+    text = render_prometheus(router_client.stats()["metrics"])
+    assert 'repro_daemon_requests_total{shard="s0"}' in text or (
+        'shard="s0"' in text
+    )
+    assert 'shard="router"' in text
+
+
+def test_trace_tree_spans_client_router_and_shard(cluster):
+    """One routed read = one trace: client root → router route → shard read."""
+    from repro.obs import TRACER
+
+    TRACER.enable()
+    try:
+        with RemoteStore(cluster.router.address) as client:
+            client["density", 1][2:10, 3]
+        traces = TRACER.traces()
+        spans = max(traces.values(), key=len)  # the routed read's trace
+        names = [s["name"] for s in spans]
+        assert "remote_read" in names  # client root
+        assert "route" in names  # router relay span
+        assert names.count("request") >= 2  # router's and the shard's
+        route = next(s for s in spans if s["name"] == "route")
+        assert route["attrs"]["shard"] in {"s0", "s1", "s2"}
+        # Every span in one tree: same trace id, and the shard's request span
+        # parents on the router's route span (the graft wired them together).
+        assert len({s["trace_id"] for s in spans}) == 1
+        shard_request = next(
+            s for s in spans if s["name"] == "request" and s["parent_id"] == route["span_id"]
+        )
+        assert shard_request is not None
+        span_ids = [s["span_id"] for s in spans]
+        assert len(span_ids) == len(set(span_ids))  # graft deduped
+    finally:
+        TRACER.disable()
+        TRACER.clear()
+
+
+def test_backend_failure_surfaces_typed_shard_error(tmp_path, cluster):
+    """A dead shard answers as ShardError naming the shard, not a hang."""
+    from repro.store import Store
+
+    store = Store(tmp_path / "lonely")
+    entry = cluster.single.entries()[0]
+    store.adopt(entry.field, entry.step, cluster.single.root / entry.path)
+    daemon = ReadDaemon(store)
+    shard_map = ShardMap([ShardSpec("lonely", daemon.start(), store=str(store.root))])
+    router = RouterDaemon(shard_map, retries=0)
+    router.start()
+    try:
+        with RemoteStore(router.address) as client:
+            np.asarray(client[entry.field, entry.step][...])  # healthy first
+            daemon.stop()
+            with pytest.raises(ShardError, match="shard 'lonely'"):
+                client[entry.field, entry.step][...]
+    finally:
+        router.stop()
+        daemon.stop()
+
+
+def test_connect_retry_rides_out_late_bind():
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    address = f"127.0.0.1:{port}"
+
+    # Nothing listening: without retries the refusal surfaces immediately.
+    with pytest.raises(ConnectionRefusedError):
+        connect(address)
+
+    listener = socket.socket()
+
+    def bind_late():
+        time.sleep(0.25)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", port))
+        listener.listen(1)
+
+    binder = threading.Thread(target=bind_late)
+    binder.start()
+    try:
+        started = time.perf_counter()
+        client = connect(address, retries=10, backoff=0.05)
+        waited = time.perf_counter() - started
+        client.close()
+        assert waited >= 0.1  # it genuinely backed off rather than winning a race
+    finally:
+        binder.join()
+        listener.close()
+
+
+def test_set_map_closes_backends_of_removed_shards(cluster, tmp_path):
+    """A shard leaving the map gets its backend connection closed."""
+    from repro.store import Store
+
+    roots = {name: tmp_path / name for name in ("a", "b")}
+    stores = {name: Store(root) for name, root in roots.items()}
+    entry = cluster.single.entries()[0]
+    for store in stores.values():
+        store.adopt(entry.field, entry.step, cluster.single.root / entry.path)
+    daemons = {name: ReadDaemon(store) for name, store in stores.items()}
+    shard_map = ShardMap(
+        [ShardSpec(n, daemons[n].start(), store=str(roots[n])) for n in daemons]
+    )
+    router = RouterDaemon(shard_map)
+    router.start()
+    try:
+        assert set(router._backends) == {"a", "b"}
+        dropped = router._backends["b"]
+        router.set_map(ShardMap([shard_map.spec("a")]))
+        assert dropped.closed
+        assert "b" not in router._backends
+        with RemoteStore(router.address) as client:
+            np.asarray(client[entry.field, entry.step][...])  # still serves
+    finally:
+        router.stop()
+        for daemon in daemons.values():
+            daemon.stop()

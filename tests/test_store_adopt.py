@@ -1,0 +1,153 @@
+"""``Store.adopt`` / ``Store.drop``: the primitives live rebalancing leans on.
+
+Rebalancing moves containers between shard stores with adopt (copy, validate,
+catalog) then drop (uncatalog, unlink); these tests pin the edge cases that
+make that sequence safe against collisions, torn files and concurrent
+readers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.store import Store
+from repro.store.format import ContainerReader
+
+
+@pytest.fixture()
+def source_store(tmp_path, smooth_field_2d):
+    from repro.core.mr_compressor import MultiResolutionCompressor
+
+    store = Store(tmp_path / "src", MultiResolutionCompressor(unit_size=8))
+    store.append("density", 0, smooth_field_2d, 0.05)
+    store.append("density", 1, smooth_field_2d * 2.0, 0.05)
+    return store
+
+
+def container_path(store: Store, field: str, step: int):
+    return store.root / store.entry(field, step).path
+
+
+def test_adopt_collision_requires_overwrite(tmp_path, source_store):
+    dest = Store(tmp_path / "dst")
+    src = container_path(source_store, "density", 0)
+    dest.adopt("density", 0, src)
+    with pytest.raises(ValueError, match="overwrite=True"):
+        dest.adopt("density", 0, src)
+    # overwrite=True replaces cleanly.
+    other = container_path(source_store, "density", 1)
+    entry = dest.adopt("density", 0, other, overwrite=True)
+    assert np.array_equal(
+        np.asarray(dest.array("density", 0)[...]),
+        np.asarray(source_store.array("density", 1)[...]),
+    )
+    assert entry.n_blocks == source_store.entry("density", 1).n_blocks
+
+
+def test_adopt_truncated_container_is_rejected_and_not_cataloged(tmp_path, source_store):
+    src = container_path(source_store, "density", 0)
+    truncated = tmp_path / "torn.rps2"
+    truncated.write_bytes(src.read_bytes()[: src.stat().st_size // 2])
+    dest = Store(tmp_path / "dst")
+    with pytest.raises(Exception):  # noqa: B017 - any parse failure, never a catalog row
+        dest.adopt("density", 0, truncated)
+    assert len(dest) == 0
+    # Nothing landed in the store tree: no half-copied target, no tmp litter.
+    leftovers = [p for p in dest.root.rglob("*") if p.name != "manifest.json"]
+    assert leftovers == []
+
+
+def test_adopt_garbage_file_is_rejected(tmp_path):
+    junk = tmp_path / "junk.rps2"
+    junk.write_bytes(b"this is not a container at all")
+    dest = Store(tmp_path / "dst")
+    with pytest.raises(Exception):  # noqa: B017
+        dest.adopt("junk", 0, junk)
+    assert len(dest) == 0
+
+
+def test_adopt_revalidates_the_copy_not_just_the_source(tmp_path, source_store, monkeypatch):
+    """A short write during the copy must not be cataloged either."""
+    import shutil as _shutil
+
+    import repro.store.catalog as catalog_mod
+
+    src = container_path(source_store, "density", 0)
+
+    def short_copy(a, b, *args, **kwargs):
+        _shutil.copyfile(a, b)
+        with open(b, "r+b") as fh:
+            fh.truncate(src.stat().st_size // 2)
+
+    monkeypatch.setattr(catalog_mod.shutil, "copyfile", short_copy)
+    dest = Store(tmp_path / "dst")
+    with pytest.raises(Exception):  # noqa: B017
+        dest.adopt("density", 0, src)
+    assert len(dest) == 0
+    leftovers = [p for p in dest.root.rglob("*.tmp")]
+    assert leftovers == []
+
+
+def test_adopt_while_reader_holds_source_mmap(tmp_path, source_store):
+    """Adopt (and even dropping the source) never disturbs an open reader."""
+    src = container_path(source_store, "density", 0)
+    reference = np.asarray(source_store.array("density", 0)[...])
+    reader = ContainerReader(src)
+    # One decode opens the payload mmap; the reader now pins the bytes.
+    reader.decode_entries([0])
+    assert reader.payload_source == "mmap"
+    try:
+        dest = Store(tmp_path / "dst")
+        dest.adopt("density", 0, src)
+        # The rebalance sequence then drops the source (unlinks the file);
+        # on POSIX the mmap keeps the old bytes alive until the reader closes.
+        source_store.drop("density", 0)
+        assert not src.exists()
+        blocks = reader.decode_entries(np.arange(reader.n_blocks))
+        assert len(blocks) == reader.n_blocks
+        assert np.array_equal(np.asarray(dest.array("density", 0)[...]), reference)
+    finally:
+        reader.close()
+
+
+def test_adopt_in_root_containers_are_cataloged_in_place(tmp_path, source_store):
+    dest = Store(tmp_path / "dst")
+    target = dest.root / "density" / "step00000.rps2"
+    target.parent.mkdir(parents=True)
+    import shutil
+
+    shutil.copyfile(container_path(source_store, "density", 0), target)
+    entry = dest.adopt("density", 0, target)
+    assert entry.path == "density/step00000.rps2"
+    # No second copy was made.
+    assert [p.name for p in (dest.root / "density").iterdir()] == ["step00000.rps2"]
+
+
+def test_drop_removes_entry_and_file(tmp_path, source_store):
+    dest = Store(tmp_path / "dst")
+    dest.adopt("density", 0, container_path(source_store, "density", 0))
+    dest.adopt("density", 1, container_path(source_store, "density", 1))
+    dropped = dest.drop("density", 0)
+    assert dropped.key == "density/00000"
+    assert len(dest) == 1
+    assert not (dest.root / dropped.path).exists()
+    # The manifest rewrite is visible to a fresh process immediately.
+    assert [e.key for e in Store(dest.root).entries()] == ["density/00001"]
+    with pytest.raises(KeyError, match="store has no entry density/00000"):
+        dest.drop("density", 0)
+
+
+def test_drop_keep_file_only_uncatalogs(tmp_path, source_store):
+    dest = Store(tmp_path / "dst")
+    dest.adopt("density", 0, container_path(source_store, "density", 0))
+    dropped = dest.drop("density", 0, delete_file=False)
+    assert len(dest) == 0
+    assert (dest.root / dropped.path).exists()
+
+
+def test_drop_prunes_emptied_field_directory(tmp_path, source_store):
+    dest = Store(tmp_path / "dst")
+    dest.adopt("density", 0, container_path(source_store, "density", 0))
+    dest.drop("density", 0)
+    assert not (dest.root / "density").exists()

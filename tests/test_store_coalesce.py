@@ -281,7 +281,8 @@ class TestFetchEquivalence:
         blob = fuzz_container.read_bytes()
         clipped = tmp_path / "clipped.rps2"
         clipped.write_bytes(blob[:-16])
+        # The index-vs-file-size check fires at open, whatever the payload
+        # source — torn files never produce a usable reader.
         for source in ("mmap", "file"):
-            reader = ContainerReader(clipped, payload_source=source)
-            with pytest.raises(DecompressionError, match="truncated payload"):
-                reader.fetch_entries(np.arange(reader.n_blocks))
+            with pytest.raises(DecompressionError, match="truncated container"):
+                ContainerReader(clipped, payload_source=source)
