@@ -1,10 +1,24 @@
 #!/usr/bin/env bash
 # One verification entry point for builders and CI: byte-compile the package,
-# then run the tier-1 test suite.  Extra arguments are passed to pytest
-# (e.g. `scripts/check.sh -m "not slow"` to skip benchmark-adjacent tests).
+# lint it with the project rules, type-check the annotated packages (when
+# mypy is available), then run the tier-1 test suite.  Extra arguments are
+# passed to pytest (e.g. `scripts/check.sh -m "not slow"` to skip
+# benchmark-adjacent tests).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 python -m compileall -q src
+
+# Project-aware lint: zero non-baseline findings or the build fails.
+python -m repro.cli lint src/ --baseline lint-baseline.json
+
+# mypy ships via requirements-dev.txt; skip quietly where it is not installed
+# (the container image pins its own toolchain).
+if python -c "import mypy" >/dev/null 2>&1; then
+  python -m mypy --check-untyped-defs src/repro/obs src/repro/shard
+else
+  echo "check.sh: mypy not installed; skipping type check"
+fi
+
 python -m pytest -x -q "$@"

@@ -46,16 +46,19 @@ class BlockCache:
         self.max_bytes = int(max_bytes)
         if self.max_bytes < 1:
             raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
-        self._entries: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()
+        self._entries: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()  # repro: guarded-by(_lock)
         self._lock = threading.Lock()
-        self._nbytes = 0
-        self._resident = 0
+        self._nbytes = 0  # repro: guarded-by(_lock)
+        self._resident = 0  # repro: guarded-by(_lock)
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        # len() during a concurrent put/evict must not see the OrderedDict
+        # mid-relink (CPython re-links nodes across several bytecodes).
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: Hashable) -> Optional[np.ndarray]:
         """Cached block for ``key``, refreshing its recency; ``None`` on miss."""

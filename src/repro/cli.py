@@ -334,6 +334,40 @@ def build_parser() -> argparse.ArgumentParser:
         "router's in-memory ring",
     )
 
+    lint = sub.add_parser(
+        "lint", help="run the project-aware AST lint rules (repro.devtools)"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        default=None,
+        help="files or directories to lint (default: src/)",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit findings as a JSON array instead of file:line text",
+    )
+    lint.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="grandfather findings recorded in this baseline file "
+        "(default: lint-baseline.json next to the first path, when present)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings into the baseline file and exit 0",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the available rule ids and exit",
+    )
+
     run = sub.add_parser(
         "run", help="execute a serialized repro.api workflow/pipeline config (JSON)"
     )
@@ -834,6 +868,54 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported here: the devtools package (ast walking, rule registry) should
+    # cost nothing on the serving/compression paths.
+    from repro.devtools import lint as lintmod
+
+    if args.list_rules:
+        for rule in lintmod.LintEngine().rules:
+            print(f"{rule.id}: {rule.help}")
+        return 0
+
+    paths = [Path(p) for p in args.paths] or [Path("src")]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        raise SystemExit(f"error: no such path: {missing[0]}")
+    baseline_path = args.baseline
+    if baseline_path is None:
+        anchor = paths[0] if paths[0].is_dir() else paths[0].parent
+        for candidate in [anchor, *anchor.parents]:
+            if (candidate / lintmod.BASELINE_NAME).exists():
+                baseline_path = candidate / lintmod.BASELINE_NAME
+                break
+
+    findings = lintmod.lint_paths(paths)
+
+    if args.write_baseline:
+        target = baseline_path or Path(lintmod.BASELINE_NAME)
+        lintmod.write_baseline(findings, target)
+        print(f"wrote {len(findings)} finding(s) to {target}")
+        return 0
+
+    grandfathered = 0
+    if baseline_path is not None:
+        try:
+            baseline = lintmod.load_baseline(baseline_path)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+        findings, grandfathered = lintmod.apply_baseline(findings, baseline)
+
+    if args.as_json:
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding)
+        suffix = f" ({grandfathered} baselined)" if grandfathered else ""
+        print(f"{len(findings)} finding(s){suffix}")
+    return 1 if findings else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     from repro.compressors.errors import CompressorError
@@ -849,6 +931,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _cmd_serve,
         "shard": _cmd_shard,
         "stats": _cmd_stats,
+        "lint": _cmd_lint,
         "run": _cmd_run,
     }
     try:

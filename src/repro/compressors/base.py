@@ -247,7 +247,9 @@ class Compressor(ABC):
         reconstruction exceeds the requested bound (used heavily in tests).
         """
         arr = np.asarray(data, dtype=np.float64)
-        comp = self.compress(arr, error_bound, relative=relative)
+        # Legacy adapter: roundtrip still forwards the deprecated spelling so
+        # pre-ErrorBound callers keep working.
+        comp = self.compress(arr, error_bound, relative=relative)  # repro: ignore[deprecated-api] -- legacy adapter
         recon = self.decompress(comp)
         err = np.abs(recon - arr)
         max_err = float(err.max())

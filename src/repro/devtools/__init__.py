@@ -1,0 +1,44 @@
+"""Correctness tooling for the repro codebase itself.
+
+Two halves, both project-aware:
+
+- :mod:`repro.devtools.lint` — an AST lint engine whose rules encode this
+  codebase's conventions (``# repro: guarded-by`` lock discipline, wire-op
+  coverage on all three protocol sides, ``repro_*`` metrics hygiene, API
+  hygiene).  ``repro lint [PATHS]`` is the CLI; CI gates on zero
+  non-baseline findings.
+- :mod:`repro.devtools.lockcheck` — an opt-in (``REPRO_LOCKCHECK=1``)
+  runtime lock-order detector that instruments ``threading.Lock`` across
+  ``repro.*`` and reports potential deadlocks and locks held across
+  blocking socket calls, run over the whole test suite.
+
+Import cost is nil until used; nothing here is imported by the runtime
+packages (``repro.devtools`` depends on them for analysis, never the other
+way around).
+"""
+
+from repro.devtools.lint import (
+    Context,
+    Finding,
+    LintEngine,
+    ModuleInfo,
+    Project,
+    Rule,
+    apply_baseline,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+)
+
+__all__ = [
+    "Context",
+    "Finding",
+    "LintEngine",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "apply_baseline",
+    "lint_paths",
+    "load_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,352 @@
+"""Runtime lock-order detector: deadlocks and lock-held blocking I/O, observed.
+
+Static rules prove *where* locks are required; this module watches *how* they
+compose at runtime.  Opt-in via ``REPRO_LOCKCHECK=1`` (the test suite's
+``conftest.py`` hook), :func:`install` swaps a proxy ``threading`` module into
+every already-imported ``repro.*`` module, so each ``threading.Lock()`` /
+``RLock()`` they create becomes an :class:`InstrumentedLock`:
+
+- every *blocking* acquire records a held→wanted edge in a global lock-order
+  graph keyed by per-lock serial numbers (``id()`` is recycled by the
+  allocator; serials never are).  A new edge that closes a cycle is a
+  potential deadlock: thread 1 holds A wanting B while thread 2 can hold B
+  wanting A.  Non-blocking (``acquire(False)``) probes cannot deadlock and
+  record nothing.
+- entering a blocking socket call (``accept``/``recv``/``sendall``/…, or
+  ``socket.create_connection``) while holding any instrumented lock is
+  reported, unless the lock's *creation site* is allowlisted —
+  ``RemoteStore`` serializes its connection under its lock by design.
+
+Locks are labeled by creation site (``file.py:Qualname``), so a report names
+``client.py:RemoteStore.__init__`` rather than an opaque object id.
+Violations accumulate in module state; :func:`report` snapshots them and
+:func:`reset` clears between tests.  Everything here uses the *real*
+``threading`` module — the detector never instruments itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import socket as _socket_module
+import sys
+import threading
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+__all__ = [
+    "InstrumentedLock",
+    "install",
+    "uninstall",
+    "installed",
+    "reset",
+    "report",
+    "BLOCKING_ALLOWLIST",
+    "ENV_VAR",
+]
+
+ENV_VAR = "REPRO_LOCKCHECK"
+
+#: Lock creation sites (``file.py:Qualname``) allowed to be held across
+#: blocking socket calls.  RemoteStore's connection lock exists precisely to
+#: serialize request/response round-trips on one socket.
+BLOCKING_ALLOWLIST = {
+    "client.py:RemoteStore.__init__",
+}
+
+_SOCKET_METHODS = (
+    "accept", "connect", "recv", "recv_into", "recvfrom", "send", "sendall",
+    "sendmsg",
+)
+
+# -- global detector state (guarded by _state_lock; real threading only) -------
+_state_lock = threading.Lock()
+_serials = itertools.count(1)
+_adjacency: Dict[int, Set[int]] = {}
+_edges: Dict[Tuple[int, int], Dict[str, Any]] = {}
+_cycles: List[Dict[str, Any]] = []
+_blocking: List[Dict[str, Any]] = []
+_blocking_seen: Set[Tuple[str, str]] = set()
+_lock_count = 0
+
+_held = threading.local()  # .stack: List[InstrumentedLock], per thread
+
+_installed = False
+_swapped_modules: List[Any] = []
+_socket_originals: Dict[str, Any] = {}
+_create_connection_original: Optional[Any] = None
+
+
+def _held_stack() -> List["InstrumentedLock"]:
+    stack = getattr(_held, "stack", None)
+    if stack is None:
+        stack = _held.stack = []
+    return stack
+
+
+def _creation_site() -> str:
+    """``file.py:Qualname`` of the first caller frame outside this module."""
+    frame = sys._getframe(1)
+    while frame is not None:
+        code = frame.f_code
+        if os.path.basename(code.co_filename) != "lockcheck.py":
+            qual = getattr(code, "co_qualname", code.co_name)
+            return f"{os.path.basename(code.co_filename)}:{qual}"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+class InstrumentedLock:
+    """A ``threading.Lock``/``RLock`` that reports its ordering to the graph."""
+
+    def __init__(self, inner: Any, reentrant: bool = False) -> None:
+        global _lock_count
+        self._inner = inner
+        self._reentrant = reentrant
+        self.serial = next(_serials)
+        self.site = _creation_site()
+        with _state_lock:
+            _lock_count += 1
+
+    # -- lock protocol ---------------------------------------------------------
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if blocking:
+            self._record_intent()
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            _held_stack().append(self)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        stack = _held_stack()
+        # Locks are not always released LIFO; drop the most recent entry.
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is self:
+                del stack[i]
+                break
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<InstrumentedLock #{self.serial} from {self.site}>"
+
+    # -- ordering graph --------------------------------------------------------
+    def _record_intent(self) -> None:
+        """Record held→self edges before blocking; report any cycle closed."""
+        stack = _held_stack()
+        if not stack:
+            return
+        if any(held.serial == self.serial for held in stack):
+            return  # reentrant RLock acquire: no ordering information
+        thread = threading.current_thread().name
+        with _state_lock:
+            for held in stack:
+                key = (held.serial, self.serial)
+                if key in _edges:
+                    continue
+                # Does a wanted→…→held path already exist?  Then some other
+                # code path acquires these locks in the opposite order.
+                path = _find_path(self.serial, held.serial)
+                _edges[key] = {
+                    "held": held.site,
+                    "wanted": self.site,
+                    "thread": thread,
+                }
+                _adjacency.setdefault(held.serial, set()).add(self.serial)
+                if path is not None:
+                    _cycles.append(
+                        {
+                            "kind": "lock-order-cycle",
+                            "thread": thread,
+                            "edge": f"{held.site} -> {self.site}",
+                            "reverse_path": " -> ".join(
+                                _edges.get((a, b), {}).get("wanted", "?")
+                                for a, b in zip(path, path[1:])
+                            )
+                            or f"{self.site} -> {held.site}",
+                            "locks": sorted({held.site, self.site}),
+                        }
+                    )
+
+
+def _find_path(start: int, goal: int) -> Optional[List[int]]:
+    """DFS in the edge graph; returns the serial path or ``None``.
+
+    Caller holds ``_state_lock``.
+    """
+    if start == goal:
+        return [start]
+    seen = {start}
+    stack: List[List[int]] = [[start]]
+    while stack:
+        path = stack.pop()
+        for nxt in _adjacency.get(path[-1], ()):
+            if nxt == goal:
+                return path + [nxt]
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(path + [nxt])
+    return None
+
+
+def _check_blocking_call(what: str) -> None:
+    stack = _held_stack()
+    if not stack:
+        return
+    for held in stack:
+        if held.site in BLOCKING_ALLOWLIST:
+            continue
+        key = (held.site, what)
+        with _state_lock:
+            if key in _blocking_seen:
+                continue
+            _blocking_seen.add(key)
+            _blocking.append(
+                {
+                    "kind": "lock-held-blocking-call",
+                    "lock": held.site,
+                    "call": what,
+                    "thread": threading.current_thread().name,
+                }
+            )
+
+
+# -- the threading proxy -------------------------------------------------------
+class _ThreadingProxy:
+    """Stands in for the ``threading`` module inside ``repro.*`` modules.
+
+    Everything delegates to the real module except ``Lock``/``RLock``, which
+    return instrumented wrappers.
+    """
+
+    def Lock(self) -> InstrumentedLock:
+        return InstrumentedLock(threading.Lock())
+
+    def RLock(self) -> InstrumentedLock:
+        return InstrumentedLock(threading.RLock(), reentrant=True)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(threading, name)
+
+
+def _socket_wrapper(name: str, original: Any):
+    def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
+        _check_blocking_call(f"socket.{name}")
+        return original(self, *args, **kwargs)
+
+    wrapper.__name__ = name
+    wrapper.__qualname__ = f"socket.{name}"
+    return wrapper
+
+
+def _patch_sockets() -> None:
+    global _create_connection_original
+    for name in _SOCKET_METHODS:
+        original = getattr(_socket_module.socket, name, None)
+        if original is None:
+            continue
+        # Remember whether the name lived on the Python subclass itself (so
+        # uninstall restores it) or was inherited from the C base type (so
+        # uninstall deletes the override).
+        _socket_originals[name] = _socket_module.socket.__dict__.get(name)
+        setattr(_socket_module.socket, name, _socket_wrapper(name, original))
+    _create_connection_original = _socket_module.create_connection
+
+    def create_connection(*args: Any, **kwargs: Any) -> Any:
+        _check_blocking_call("socket.create_connection")
+        assert _create_connection_original is not None
+        return _create_connection_original(*args, **kwargs)
+
+    _socket_module.create_connection = create_connection
+
+
+def _unpatch_sockets() -> None:
+    global _create_connection_original
+    for name, original in _socket_originals.items():
+        if original is not None:
+            setattr(_socket_module.socket, name, original)
+        else:
+            try:
+                delattr(_socket_module.socket, name)
+            except AttributeError:
+                pass
+    _socket_originals.clear()
+    if _create_connection_original is not None:
+        _socket_module.create_connection = _create_connection_original
+        _create_connection_original = None
+
+
+# -- public API ----------------------------------------------------------------
+def install() -> int:
+    """Instrument every imported ``repro.*`` module; returns how many.
+
+    Idempotent.  Modules imported *after* install keep the real ``threading``
+    — call :func:`install` again to pick them up.  The devtools package
+    itself is never instrumented.
+    """
+    global _installed
+    proxy = _ThreadingProxy()
+    swapped = 0
+    for name, mod in list(sys.modules.items()):
+        if mod is None or not (name == "repro" or name.startswith("repro.")):
+            continue
+        if name.startswith("repro.devtools"):
+            continue
+        if getattr(mod, "threading", None) is threading:
+            setattr(mod, "threading", proxy)
+            _swapped_modules.append(mod)
+            swapped += 1
+    if not _installed:
+        _installed = True
+        _patch_sockets()
+    return swapped
+
+
+def uninstall() -> None:
+    """Restore the real ``threading`` module and socket methods."""
+    global _installed
+    for mod in _swapped_modules:
+        setattr(mod, "threading", threading)
+    _swapped_modules.clear()
+    if _installed:
+        _unpatch_sockets()
+        _installed = False
+
+
+def installed() -> bool:
+    return _installed
+
+
+def reset() -> None:
+    """Clear the ordering graph and all recorded violations."""
+    with _state_lock:
+        _adjacency.clear()
+        _edges.clear()
+        _cycles.clear()
+        _blocking.clear()
+        _blocking_seen.clear()
+
+
+def report() -> Dict[str, Any]:
+    """Snapshot of the detector: violations plus graph statistics."""
+    with _state_lock:
+        return {
+            "installed": _installed,
+            "locks": _lock_count,
+            "edges": len(_edges),
+            "cycles": list(_cycles),
+            "blocking": list(_blocking),
+        }
+
+
+def violations() -> List[Dict[str, Any]]:
+    """All recorded violations (cycles first), empty when the suite is clean."""
+    with _state_lock:
+        return list(_cycles) + list(_blocking)

@@ -1,0 +1,165 @@
+"""Metrics hygiene: the scrape surface stays consistent as it grows.
+
+Checked against every ``REGISTRY.counter/gauge/histogram(...)`` registration
+and every ``counter_family``/``gauge_family`` snapshot helper call with a
+literal name:
+
+- names match ``repro_[a-z0-9_]*`` (one exposition namespace, Prometheus
+  charset) and counters end in ``_total``;
+- the same name is never registered with two different kinds or label sets
+  anywhere in the project (the registry raises at runtime — this catches it
+  before a daemon and a collector disagree at scrape time), and never
+  registered twice *in the same module* even identically (copy-paste);
+- ``.labels(...)`` calls on a module-level metric pass exactly the label
+  names it was registered with — the runtime ``ValueError`` moved to lint
+  time.
+
+Names built dynamically (f-strings, variables) are out of static reach and
+are skipped, not guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.devtools.lint import Context, Rule
+
+__all__ = ["MetricsHygieneRule"]
+
+_NAME_RE = re.compile(r"^repro_[a-z][a-z0-9_]*$")
+_REGISTER_METHODS = {"counter", "gauge", "histogram"}
+_FAMILY_HELPERS = {"counter_family": "counter", "gauge_family": "gauge"}
+
+
+def _const_str(node: Optional[ast.AST]) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _labelnames(call: ast.Call) -> Optional[Tuple[str, ...]]:
+    """The literal ``labelnames=`` tuple of a registration, if statically known.
+
+    Returns ``()`` when the keyword is absent (the registry default) and
+    ``None`` when it is present but not a literal.
+    """
+    for kw in call.keywords:
+        if kw.arg != "labelnames":
+            continue
+        if isinstance(kw.value, (ast.Tuple, ast.List)):
+            names = [_const_str(e) for e in kw.value.elts]
+            if all(n is not None for n in names):
+                return tuple(names)  # type: ignore[arg-type]
+        return None
+    return ()
+
+
+class MetricsHygieneRule(Rule):
+    id = "metrics-hygiene"
+    help = (
+        "repro_* metric naming, counter _total suffix, no conflicting "
+        "registrations, .labels() keys match labelnames"
+    )
+    node_types = (ast.Call,)
+
+    def __init__(self) -> None:
+        #: name -> (kind, labelnames, relpath, line) of first registration
+        self._registry: Dict[str, Tuple[str, Optional[Tuple[str, ...]], str, int]] = {}
+        #: metric variable name -> labelnames, per module (reset per module)
+        self._module_vars: Dict[str, Tuple[str, ...]] = {}
+        self._deferred_labels: List[Tuple[ast.Call, str]] = []
+
+    def start_module(self, ctx: Context) -> None:
+        self._module_vars = {}
+        self._deferred_labels = []
+
+    def visit(self, node: ast.AST, ctx: Context) -> None:
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _REGISTER_METHODS:
+            self._check_registration(node, func.attr, ctx)
+        elif isinstance(func, ast.Name) and func.id in _FAMILY_HELPERS:
+            self._check_registration(node, _FAMILY_HELPERS[func.id], ctx, family=True)
+        elif isinstance(func, ast.Attribute) and func.attr == "labels":
+            target = func.value
+            if isinstance(target, ast.Name):
+                # Module-level assignment may appear after this call in source
+                # order only in pathological cases; defer to finish_module so
+                # every `_X = REGISTRY...` has been seen.
+                self._deferred_labels.append((node, target.id))
+
+    def finish_module(self, ctx: Context) -> None:
+        for call, varname in self._deferred_labels:
+            expected = self._module_vars.get(varname)
+            if expected is None:
+                continue  # not a metric we tracked statically
+            if any(kw.arg is None for kw in call.keywords) or call.args:
+                continue  # **kwargs / positional: not statically checkable
+            got = tuple(sorted(kw.arg for kw in call.keywords))  # type: ignore[type-var]
+            if got != tuple(sorted(expected)):
+                ctx.report(
+                    call,
+                    f"'{varname}.labels({', '.join(got)})' does not match the "
+                    f"registered labelnames {tuple(expected)}",
+                )
+        self._deferred_labels = []
+
+    # -- helpers ---------------------------------------------------------------
+    def _check_registration(
+        self, node: ast.Call, kind: str, ctx: Context, family: bool = False
+    ) -> None:
+        assert ctx.module is not None
+        name = _const_str(node.args[0]) if node.args else None
+        if name is None:
+            return  # dynamic name: out of static reach
+        if not _NAME_RE.match(name):
+            ctx.report(
+                node,
+                f"metric name '{name}' does not match repro_[a-z0-9_]* "
+                f"(one exposition namespace, Prometheus charset)",
+            )
+        if kind == "counter" and not name.endswith("_total"):
+            ctx.report(
+                node,
+                f"counter '{name}' must end in '_total' (Prometheus counter "
+                f"naming convention)",
+            )
+        # Family helpers render at scrape time and carry labels per sample,
+        # not a registered label set — they join the name/kind checks only.
+        labels = None if family else _labelnames(node)
+        prior = self._registry.get(name)
+        if prior is None:
+            self._registry[name] = (kind, labels, ctx.module.relpath, node.lineno)
+        else:
+            prior_kind, prior_labels, prior_path, prior_line = prior
+            conflicting = prior_kind != kind or (
+                labels is not None
+                and prior_labels is not None
+                and labels != prior_labels
+            )
+            if conflicting:
+                ctx.report(
+                    node,
+                    f"metric '{name}' registered as {kind}{labels or ()} here "
+                    f"but as {prior_kind}{prior_labels or ()} at "
+                    f"{prior_path}:{prior_line}",
+                )
+            elif (
+                not family
+                and ctx.module.relpath == prior_path
+                and node.lineno != prior_line
+            ):
+                ctx.report(
+                    node,
+                    f"metric '{name}' registered twice in this module "
+                    f"(first at line {prior_line})",
+                )
+        # Track module-level `_VAR = REGISTRY.counter(...)` for .labels checks.
+        if not family and labels:
+            parent = ctx.module.parents.get(node)
+            if isinstance(parent, ast.Assign):
+                for target in parent.targets:
+                    if isinstance(target, ast.Name):
+                        self._module_vars[target.id] = labels

@@ -1,0 +1,247 @@
+"""Wire-protocol consistency: every op exists on all three sides.
+
+The protocol module declares the op vocabulary (``WIRE_OPS = (...)``); this
+rule — a pure ``finish_project`` rule, it needs every AST at once — then
+cross-checks three things no single-file linter can see:
+
+1. **Dispatch coverage** — every class that defines ``_dispatch`` and
+   compares ``op`` against string literals must handle every declared op
+   (and must not handle ops that were never declared).  Abstract bases whose
+   ``_dispatch`` contains no op comparisons are skipped.
+2. **Client coverage** — every declared op must be built somewhere as a
+   ``{"op": "<name>"}`` request header literal.
+3. **Error registration** — exceptions raised inside op handlers
+   (``_dispatch`` / ``_op_*`` / ``_forward*``) must be types the protocol
+   can transport: keys of the ``_ERROR_TYPES`` table or classes passed
+   through ``register_error_type``.  Unregistered types degrade to the
+   untyped ``RemoteError`` fallback client-side — legal, but never by
+   accident.
+
+The rule finds ``WIRE_OPS`` / ``_ERROR_TYPES`` by assignment name, not by
+file path, so golden fixtures (and a future protocol v2 module) lint the
+same way the real tree does.  Projects without a ``WIRE_OPS`` declaration
+are out of scope and produce no findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.devtools.lint import Context, ModuleInfo, Rule
+
+__all__ = ["WireProtocolRule"]
+
+#: Raised-in-handler types that are fine without registration: abstract-method
+#: markers and the client-side fallback itself.
+_EXEMPT_RAISES = {"NotImplementedError", "AssertionError", "RemoteError"}
+
+_HANDLER_PREFIXES = ("_op_", "_forward")
+
+
+def _const_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _mentions_op(node: ast.AST) -> bool:
+    """Whether a comparison side is the ``op`` variable (name or attribute)."""
+    return (isinstance(node, ast.Name) and node.id == "op") or (
+        isinstance(node, ast.Attribute) and node.attr == "op"
+    )
+
+
+class WireProtocolRule(Rule):
+    id = "wire-protocol"
+    help = (
+        "every WIRE_OPS op needs a dispatch branch, a client request builder "
+        "and registered error types"
+    )
+
+    def finish_project(self, ctx: Context) -> None:
+        declared = self._declared_ops(ctx)
+        if declared is None:
+            return
+        ops_module, ops_node, ops = declared
+        registered = self._registered_errors(ctx)
+        client_ops = self._client_ops(ctx)
+
+        for module in ctx.project:
+            for cls in ast.walk(module.tree):
+                if not isinstance(cls, ast.ClassDef):
+                    continue
+                dispatch = self._find_dispatch(cls)
+                if dispatch is None:
+                    continue
+                handled = self._handled_ops(cls)
+                if not handled:
+                    continue  # abstract base: dispatch defined, ops elsewhere
+                for op in sorted(ops - handled):
+                    ctx.report(
+                        dispatch,
+                        f"wire op '{op}' is declared in WIRE_OPS but "
+                        f"{cls.name}._dispatch has no branch for it",
+                        module=module,
+                    )
+                for op in sorted(handled - ops):
+                    ctx.report(
+                        dispatch,
+                        f"{cls.name}._dispatch handles op '{op}' which is not "
+                        f"declared in WIRE_OPS",
+                        module=module,
+                    )
+                self._check_raises(cls, registered, module, ctx)
+
+        for op in sorted(ops - client_ops):
+            ctx.report(
+                ops_node,
+                f"wire op '{op}' is declared in WIRE_OPS but no client builds "
+                f'a {{"op": "{op}"}} request',
+                module=ops_module,
+            )
+        for op in sorted(client_ops - ops):
+            ctx.report(
+                ops_node,
+                f'a client builds a {{"op": "{op}"}} request but \'{op}\' is '
+                f"not declared in WIRE_OPS",
+                module=ops_module,
+            )
+
+    # -- discovery -------------------------------------------------------------
+    def _declared_ops(
+        self, ctx: Context
+    ) -> Optional[Tuple[ModuleInfo, ast.AST, Set[str]]]:
+        for module in ctx.project:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Assign):
+                    continue
+                if not any(
+                    isinstance(t, ast.Name) and t.id == "WIRE_OPS"
+                    for t in node.targets
+                ):
+                    continue
+                if isinstance(node.value, (ast.Tuple, ast.List)):
+                    ops = {
+                        s for s in map(_const_str, node.value.elts) if s is not None
+                    }
+                    return module, node, ops
+        return None
+
+    def _registered_errors(self, ctx: Context) -> Set[str]:
+        names: Set[str] = set()
+        for module in ctx.project:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Assign) and any(
+                    isinstance(t, ast.Name) and t.id == "_ERROR_TYPES"
+                    for t in node.targets
+                ):
+                    if isinstance(node.value, ast.Dict):
+                        names.update(
+                            s for s in map(_const_str, node.value.keys)
+                            if s is not None
+                        )
+                elif isinstance(node, ast.ClassDef):
+                    for dec in node.decorator_list:
+                        if isinstance(dec, ast.Name) and dec.id == "register_error_type":
+                            names.add(node.name)
+                        elif (
+                            isinstance(dec, ast.Attribute)
+                            and dec.attr == "register_error_type"
+                        ):
+                            names.add(node.name)
+                elif isinstance(node, ast.Call):
+                    func = node.func
+                    callee = (
+                        func.id if isinstance(func, ast.Name)
+                        else func.attr if isinstance(func, ast.Attribute)
+                        else None
+                    )
+                    if callee == "register_error_type" and node.args:
+                        arg = node.args[0]
+                        if isinstance(arg, ast.Name):
+                            names.add(arg.id)
+        return names
+
+    def _client_ops(self, ctx: Context) -> Set[str]:
+        ops: Set[str] = set()
+        for module in ctx.project:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Dict):
+                    continue
+                for key, value in zip(node.keys, node.values):
+                    if key is not None and _const_str(key) == "op":
+                        op = _const_str(value)
+                        if op is not None:
+                            ops.add(op)
+        return ops
+
+    # -- per-dispatcher checks -------------------------------------------------
+    @staticmethod
+    def _find_dispatch(cls: ast.ClassDef) -> Optional[ast.AST]:
+        for stmt in cls.body:
+            if (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name == "_dispatch"
+            ):
+                return stmt
+        return None
+
+    def _handled_ops(self, cls: ast.ClassDef) -> Set[str]:
+        """String literals compared against ``op`` anywhere in the class."""
+        handled: Set[str] = set()
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.Compare):
+                continue
+            sides = [node.left, *node.comparators]
+            if not any(_mentions_op(side) for side in sides):
+                continue
+            for side, op in zip(node.comparators, node.ops):
+                if isinstance(op, (ast.In, ast.NotIn)) and isinstance(
+                    side, (ast.Tuple, ast.List, ast.Set)
+                ):
+                    handled.update(
+                        s for s in map(_const_str, side.elts) if s is not None
+                    )
+            for side in sides:
+                s = _const_str(side)
+                if s is not None:
+                    handled.add(s)
+        return handled
+
+    def _check_raises(
+        self,
+        cls: ast.ClassDef,
+        registered: Set[str],
+        module: ModuleInfo,
+        ctx: Context,
+    ) -> None:
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name != "_dispatch" and not stmt.name.startswith(
+                _HANDLER_PREFIXES
+            ):
+                continue
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Raise) or node.exc is None:
+                    continue
+                exc = node.exc
+                name = None
+                if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+                    name = exc.func.id
+                elif isinstance(exc, ast.Call) and isinstance(exc.func, ast.Attribute):
+                    name = exc.func.attr
+                if (
+                    name is None  # bare re-raise or raise of a variable
+                    or name in registered
+                    or name in _EXEMPT_RAISES
+                ):
+                    continue
+                ctx.report(
+                    node,
+                    f"{cls.name}.{stmt.name} raises {name}, which is not "
+                    f"registered for typed wire transport "
+                    f"(register_error_type / _ERROR_TYPES)",
+                    module=module,
+                )

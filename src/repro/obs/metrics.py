@@ -33,6 +33,10 @@ import threading
 import weakref
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+#: Anything speaking the lock protocol.  typeshed models ``threading.Lock``
+#: as a factory *function*, so it is not usable in annotations directly.
+LockLike = Any
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -82,7 +86,7 @@ class _Metric:
         for label in self.labelnames:
             _check_name(label)
         self._lock = threading.Lock()
-        self._children: Dict[Tuple[str, ...], Any] = {}
+        self._children: Dict[Tuple[str, ...], Any] = {}  # repro: guarded-by(_lock)
         if not self.labelnames:
             self._default = self._make_child()
 
@@ -127,10 +131,10 @@ class _Metric:
 class _CounterChild:
     __slots__ = ("_lock", "_value", "_registry")
 
-    def __init__(self, lock: threading.Lock, registry: "MetricsRegistry") -> None:
+    def __init__(self, lock: "LockLike", registry: "MetricsRegistry") -> None:
         self._lock = lock
         self._registry = registry
-        self._value = 0.0
+        self._value = 0.0  # repro: guarded-by(_lock)
 
     def inc(self, amount: float = 1.0) -> None:
         if not self._registry.enabled:
@@ -168,10 +172,10 @@ class Counter(_Metric):
 class _GaugeChild:
     __slots__ = ("_lock", "_value", "_registry")
 
-    def __init__(self, lock: threading.Lock, registry: "MetricsRegistry") -> None:
+    def __init__(self, lock: "LockLike", registry: "MetricsRegistry") -> None:
         self._lock = lock
         self._registry = registry
-        self._value = 0.0
+        self._value = 0.0  # repro: guarded-by(_lock)
 
     def set(self, value: float) -> None:
         if not self._registry.enabled:
@@ -223,15 +227,15 @@ class _HistogramChild:
     __slots__ = ("_lock", "_registry", "_bounds", "_counts", "_sum", "_count")
 
     def __init__(
-        self, lock: threading.Lock, registry: "MetricsRegistry",
+        self, lock: "LockLike", registry: "MetricsRegistry",
         bounds: Tuple[float, ...],
     ) -> None:
         self._lock = lock
         self._registry = registry
         self._bounds = bounds
-        self._counts = [0] * (len(bounds) + 1)  # trailing slot is +Inf
-        self._sum = 0.0
-        self._count = 0
+        self._counts = [0] * (len(bounds) + 1)  # trailing slot is +Inf  # repro: guarded-by(_lock)
+        self._sum = 0.0  # repro: guarded-by(_lock)
+        self._count = 0  # repro: guarded-by(_lock)
 
     def observe(self, value: float) -> None:
         if not self._registry.enabled:
@@ -300,9 +304,9 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self.enabled = True
         self._lock = threading.Lock()
-        self._metrics: "Dict[str, _Metric]" = {}
+        self._metrics: "Dict[str, _Metric]" = {}  # repro: guarded-by(_lock)
         # collector id -> (callable, weakref-to-owner or None)
-        self._collectors: Dict[int, Tuple[Callable, Optional[weakref.ref]]] = {}
+        self._collectors: Dict[int, Tuple[Callable, Optional[weakref.ref]]] = {}  # repro: guarded-by(_lock)
 
     # -- instrument constructors ----------------------------------------------
     def _register(self, metric: _Metric) -> _Metric:

@@ -11,7 +11,7 @@ values, histograms expanded into cumulative ``_bucket{le=...}`` series plus
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Mapping
+from typing import Any, Dict, Iterable, List, Mapping, Optional
 
 __all__ = ["render_prometheus"]
 
@@ -35,9 +35,11 @@ def _format_value(value: Any) -> str:
     return repr(value)
 
 
-def _labels_text(labels: Mapping[str, Any], extra: Mapping[str, str] = ()) -> str:
+def _labels_text(
+    labels: Mapping[str, Any], extra: Optional[Mapping[str, str]] = None
+) -> str:
     items = [(str(k), str(v)) for k, v in labels.items()]
-    items += [(str(k), str(v)) for k, v in dict(extra).items()]
+    items += [(str(k), str(v)) for k, v in (extra or {}).items()]
     if not items:
         return ""
     body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in sorted(items))

@@ -92,7 +92,7 @@ class Span:
 class _TraceCtx:
     __slots__ = ("tracer", "trace_id", "span_id", "sink")
 
-    def __init__(self, tracer: "Tracer", trace_id: str, span_id: str,
+    def __init__(self, tracer: "Tracer", trace_id: str, span_id: Optional[str],
                  sink: Optional[List[Dict[str, Any]]]) -> None:
         self.tracer = tracer
         self.trace_id = trace_id
@@ -176,7 +176,7 @@ def span(name: str, **attrs: Any):
     return _LiveSpan(name, attrs, ctx)
 
 
-def current_trace() -> Optional[Dict[str, str]]:
+def current_trace() -> Optional[Dict[str, Any]]:
     """``{"id": trace_id, "parent": span_id}`` of the ambient trace, or ``None``.
 
     Exactly the wire shape the client puts under the request header's
@@ -202,8 +202,8 @@ class Tracer:
         self.max_traces = int(max_traces)
         self._lock = threading.Lock()
         # trace id -> (span dicts in completion order, set of span ids)
-        self._ring: "OrderedDict[str, List[Dict[str, Any]]]" = OrderedDict()
-        self._seen: Dict[str, set] = {}
+        self._ring: "OrderedDict[str, List[Dict[str, Any]]]" = OrderedDict()  # repro: guarded-by(_lock)
+        self._seen: Dict[str, set] = {}  # repro: guarded-by(_lock)
 
     # -- lifecycle --------------------------------------------------------------
     def enable(self, max_traces: Optional[int] = None) -> "Tracer":

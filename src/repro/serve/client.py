@@ -107,7 +107,7 @@ class RemoteStore:
                 attempt += 1
         self._fh = self._sock.makefile("rb")
         self._lock = threading.Lock()
-        self._closed = False
+        self._closed = False  # repro: guarded-by(_lock)
 
     # -- transport -------------------------------------------------------------
     def exchange(self, header: Dict[str, Any], payload: bytes = b"") -> Tuple[Dict, bytes]:
@@ -173,7 +173,7 @@ class RemoteStore:
             raise_remote_error(resp)
         return resp, resp_payload
 
-    def _teardown(self) -> None:
+    def _teardown(self) -> None:  # repro: holds(_lock)
         """Mark closed and release the socket (caller holds the lock)."""
         self._closed = True
         try:
@@ -189,7 +189,7 @@ class RemoteStore:
     def closed(self) -> bool:
         """Whether the connection was closed (by us) or poisoned (by a
         transport failure); a closed store never becomes usable again."""
-        return self._closed
+        return self._closed  # repro: unlocked -- racy-read probe; closing is one-way
 
     def close(self) -> None:
         with self._lock:
@@ -265,7 +265,7 @@ class RemoteStore:
         return self.array(field, step)
 
     def __repr__(self) -> str:
-        state = "closed" if self._closed else "open"
+        state = "closed" if self._closed else "open"  # repro: unlocked -- repr is a racy snapshot
         return f"RemoteStore({self.address}, {state})"
 
 

@@ -256,9 +256,9 @@ class WireDaemon:
         self._stop = threading.Event()
         self._lock = threading.Lock()
         self._collector_fns: list = []
-        self._connections: set = set()
-        self._workers: list = []
-        self._counters: Dict[str, int] = {
+        self._connections: set = set()  # repro: guarded-by(_lock)
+        self._workers: list = []  # repro: guarded-by(_lock)
+        self._counters: Dict[str, int] = {  # repro: guarded-by(_lock)
             "requests": 0,
             "errors": 0,
             "connections": 0,
@@ -579,9 +579,9 @@ class ReadDaemon(WireDaemon):
         self.cache = self.store.block_cache if cache is None else cache
         self.refresh_ttl = float(refresh_ttl)
         self.max_readers = max(1, int(max_readers))
-        self._last_refresh = float("-inf")
-        self._readers: "OrderedDict[str, _ReaderSlot]" = OrderedDict()
-        self._retired_reader_stats: Dict[str, int] = {}
+        self._last_refresh = float("-inf")  # repro: guarded-by(_lock)
+        self._readers: "OrderedDict[str, _ReaderSlot]" = OrderedDict()  # repro: guarded-by(_lock)
+        self._retired_reader_stats: Dict[str, int] = {}  # repro: guarded-by(_lock)
         self._counters.update(
             {
                 "reads": 0,
@@ -727,7 +727,7 @@ class ReadDaemon(WireDaemon):
             self.cache.clear()
         return slot
 
-    def _retire_locked(self, slot: _ReaderSlot, to_close: list) -> None:
+    def _retire_locked(self, slot: _ReaderSlot, to_close: list) -> None:  # repro: holds(_lock)
         """Mark a slot evicted; schedule the close if no lease pins it."""
         slot.retired = True
         if slot.refs == 0:

@@ -43,6 +43,7 @@ import numpy as np
 __all__ = [
     "PROTOCOL_MAGIC",
     "PROTOCOL_VERSION",
+    "WIRE_OPS",
     "MAX_HEADER_BYTES",
     "ProtocolError",
     "VersionMismatch",
@@ -62,6 +63,12 @@ __all__ = [
 
 PROTOCOL_MAGIC = b"RPSV"  # "RePro SerVe"
 PROTOCOL_VERSION = 1
+
+#: The protocol-v1 op vocabulary — the source of truth the wire-protocol lint
+#: rule checks every dispatcher and client against.  Adding an op here without
+#: a ``_dispatch`` branch in each daemon and a client request builder fails
+#: ``repro lint``.
+WIRE_OPS = ("catalog", "describe", "read", "stats", "trace")
 
 #: Frame head: magic, protocol version, header length, payload length.
 _HEAD = struct.Struct("<4sBIQ")

@@ -26,7 +26,7 @@ stay bit-for-bit.
 from __future__ import annotations
 
 import logging
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.obs import access_extra
 from repro.shard.shardmap import RebalanceMove, ShardMap, plan_rebalance
@@ -36,7 +36,7 @@ __all__ = ["shard_stores", "split_store", "execute_plan", "plan_for_stores"]
 log = logging.getLogger("repro.shard.rebalance")
 
 
-def shard_stores(shard_map: ShardMap, stores: Optional[Mapping[str, object]] = None):
+def shard_stores(shard_map: ShardMap, stores: Optional[Mapping[str, Any]] = None):
     """Resolve each shard's :class:`~repro.store.Store`, by name.
 
     ``stores`` may pre-supply open Store objects (in-process tests, daemons
@@ -46,7 +46,7 @@ def shard_stores(shard_map: ShardMap, stores: Optional[Mapping[str, object]] = N
     """
     from repro.store import Store
 
-    out: Dict[str, Store] = {}
+    out: Dict[str, Any] = {}
     for spec in shard_map.shards:
         supplied = None if stores is None else stores.get(spec.name)
         if supplied is not None:
@@ -64,7 +64,7 @@ def shard_stores(shard_map: ShardMap, stores: Optional[Mapping[str, object]] = N
 def split_store(
     source,
     shard_map: ShardMap,
-    stores: Optional[Mapping[str, object]] = None,
+    stores: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, List[str]]:
     """Distribute one store's entries across a shard map's stores.
 
@@ -90,7 +90,7 @@ def split_store(
 def plan_for_stores(
     old: ShardMap,
     new: ShardMap,
-    stores: Optional[Mapping[str, object]] = None,
+    stores: Optional[Mapping[str, Any]] = None,
 ) -> List[RebalanceMove]:
     """Plan a rebalance from the entries actually present in the old stores.
 
@@ -108,7 +108,7 @@ def execute_plan(
     plan: Sequence[RebalanceMove],
     old: ShardMap,
     new: ShardMap,
-    stores: Optional[Mapping[str, object]] = None,
+    stores: Optional[Mapping[str, Any]] = None,
     router=None,
     copy: bool = True,
     prune: bool = True,
@@ -121,7 +121,7 @@ def execute_plan(
     ``copy=True, prune=False`` first, flip their routers, then
     ``copy=False, prune=True``.  Returns phase counts.
     """
-    union_stores: Dict[str, object] = {}
+    union_stores: Dict[str, Any] = {}
     union_stores.update(shard_stores(old, stores))
     for spec in new.shards:
         if spec.name not in union_stores:

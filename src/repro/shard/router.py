@@ -106,7 +106,7 @@ class RouterDaemon(WireDaemon):
         self.timeout = float(timeout)
         self.retries = int(retries)
         self.backoff = float(backoff)
-        self._backends: Dict[str, RemoteStore] = {}
+        self._backends: Dict[str, RemoteStore] = {}  # repro: guarded-by(_lock)
         self._counters.update(
             {
                 "reads_forwarded": 0,

@@ -292,7 +292,7 @@ class ContainerReader:
             "fetch_bytes": 0,
         }
         self._source_mode = payload_source
-        self._source = None
+        self._source = None  # repro: guarded-by(_source_lock)
         self._source_lock = threading.Lock()
         # Readers are shared across daemon connections; counter updates are
         # read-modify-writes and need the lock to not lose increments.
@@ -434,7 +434,10 @@ class ContainerReader:
         self.close()
 
     def _payload_source(self):
-        source = self._source
+        # Double-checked fast path: a set _source is immutable-until-close, so
+        # the unlocked first read is safe; only the None -> open transition
+        # needs the lock.
+        source = self._source  # repro: unlocked -- double-checked locking fast path
         if source is None:
             with self._source_lock:
                 source = self._source

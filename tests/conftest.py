@@ -6,12 +6,65 @@ well under a minute; the benchmarks use larger grids.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.amr.refinement import build_hierarchy_from_uniform
 from repro.datasets.synthetic import gaussian_random_field, smooth_wave_field
 from repro.utils.rng import default_rng
+
+
+# -- runtime lock-order detection (REPRO_LOCKCHECK=1) --------------------------
+def _lockcheck_enabled() -> bool:
+    return os.environ.get("REPRO_LOCKCHECK", "").strip() in ("1", "true", "yes")
+
+
+def pytest_configure(config):
+    if not _lockcheck_enabled():
+        return
+    # Import the concurrency-bearing packages first so every lock they create
+    # from here on is instrumented; install() swaps a threading proxy into
+    # all currently imported repro.* modules.
+    import repro.array.cache  # noqa: F401
+    import repro.obs.metrics  # noqa: F401
+    import repro.obs.tracing  # noqa: F401
+    import repro.serve.client  # noqa: F401
+    import repro.serve.daemon  # noqa: F401
+    import repro.shard.router  # noqa: F401
+    import repro.store.catalog  # noqa: F401
+    import repro.store.engine  # noqa: F401
+    import repro.store.format  # noqa: F401
+
+    from repro.devtools import lockcheck
+
+    lockcheck.install()
+    config._repro_lockcheck = True
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not getattr(session.config, "_repro_lockcheck", False):
+        return
+    from repro.devtools import lockcheck
+
+    result = lockcheck.report()
+    problems = result["cycles"] + result["blocking"]
+    reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+    lines = [
+        f"REPRO_LOCKCHECK: {result['locks']} locks instrumented, "
+        f"{result['edges']} ordering edges, {len(result['cycles'])} cycle(s), "
+        f"{len(result['blocking'])} lock-held blocking call(s)"
+    ]
+    for violation in problems:
+        lines.append(f"  {violation}")
+    for line in lines:
+        if reporter is not None:
+            reporter.write_line(line)
+        else:
+            print(line)
+    if problems and session.exitstatus == 0:
+        session.exitstatus = 3
 
 
 @pytest.fixture(scope="session")

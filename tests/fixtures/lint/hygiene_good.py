@@ -1,0 +1,46 @@
+"""API-hygiene positives: every sanctioned shape.  Expected findings: none."""
+
+import socket
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except Exception:
+        return None
+
+
+def accumulate(item, bucket=None):
+    bucket = [] if bucket is None else bucket
+    bucket.append(item)
+    return bucket
+
+
+def read_file(path):
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+def checksum(path):
+    fh = open(path, "rb")
+    try:
+        return sum(fh.read())
+    finally:
+        fh.close()
+
+
+def connect(address):
+    sock = socket.create_connection(address)
+    return sock  # returning transfers ownership to the caller
+
+
+def handoff(address, owner):
+    sock = socket.create_connection(address)
+    owner.adopt(sock)  # passing to any call transfers ownership
+    return True
+
+
+def deliberate(path):
+    # The waiver is load-bearing here: nothing closes or adopts fh.
+    fh = open(path, "rb")  # repro: ignore[unclosed-resource] -- fixture: waiver demo
+    return fh.name

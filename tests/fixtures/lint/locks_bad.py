@@ -1,0 +1,31 @@
+"""lock-guard negatives: guarded attributes touched outside their lock.
+
+Pure AST fixture for the golden tests — parsed by the linter, never imported.
+Expected findings: three ``lock-guard`` reports, all on ``self._items``.
+"""
+
+import threading
+
+
+class Queue:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []  # repro: guarded-by(_lock)
+        self._closed = False  # repro: guarded-by(_lock)
+
+    def put(self, item):
+        self._items.append(item)  # finding: no lock held
+
+    def close(self):
+        with self._lock:
+            self._closed = True
+        self._items.clear()  # finding: the with-block already ended
+
+    def drain(self):
+        with self._lock:
+            def flush():
+                # finding: a closure runs later, possibly on another thread,
+                # so the enclosing with-block's lock does not apply.
+                return list(self._items)
+
+            return flush

@@ -1,0 +1,31 @@
+"""lock-guard positives: every sanctioned way to touch a guarded attribute.
+
+Pure AST fixture for the golden tests — expected findings: none.
+"""
+
+import threading
+
+
+class Queue:
+    def __init__(self):
+        # __init__ is exempt: the object is not visible to other threads yet.
+        self._lock = threading.Lock()
+        self._items = []  # repro: guarded-by(_lock)
+        self._closed = False  # repro: guarded-by(_lock)
+
+    def put(self, item):
+        with self._lock:
+            self._items.append(item)
+
+    def _drain_locked(self):  # repro: holds(_lock)
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    def drain(self):
+        with self._lock:
+            return self._drain_locked()
+
+    @property
+    def closed(self):
+        return self._closed  # repro: unlocked -- racy one-way probe is fine

@@ -1,0 +1,25 @@
+"""metrics-hygiene negatives.  Pure AST fixture — parsed, never imported.
+
+Expected findings: five ``metrics-hygiene`` reports.
+"""
+
+REGISTRY = None  # stand-in: the rule matches the call shape, not the object
+
+
+READS = REGISTRY.counter("repro_reads", "Counter missing its _total suffix.")
+BAD_NAME = REGISTRY.gauge("Bad_Name", "Name outside the repro_* namespace.")
+
+MIXED = REGISTRY.counter("repro_mixed_total", "Registered as a counter here...")
+MIXED_AGAIN = REGISTRY.gauge("repro_mixed_total", "...and as a gauge here.")
+
+DUP_A = REGISTRY.counter("repro_dup_total", "Registered twice in one module.")
+DUP_B = REGISTRY.counter("repro_dup_total", "Registered twice in one module.")
+
+REQS = REGISTRY.counter(
+    "repro_requests_total", "Labelled counter.", labelnames=("method", "code")
+)
+
+
+def touch():
+    # finding: 'verb' is not one of the registered labelnames.
+    REQS.labels(verb="GET", code="200").inc()

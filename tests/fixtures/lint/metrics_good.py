@@ -1,0 +1,23 @@
+"""metrics-hygiene positives.  Pure AST fixture — expected findings: none."""
+
+REGISTRY = None  # stand-in: the rule matches the call shape, not the object
+
+
+HITS = REGISTRY.counter("repro_fixture_hits_total", "Well-formed counter.")
+DEPTH = REGISTRY.gauge("repro_fixture_depth", "Gauges need no suffix.")
+LATENCY = REGISTRY.histogram("repro_fixture_seconds", "Histograms neither.")
+
+REQS = REGISTRY.counter(
+    "repro_fixture_requests_total", "Labelled counter.", labelnames=("method",)
+)
+
+
+def counter_family(name, help, value, labels=None):
+    return {"name": name, "type": "counter", "help": help, "value": value}
+
+
+def snapshot(hits):
+    REQS.labels(method="GET").inc()
+    # A collector family for a name the registry also owns is fine as long
+    # as the kind agrees: families carry labels per sample, not a label set.
+    return [counter_family("repro_fixture_hits_total", "Same name, same kind.", hits)]

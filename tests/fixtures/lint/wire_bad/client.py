@@ -1,0 +1,10 @@
+"""Fixture client: builds one declared op, skips two, invents one."""
+
+
+def ping_request():
+    return {"op": "ping", "payload": {}}
+
+
+def rogue_request():
+    # finding: 'rogue' is built here but never declared in WIRE_OPS.
+    return {"op": "rogue"}

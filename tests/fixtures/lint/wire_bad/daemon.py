@@ -1,0 +1,21 @@
+"""Fixture dispatcher with coverage holes and an unregistered raise."""
+
+
+class UnknownBoom(Exception):
+    pass
+
+
+class BadDaemon:
+    def _dispatch(self, op, payload):
+        # findings: declared ops 'fetch' and 'stats' have no branch, and the
+        # 'extra' branch handles an op that was never declared.
+        if op == "ping":
+            return {}
+        if op == "extra":
+            return self._op_extra(payload)
+        raise ValueError(f"bad op {op!r}")
+
+    def _op_extra(self, payload):
+        # finding: UnknownBoom is not in _ERROR_TYPES / register_error_type,
+        # so it degrades to the untyped RemoteError fallback client-side.
+        raise UnknownBoom("nope")

@@ -1,0 +1,18 @@
+"""Fixture protocol module: op vocabulary and error table, with gaps.
+
+The wire rule finds ``WIRE_OPS`` / ``_ERROR_TYPES`` by assignment name, so
+this trio lints exactly like the real ``repro.serve`` tree.  Expected
+findings across the package: seven ``wire-protocol`` reports.
+"""
+
+WIRE_OPS = ("ping", "fetch", "stats")
+
+_ERROR_TYPES = {
+    "ValueError": ValueError,
+    "KeyError": KeyError,
+}
+
+
+def register_error_type(cls):
+    _ERROR_TYPES[cls.__name__] = cls
+    return cls

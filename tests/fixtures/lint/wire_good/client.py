@@ -1,0 +1,7 @@
+"""Fixture client building every declared op. No findings."""
+
+
+def request(op_name, key=None):
+    if op_name == "ping":
+        return {"op": "ping"}
+    return {"op": "fetch", "key": key}

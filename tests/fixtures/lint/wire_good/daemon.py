@@ -1,0 +1,22 @@
+"""Fixture dispatchers: full coverage, plus an abstract base that is skipped."""
+
+
+class GoodDaemon:
+    def _dispatch(self, op, payload):
+        if op == "ping":
+            return {}
+        if op == "fetch":
+            return self._op_fetch(payload)
+        raise ValueError(f"bad op {op!r}")
+
+    def _op_fetch(self, payload):
+        if "key" not in payload:
+            raise KeyError("key")
+        return {"data": payload["key"]}
+
+
+class AbstractDaemon:
+    """Defines ``_dispatch`` but compares no op literals: not a dispatcher."""
+
+    def _dispatch(self, op, payload):
+        raise NotImplementedError

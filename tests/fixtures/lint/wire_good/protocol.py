@@ -1,0 +1,13 @@
+"""Fixture protocol module with full three-sided coverage. No findings."""
+
+WIRE_OPS = ("ping", "fetch")
+
+_ERROR_TYPES = {
+    "ValueError": ValueError,
+    "KeyError": KeyError,
+}
+
+
+def register_error_type(cls):
+    _ERROR_TYPES[cls.__name__] = cls
+    return cls

@@ -1,0 +1,191 @@
+"""Runtime lock-order detector: cycles, blocking calls, install round-trips.
+
+These tests drive :class:`InstrumentedLock` directly (the same object
+``install()`` hands every ``repro.*`` module) so the deliberate A→B/B→A
+deadlock shape and the lock-held blocking socket call are exercised without
+having to race real threads into the interleaving.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.devtools import lockcheck
+
+
+@pytest.fixture(autouse=True)
+def clean_detector_state():
+    # The detector accumulates in module globals shared with the session-wide
+    # REPRO_LOCKCHECK gate; reset around each test so the deliberate
+    # violations staged here never leak into the suite's final verdict.
+    lockcheck.reset()
+    yield
+    lockcheck.reset()
+
+
+def _lock():
+    return lockcheck.InstrumentedLock(threading.Lock())
+
+
+# -- ordering graph --------------------------------------------------------------
+def test_consistent_order_records_edge_but_no_cycle():
+    a, b = _lock(), _lock()
+    for _ in range(2):
+        with a:
+            with b:
+                pass
+    rep = lockcheck.report()
+    assert rep["edges"] >= 1
+    assert rep["cycles"] == []
+    assert lockcheck.violations() == []
+
+
+def test_opposite_order_is_reported_as_a_cycle():
+    a, b = _lock(), _lock()
+    with a:
+        with b:
+            pass
+    with b:
+        with a:  # closes the a->b / b->a cycle
+            pass
+    cycles = [v for v in lockcheck.violations() if v["kind"] == "lock-order-cycle"]
+    assert len(cycles) == 1
+    assert a.site in cycles[0]["edge"] or a.site in cycles[0]["reverse_path"]
+
+
+def test_three_lock_cycle_found_through_the_transitive_path():
+    a, b, c = _lock(), _lock(), _lock()
+    with a:
+        with b:
+            pass
+    with b:
+        with c:
+            pass
+    with c:
+        with a:  # a->b->c exists, so c->a closes a 3-cycle
+            pass
+    cycles = [v for v in lockcheck.violations() if v["kind"] == "lock-order-cycle"]
+    assert len(cycles) == 1
+
+
+def test_reentrant_rlock_acquire_records_nothing():
+    r = lockcheck.InstrumentedLock(threading.RLock(), reentrant=True)
+    with r:
+        with r:
+            pass
+    rep = lockcheck.report()
+    assert rep["edges"] == 0 and rep["cycles"] == []
+
+
+def test_nonblocking_probe_carries_no_ordering_information():
+    a, b = _lock(), _lock()
+    with a:
+        assert b.acquire(False)  # try-lock cannot deadlock
+        b.release()
+    with b:
+        with a:
+            pass
+    assert lockcheck.violations() == []
+
+
+def test_locks_release_out_of_lifo_order():
+    a, b = _lock(), _lock()
+    a.acquire()
+    b.acquire()
+    a.release()  # not LIFO: a released while b still held
+    b.release()
+    with b:
+        with a:
+            pass
+    # The only edges recorded are a->b (first block) and b->a (second); the
+    # out-of-order release must not have corrupted the per-thread stack.
+    cycles = [v for v in lockcheck.violations() if v["kind"] == "lock-order-cycle"]
+    assert len(cycles) == 1
+
+
+# -- blocking socket calls -------------------------------------------------------
+def test_blocking_socket_call_while_lock_held_is_reported():
+    was_installed = lockcheck.installed()
+    lockcheck.install()
+    try:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        guard = _lock()
+        client = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            with guard:
+                client.connect(("127.0.0.1", port))
+        finally:
+            client.close()
+            listener.close()
+
+        blocking = [
+            v for v in lockcheck.violations()
+            if v["kind"] == "lock-held-blocking-call"
+        ]
+        assert any(v["call"] == "socket.connect" for v in blocking)
+        assert any(v["lock"] == guard.site for v in blocking)
+    finally:
+        if not was_installed:
+            lockcheck.uninstall()
+
+
+def test_socket_call_without_lock_is_clean():
+    was_installed = lockcheck.installed()
+    lockcheck.install()
+    try:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        client = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            client.connect(("127.0.0.1", port))
+        finally:
+            client.close()
+            listener.close()
+        assert [
+            v for v in lockcheck.violations()
+            if v["kind"] == "lock-held-blocking-call"
+        ] == []
+    finally:
+        if not was_installed:
+            lockcheck.uninstall()
+
+
+# -- install / uninstall ---------------------------------------------------------
+def test_install_swaps_threading_and_uninstall_restores():
+    if lockcheck.installed():
+        pytest.skip("lockcheck already active for this session (REPRO_LOCKCHECK=1)")
+    import repro.obs.metrics as metrics_mod
+
+    assert metrics_mod.threading is threading
+    swapped = lockcheck.install()
+    try:
+        assert lockcheck.installed()
+        assert swapped >= 1
+        assert metrics_mod.threading is not threading
+        lock = metrics_mod.threading.Lock()
+        assert isinstance(lock, lockcheck.InstrumentedLock)
+        # Everything but Lock/RLock delegates to the real module.
+        assert metrics_mod.threading.current_thread() is threading.current_thread()
+    finally:
+        lockcheck.uninstall()
+    assert not lockcheck.installed()
+    assert metrics_mod.threading is threading
+
+
+def test_report_shape_and_reset():
+    a = _lock()
+    with a:
+        pass
+    rep = lockcheck.report()
+    assert set(rep) == {"installed", "locks", "edges", "cycles", "blocking"}
+    assert rep["locks"] >= 1
+    lockcheck.reset()
+    rep = lockcheck.report()
+    assert rep["edges"] == 0 and rep["cycles"] == [] and rep["blocking"] == []
