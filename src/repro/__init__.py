@@ -54,6 +54,7 @@ _API_EXPORTS = (
     "open_store",
     "open_array",
     "connect",
+    "open_http",
     "run_workflow",
     "run_config",
     "load_config",
@@ -88,7 +89,8 @@ def describe() -> str:
         "  open_store            block-indexed random-access store (repro.store)\n"
         "  open_array            lazy NumPy-style view over a .rps2 container (repro.array)\n"
         "  connect               remote lazy views via a read daemon (repro.serve)\n"
+        "  open_http             the same lazy views over an HTTP gateway (repro.gateway)\n"
         "  run_workflow          execute a WorkflowConfig on an array or hierarchy\n"
         "  run_config            execute a serialized config (the `repro run` engine)\n"
-        "CLI: repro compress|decompress|info|evaluate|store ls|get|roi|read|run|serve|stats\n"
+        "CLI: repro compress|decompress|info|evaluate|store ls|get|roi|read|run|serve|shard|gateway|stats\n"
     )

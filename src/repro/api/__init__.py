@@ -50,6 +50,7 @@ __all__ = [
     "open_store",
     "open_array",
     "connect",
+    "open_http",
     "run_workflow",
     "run_config",
 ]
@@ -67,6 +68,7 @@ _LAZY_EXPORTS = {
     "open_store": "repro.api.facade",
     "open_array": "repro.api.facade",
     "connect": "repro.api.facade",
+    "open_http": "repro.api.facade",
     "run_workflow": "repro.api.facade",
     "run_config": "repro.api.facade",
 }
@@ -84,6 +86,7 @@ if TYPE_CHECKING:  # pragma: no cover - static typing only
         connect,
         decompress,
         open_array,
+        open_http,
         open_store,
         run_config,
         run_workflow,

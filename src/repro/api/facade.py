@@ -149,6 +149,21 @@ def connect(addr, timeout: float = 30.0, retries: int = 0, backoff: float = 0.05
     return RemoteStore(addr, timeout=timeout, retries=retries, backoff=backoff)
 
 
+def open_http(addr, timeout: float = 30.0):
+    """Connect to an HTTP gateway (``repro gateway``) at ``"host:port"``.
+
+    Returns a :class:`repro.gateway.HTTPStore` — the same lazy remote-array
+    surface as :func:`connect`, over plain HTTP/1.1, so it works through
+    anything that forwards HTTP.  ``store[field, step]`` is a lazy
+    :class:`~repro.gateway.HTTPArray`; indexing moves raw ndarray bytes with
+    the geometry in response headers, and error envelopes re-raise with
+    their original types and messages.
+    """
+    from repro.gateway import HTTPStore
+
+    return HTTPStore(addr, timeout=timeout)
+
+
 def run_workflow(
     data,
     config: Optional[Union[WorkflowConfig, Mapping]] = None,

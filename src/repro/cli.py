@@ -333,6 +333,93 @@ def build_parser() -> argparse.ArgumentParser:
         help="record routed request traces (shard spans grafted in) into the "
         "router's in-memory ring",
     )
+    shard_serve.add_argument(
+        "--pool-size",
+        type=int,
+        default=4,
+        help="pooled connections per shard backend; bounds how many routed "
+        "requests one shard serves concurrently (default 4)",
+    )
+
+    gateway = sub.add_parser(
+        "gateway",
+        help="HTTP/1.1 front end over a read daemon or shard router (repro.gateway)",
+    )
+    gateway.add_argument(
+        "root",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="store directory to serve via an in-process read daemon "
+        "(alternative to --router)",
+    )
+    gateway.add_argument(
+        "--router",
+        default=None,
+        metavar="ADDR",
+        help="front an already-running wire backend (read daemon or shard "
+        "router) at host:port instead of opening a store",
+    )
+    gateway.add_argument(
+        "--http",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="HTTP bind address (default 127.0.0.1:0; port 0 picks a free "
+        "port, printed on startup)",
+    )
+    gateway.add_argument(
+        "--seconds",
+        type=float,
+        default=None,
+        help="serve for this many seconds then exit cleanly (default: until ctrl-c)",
+    )
+    gateway.add_argument(
+        "--pool-size",
+        type=int,
+        default=4,
+        help="pooled backend connections; bounds the gateway's backend "
+        "fan-out (default 4)",
+    )
+    gateway.add_argument(
+        "--max-connections",
+        type=int,
+        default=64,
+        help="open HTTP connections above which new ones are answered 503 "
+        "(default 64)",
+    )
+    gateway.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help="seconds one HTTP request may take end to end before a 504 "
+        "(default 30)",
+    )
+    gateway.add_argument(
+        "--connect-retries",
+        type=int,
+        default=8,
+        help="backend connect retries (exponential backoff) while the "
+        "backend is still binding (default 8)",
+    )
+    gateway.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="-v logs one access line per HTTP request, -vv adds connection "
+        "lifecycle chatter (default: warnings only)",
+    )
+    gateway.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit log records as JSON lines instead of key=value text",
+    )
+    gateway.add_argument(
+        "--trace",
+        action="store_true",
+        help="record gateway exchange traces (backend spans grafted in) into "
+        "the in-memory trace ring",
+    )
 
     lint = sub.add_parser(
         "lint", help="run the project-aware AST lint rules (repro.devtools)"
@@ -811,12 +898,15 @@ def _cmd_shard_serve(args: argparse.Namespace) -> int:
     configure_logging(verbosity=args.verbose, json_lines=args.log_json)
     if args.trace:
         TRACER.enable()
+    if args.pool_size < 1:
+        raise SystemExit("error: --pool-size must be >= 1")
     router = RouterDaemon(
         shard_map,
         host=host,
         port=port,
         slow_ms=args.slow_ms,
         retries=args.connect_retries,
+        pool_size=args.pool_size,
     )
     # Same SIGTERM discipline as `repro serve`: installed before the banner,
     # so once the address is printed a TERM always exits cleanly.
@@ -847,6 +937,85 @@ def _cmd_shard_serve(args: argparse.Namespace) -> int:
         f"({stats['reads_forwarded']} reads forwarded, "
         f"{stats['relay_bytes']} B relayed, "
         f"{stats['backend_errors']} backend errors)"
+    )
+    return 0
+
+
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    from repro.gateway import GatewayDaemon
+    from repro.obs import TRACER, configure_logging
+    from repro.serve import ReadDaemon, parse_address
+    from repro.serve.protocol import ProtocolError
+
+    if (args.root is None) == (args.router is None):
+        raise SystemExit("error: give exactly one of ROOT or --router ADDR")
+    try:
+        http_host, http_port = parse_address(args.http)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.pool_size < 1:
+        raise SystemExit("error: --pool-size must be >= 1")
+    configure_logging(verbosity=args.verbose, json_lines=args.log_json)
+    if args.trace:
+        TRACER.enable()
+
+    inner = None
+    if args.root is not None:
+        # Self-contained mode: an in-process read daemon on a loopback port
+        # that only this gateway talks to.
+        store = _open_store(args.root)
+        inner = ReadDaemon(store)
+        backend = inner.start()
+        backend_label = f"{args.root} ({len(store)} entries)"
+    else:
+        try:
+            backend_host, backend_port = parse_address(args.router)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+        backend = f"{backend_host}:{backend_port}"
+        backend_label = backend
+
+    daemon = GatewayDaemon(
+        backend,
+        host=http_host,
+        port=http_port,
+        pool_size=args.pool_size,
+        max_connections=args.max_connections,
+        request_timeout=args.request_timeout,
+        retries=args.connect_retries,
+    )
+    # Same SIGTERM discipline as `repro serve`: installed before the banner,
+    # so once the address is printed a TERM always exits cleanly.
+    import signal
+
+    previous = signal.signal(signal.SIGTERM, lambda signum, frame: daemon.request_stop())
+    try:
+        daemon.start()
+    except (OSError, ProtocolError) as exc:
+        signal.signal(signal.SIGTERM, previous)
+        if inner is not None:
+            inner.stop()
+        raise SystemExit(f"error: cannot start gateway: {exc}")
+    print(
+        f"gateway for {backend_label} at http://{daemon.address}/ "
+        f"(pool {args.pool_size}, max {args.max_connections} connections; "
+        f"ctrl-c to stop)",
+        flush=True,
+    )
+    try:
+        daemon.serve_forever(timeout=args.seconds)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        stats = daemon.stats()
+        daemon.stop()
+        if inner is not None:
+            inner.stop()
+    print(
+        f"gateway stopped after {stats['requests']} requests "
+        f"({stats['errors']} errors, {stats['http_bytes_sent']} B sent, "
+        f"{len(stats['clients'])} clients)"
     )
     return 0
 
@@ -930,6 +1099,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "store": _cmd_store,
         "serve": _cmd_serve,
         "shard": _cmd_shard,
+        "gateway": _cmd_gateway,
         "stats": _cmd_stats,
         "lint": _cmd_lint,
         "run": _cmd_run,

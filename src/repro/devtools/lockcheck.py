@@ -48,9 +48,12 @@ ENV_VAR = "REPRO_LOCKCHECK"
 
 #: Lock creation sites (``file.py:Qualname``) allowed to be held across
 #: blocking socket calls.  RemoteStore's connection lock exists precisely to
-#: serialize request/response round-trips on one socket.
+#: serialize request/response round-trips on one socket; HTTPStore's is the
+#: same contract over ``http.client`` (one keep-alive connection cannot
+#: interleave requests).
 BLOCKING_ALLOWLIST = {
     "client.py:RemoteStore.__init__",
+    "client.py:HTTPStore.__init__",
 }
 
 _SOCKET_METHODS = (

@@ -29,8 +29,9 @@ Three pieces:
   analysis and vis code works unchanged against a socket.
 """
 
-from repro.serve.client import RemoteArray, RemoteStore, connect
+from repro.serve.client import ConnectSpec, RemoteArray, RemoteStore, connect
 from repro.serve.daemon import ReadDaemon, WireDaemon, parse_address
+from repro.serve.pool import ConnectionPool
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -44,6 +45,8 @@ __all__ = [
     "RemoteStore",
     "RemoteArray",
     "connect",
+    "ConnectSpec",
+    "ConnectionPool",
     "parse_address",
     "ProtocolError",
     "VersionMismatch",

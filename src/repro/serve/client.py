@@ -20,6 +20,7 @@ request/response exchange).
 
 from __future__ import annotations
 
+import dataclasses
 import socket
 import threading
 import time
@@ -39,7 +40,7 @@ from repro.serve.protocol import (
     send_frame,
 )
 
-__all__ = ["RemoteStore", "RemoteArray", "connect"]
+__all__ = ["ConnectSpec", "RemoteStore", "RemoteArray", "connect"]
 
 _CLIENT_SECONDS = REGISTRY.histogram(
     "repro_client_request_seconds",
@@ -55,6 +56,47 @@ _PAYLOAD_SENT = _PAYLOAD_BYTES.labels(direction="sent")
 _PAYLOAD_RECEIVED = _PAYLOAD_BYTES.labels(direction="received")
 
 
+@dataclasses.dataclass(frozen=True)
+class ConnectSpec:
+    """Where and how to reach a daemon: address plus the one retry policy.
+
+    Every surface that dials a daemon — :func:`connect`, the shard router's
+    backends, the gateway's :class:`~repro.serve.pool.ConnectionPool` — goes
+    through this spec, so retry/backoff semantics are declared once instead
+    of being re-plumbed per call site.  The policy itself is deliberately
+    narrow: bounded retry with exponential backoff on
+    ``ConnectionRefusedError`` *only*, because refusal means nothing is
+    bound yet (a daemon still launching), which waiting genuinely fixes;
+    every other connect failure (unreachable host, timeout) raises at once.
+    """
+
+    address: str
+    timeout: float = 30.0
+    retries: int = 0
+    backoff: float = 0.05
+
+    def __post_init__(self) -> None:
+        host, port = parse_address(self.address)
+        object.__setattr__(self, "address", f"{host}:{port}")
+
+    def open_socket(self) -> socket.socket:
+        """Dial the address under this spec's retry policy."""
+        host, port = parse_address(self.address)
+        attempt = 0
+        while True:
+            try:
+                return socket.create_connection((host, port), timeout=self.timeout)
+            except ConnectionRefusedError:
+                if attempt >= int(self.retries):
+                    raise
+                time.sleep(min(float(self.backoff) * (2 ** attempt), 1.0))
+                attempt += 1
+
+    def connect(self, tracer=None) -> "RemoteStore":
+        """A fresh :class:`RemoteStore` over one socket dialed by this spec."""
+        return RemoteStore(self, tracer=tracer)
+
+
 def connect(
     addr: Union[str, Tuple[str, int]],
     timeout: float = 30.0,
@@ -63,10 +105,10 @@ def connect(
 ) -> "RemoteStore":
     """Connect to a :class:`~repro.serve.daemon.ReadDaemon` at ``host:port``.
 
-    ``retries`` adds bounded retry with exponential backoff on
-    ``ConnectionRefusedError`` — a daemon that is launching but has not
-    bound yet.  Off by default; the shard router turns it on for its
-    backend connections so router startup never races shard daemon bind.
+    ``retries``/``backoff`` configure the :class:`ConnectSpec` retry policy
+    (refused connections only).  Off by default; the shard router and the
+    HTTP gateway turn it on for their backend connections so startup never
+    races a shard daemon's bind.
     """
     return RemoteStore(addr, timeout=timeout, retries=retries, backoff=backoff)
 
@@ -83,28 +125,23 @@ class RemoteStore:
 
     def __init__(
         self,
-        addr: Union[str, Tuple[str, int]],
+        addr: Union[str, Tuple[str, int], ConnectSpec],
         timeout: float = 30.0,
         tracer=None,
         retries: int = 0,
         backoff: float = 0.05,
     ) -> None:
-        host, port = parse_address(addr)
-        self.address = f"{host}:{port}"
+        if isinstance(addr, ConnectSpec):
+            spec = addr
+        else:
+            host, port = parse_address(addr)
+            spec = ConnectSpec(
+                f"{host}:{port}", timeout=timeout, retries=retries, backoff=backoff
+            )
+        self.spec = spec
+        self.address = spec.address
         self.tracer = TRACER if tracer is None else tracer
-        # Bounded retry on refusal only: refusal means nothing is bound yet
-        # (a daemon still launching), which backoff genuinely fixes; every
-        # other connect failure (unreachable host, timeout) raises at once.
-        attempt = 0
-        while True:
-            try:
-                self._sock = socket.create_connection((host, port), timeout=timeout)
-                break
-            except ConnectionRefusedError:
-                if attempt >= int(retries):
-                    raise
-                time.sleep(min(float(backoff) * (2 ** attempt), 1.0))
-                attempt += 1
+        self._sock = spec.open_socket()
         self._fh = self._sock.makefile("rb")
         self._lock = threading.Lock()
         self._closed = False  # repro: guarded-by(_lock)

@@ -1,0 +1,188 @@
+"""``ConnectionPool``: a small per-backend pool of wire-protocol connections.
+
+One :class:`~repro.serve.client.RemoteStore` serializes its exchanges under a
+lock — correct for a single analysis client, but a relay (the shard router,
+the HTTP gateway) funnels *many* concurrent requests at the *same* backend,
+and one connection turns that fan-in into a queue.  The pool fixes exactly
+that: up to ``size`` connections per backend, leased one exchange at a time.
+
+Semantics:
+
+* **checkout/checkin with lease pinning** — :meth:`ConnectionPool.lease` is a
+  context manager; the connection it yields is pinned to the caller until the
+  block exits, so an exchange never interleaves with another thread's.
+* **poison-on-transport-failure** — a :class:`RemoteStore` poisons itself when
+  an exchange dies mid-stream (``closed`` goes true); checkin discards such
+  connections instead of recycling them, and the freed slot reconnects on the
+  next checkout.  One broken stream never infects later requests.
+* **bounded, queueing** — at most ``size`` connections exist; when all are
+  leased, checkout blocks on a condition variable until one returns.
+* **drain on close** — :meth:`close` marks the pool closed and closes idle
+  connections immediately; leased connections are closed as they check back
+  in, so in-flight exchanges finish undisturbed.  The shard router calls this
+  from ``set_map`` when a shard leaves the topology.
+
+Dial policy (address, timeout, refused-connection retry/backoff) comes from
+one :class:`~repro.serve.client.ConnectSpec` — declared once, shared with
+every other connect site.
+
+Locking: the condition variable guards only bookkeeping.  Dialing and closing
+sockets always happens *outside* it, so a slow backend connect can never
+stall another thread's checkin (the runtime lockcheck enforces this).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Tuple, Union
+
+from repro.serve.client import ConnectSpec, RemoteStore
+from repro.serve.protocol import ProtocolError
+
+__all__ = ["ConnectionPool"]
+
+
+class ConnectionPool:
+    """Up to ``size`` pooled :class:`RemoteStore` connections to one backend."""
+
+    def __init__(
+        self,
+        spec: Union[ConnectSpec, str, Tuple[str, int]],
+        size: int = 4,
+        tracer=None,
+    ) -> None:
+        if not isinstance(spec, ConnectSpec):
+            spec = ConnectSpec(
+                spec if isinstance(spec, str) else f"{spec[0]}:{spec[1]}"
+            )
+        self.spec = spec
+        self.size = max(1, int(size))
+        self.tracer = tracer
+        self._cond = threading.Condition()
+        self._idle: List[RemoteStore] = []  # repro: guarded-by(_cond)
+        self._n_open = 0  # live + being-dialed connections  # repro: guarded-by(_cond)
+        self._closed = False  # repro: guarded-by(_cond)
+        self._counters: Dict[str, int] = {  # repro: guarded-by(_cond)
+            "created": 0,
+            "leases": 0,
+            "waits": 0,
+            "poisoned": 0,
+        }
+
+    @property
+    def address(self) -> str:
+        return self.spec.address
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def warm(self) -> None:
+        """Dial one connection now, so a dead backend fails loudly up front."""
+        with self.lease():
+            pass
+
+    @contextmanager
+    def lease(self) -> Iterator[RemoteStore]:
+        """Check out one connection, pinned to the caller for the block."""
+        conn = self._checkout()
+        try:
+            yield conn
+        finally:
+            self._checkin(conn)
+
+    # -- checkout / checkin ----------------------------------------------------
+    def _checkout(self) -> RemoteStore:
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise ProtocolError(
+                        f"connection pool for {self.spec.address} is closed"
+                    )
+                while self._idle:
+                    conn = self._idle.pop()
+                    if conn.closed:
+                        # Poisoned while idle (backend hung up); drop the slot.
+                        self._n_open -= 1
+                        self._counters["poisoned"] += 1
+                        continue
+                    self._counters["leases"] += 1
+                    return conn
+                if self._n_open < self.size:
+                    # Reserve the slot now; dial outside the lock below.
+                    self._n_open += 1
+                    break
+                self._counters["waits"] += 1
+                self._cond.wait()
+        try:
+            conn = self.spec.connect(tracer=self.tracer)
+        except BaseException:
+            with self._cond:
+                self._n_open -= 1
+                self._cond.notify()
+            raise
+        with self._cond:
+            drained = self._closed
+            if drained:
+                self._n_open -= 1
+                self._cond.notify()
+            else:
+                self._counters["created"] += 1
+                self._counters["leases"] += 1
+        if drained:
+            conn.close()
+            raise ProtocolError(f"connection pool for {self.spec.address} is closed")
+        return conn
+
+    def _checkin(self, conn: RemoteStore) -> None:
+        discard = False
+        with self._cond:
+            if conn.closed:
+                # Transport failure mid-lease poisoned it; free the slot so
+                # the next checkout dials a replacement.
+                self._n_open -= 1
+                self._counters["poisoned"] += 1
+            elif self._closed:
+                # Pool drained while this lease was in flight.
+                self._n_open -= 1
+                discard = True
+            else:
+                self._idle.append(conn)
+            self._cond.notify()
+        if discard:
+            conn.close()
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        """Drain: close idle connections now, leased ones as they return."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            idle, self._idle = self._idle, []
+            self._n_open -= len(idle)
+            self._cond.notify_all()
+        for conn in idle:
+            conn.close()
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def stats(self) -> Dict[str, int]:
+        """Pool accounting: open/idle connection counts plus lease counters."""
+        with self._cond:
+            return {
+                **self._counters,
+                "open": self._n_open,
+                "idle": len(self._idle),
+            }
+
+    def __repr__(self) -> str:
+        with self._cond:
+            state = "closed" if self._closed else f"{self._n_open}/{self.size} open"
+        return f"ConnectionPool({self.spec.address}, {state})"

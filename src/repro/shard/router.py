@@ -2,8 +2,10 @@
 
 The router speaks the exact :mod:`repro.serve` protocol on its front socket
 — ``repro.connect()`` pointed at a router is bit-for-bit a single-daemon
-client — and fans out over one :class:`~repro.serve.client.RemoteStore`
-backend connection per shard:
+client — and fans out over a small
+:class:`~repro.serve.pool.ConnectionPool` of backend connections per shard
+(``pool_size=``), so concurrent requests routed to the *same* shard relay in
+parallel instead of serializing on one socket:
 
 * ``catalog`` merges every shard's catalog into one entry list (preferring
   the owning shard's row for keys that transiently exist on two shards
@@ -23,10 +25,11 @@ backend connection per shard:
 Backend failures surface as typed :class:`ShardError` responses naming the
 shard and address; application errors from a shard (a bad index, a missing
 entry) relay verbatim so clients see exactly the error a single daemon
-would have sent.  Backend connections retry with exponential backoff on
-refusal, so launching a router alongside its shard daemons never races
-their binds, and a poisoned backend connection (shard restarted) is
-replaced transparently on the next request that needs it.
+would have sent.  Backend connections dial under one
+:class:`~repro.serve.client.ConnectSpec` (exponential backoff on refusal),
+so launching a router alongside its shard daemons never races their binds,
+and a poisoned pooled connection (shard restarted) is replaced
+transparently on the next request that needs it.
 
 The shard map is swappable live (:meth:`RouterDaemon.set_map`): rebalancing
 installs the new topology between its copy and prune phases, so routed
@@ -43,8 +46,9 @@ from repro.obs import access_extra, label_snapshot, merge_snapshots
 from repro.obs import span as obs_span
 from repro.obs.tracing import current_trace
 from repro.obs.collectors import counter_family, gauge_family
-from repro.serve.client import RemoteStore
+from repro.serve.client import ConnectSpec
 from repro.serve.daemon import WireDaemon
+from repro.serve.pool import ConnectionPool
 from repro.serve.protocol import (
     ProtocolError,
     error_header,
@@ -69,7 +73,7 @@ class ShardError(RuntimeError):
 
 
 class RouterDaemon(WireDaemon):
-    """Shard-fan-out daemon: one front socket, one backend per shard.
+    """Shard-fan-out daemon: one front socket, one connection pool per shard.
 
     Parameters
     ----------
@@ -80,9 +84,13 @@ class RouterDaemon(WireDaemon):
     timeout:
         Socket timeout of each backend connection.
     retries / backoff:
-        Backend connect retry policy (see
-        :func:`repro.serve.client.connect`); the default rides out a shard
-        daemon that is still binding when the router starts.
+        Backend connect retry policy (one :class:`ConnectSpec` per shard);
+        the default rides out a shard daemon that is still binding when the
+        router starts.
+    pool_size:
+        Backend connections per shard.  One connection serializes concurrent
+        requests routed to the same shard; a handful lets them relay in
+        parallel (``bench_shard.py`` prices this).
     """
 
     _accept_thread_name = "repro-shard-router-accept"
@@ -98,6 +106,7 @@ class RouterDaemon(WireDaemon):
         timeout: float = 30.0,
         retries: int = 8,
         backoff: float = 0.05,
+        pool_size: int = 4,
     ) -> None:
         super().__init__(
             host=host, port=port, backlog=backlog, tracer=tracer, slow_ms=slow_ms
@@ -106,7 +115,8 @@ class RouterDaemon(WireDaemon):
         self.timeout = float(timeout)
         self.retries = int(retries)
         self.backoff = float(backoff)
-        self._backends: Dict[str, RemoteStore] = {}  # repro: guarded-by(_lock)
+        self.pool_size = max(1, int(pool_size))
+        self._pools: Dict[str, ConnectionPool] = {}  # repro: guarded-by(_lock)
         self._counters.update(
             {
                 "reads_forwarded": 0,
@@ -119,68 +129,69 @@ class RouterDaemon(WireDaemon):
     def start(self) -> str:
         if self._listener is not None:
             return self.address
-        # Connect every backend before accepting clients: a misconfigured
-        # topology fails here, loudly, not on the first routed request.
+        # Dial one connection per shard before accepting clients: a
+        # misconfigured topology fails here, loudly, not on the first
+        # routed request.  The rest of each pool fills on demand.
         for spec in self.shard_map.shards:
-            self._backend(spec.name)
+            self._pool(spec.name).warm()
         return super().start()
 
     def stop(self, timeout: float = 5.0) -> None:
         super().stop(timeout)
         with self._lock:
-            backends = list(self._backends.values())
-            self._backends.clear()
-        for backend in backends:
-            backend.close()
+            pools = list(self._pools.values())
+            self._pools.clear()
+        for pool in pools:
+            pool.close()
 
     def set_map(self, shard_map: ShardMap) -> None:
         """Install a new topology live; routed requests use it immediately.
 
-        Backends of shards that left the map (or changed address) close;
+        Pools of shards that left the map (or changed address) drain — idle
+        connections close now, leased ones as their in-flight relays finish;
         new shards connect lazily on first forward.  Rebalancing calls this
         *between* copying entries to their new owners and pruning the old
         copies, so every entry is readable at its routed location throughout.
         """
-        to_close: List[RemoteStore] = []
+        to_close: List[ConnectionPool] = []
         with self._lock:
             self.shard_map = shard_map
             live = {s.name: s for s in shard_map.shards}
-            for name, backend in list(self._backends.items()):
+            for name, pool in list(self._pools.items()):
                 spec = live.get(name)
-                if spec is None or backend.address != _normalize(spec.address):
-                    to_close.append(self._backends.pop(name))
-        for backend in to_close:
-            backend.close()
+                if spec is None or pool.address != _normalize(spec.address):
+                    to_close.append(self._pools.pop(name))
+        for pool in to_close:
+            pool.close()
         log.info(
             "shard map installed",
             extra=access_extra(shards=shard_map.names()),
         )
 
-    def _backend(self, name: str) -> RemoteStore:
-        """The live backend connection for a shard, (re)connecting as needed."""
+    def _pool(self, name: str) -> ConnectionPool:
+        """The live connection pool for a shard, (re)creating as needed."""
         spec = self.shard_map.spec(name)
         with self._lock:
-            backend = self._backends.get(name)
-        if backend is not None and not backend.closed:
-            return backend
-        fresh = RemoteStore(
-            spec.address,
-            timeout=self.timeout,
+            pool = self._pools.get(name)
+        if pool is not None and not pool.closed:
+            return pool
+        # Creating a pool opens no sockets, so losing the race below costs
+        # nothing — the loser is dropped unused.
+        fresh = ConnectionPool(
+            ConnectSpec(
+                spec.address,
+                timeout=self.timeout,
+                retries=self.retries,
+                backoff=self.backoff,
+            ),
+            size=self.pool_size,
             tracer=self.tracer,
-            retries=self.retries,
-            backoff=self.backoff,
         )
         with self._lock:
-            current = self._backends.get(name)
+            current = self._pools.get(name)
             if current is not None and not current.closed:
-                # Lost the reconnect race; use the winner.
-                self._backends[name] = current
-            else:
-                self._backends[name] = fresh
-                current = None
-        if current is not None:
-            fresh.close()
-            return current
+                return current
+            self._pools[name] = fresh
         return fresh
 
     def __repr__(self) -> str:
@@ -241,8 +252,8 @@ class RouterDaemon(WireDaemon):
             if wire_trace is not None:
                 forwarded = {**header, "trace": wire_trace}
             try:
-                backend = self._backend(name)
-                resp, resp_payload = backend.exchange(forwarded, payload)
+                with self._pool(name).lease() as backend:
+                    resp, resp_payload = backend.exchange(forwarded, payload)
             except (OSError, ProtocolError) as exc:
                 with self._lock:
                     self._counters["backend_errors"] += 1
@@ -340,7 +351,8 @@ class RouterDaemon(WireDaemon):
         with self._lock:
             counters = dict(self._counters)
             active = len(self._connections)
-            backends = sum(1 for b in self._backends.values() if not b.closed)
+            pools = list(self._pools.values())
+        backends = sum(p.stats()["open"] for p in pools if not p.closed)
         return [
             counter_family("repro_router_requests_total",
                            "Requests dispatched by the shard router.",
@@ -371,6 +383,9 @@ class RouterDaemon(WireDaemon):
     def stats(self) -> Dict[str, Any]:
         out = super().stats()
         out["shards"] = self.shard_map.names()
+        with self._lock:
+            pools = dict(self._pools)
+        out["pools"] = {name: pool.stats() for name, pool in pools.items()}
         return out
 
 

@@ -30,8 +30,10 @@ def pytest_configure(config):
     import repro.array.cache  # noqa: F401
     import repro.obs.metrics  # noqa: F401
     import repro.obs.tracing  # noqa: F401
+    import repro.gateway.daemon  # noqa: F401
     import repro.serve.client  # noqa: F401
     import repro.serve.daemon  # noqa: F401
+    import repro.serve.pool  # noqa: F401
     import repro.shard.router  # noqa: F401
     import repro.store.catalog  # noqa: F401
     import repro.store.engine  # noqa: F401

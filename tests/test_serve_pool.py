@@ -1,0 +1,288 @@
+"""``ConnectSpec`` + ``ConnectionPool``: dial policy, lease semantics, and the
+concurrency regression the pool exists to fix.
+
+The headline test is :class:`TestRouterConcurrency`: before the pool, the
+router held **one** connection per shard, so N concurrent requests routed to
+the same shard serialized — wall clock ≈ N × single-request latency.  With a
+pool they overlap.  A deliberately slow shard daemon (a fixed sleep inside
+``read``) makes the bound deterministic: sleeps are wall-clock floors, so the
+serialized case *cannot* finish early and the pooled case *must* (generous
+0.5·N slack keeps slow CI machines green).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.serve import ConnectionPool, ConnectSpec, ReadDaemon, RemoteStore
+from repro.serve.protocol import ProtocolError
+from repro.shard import RouterDaemon, ShardMap, ShardSpec
+
+DELAY = 0.15  # seconds each slow read sleeps; every bound builds on this
+N_THREADS = 4
+
+
+class SlowReadDaemon(ReadDaemon):
+    """A daemon whose reads take (at least) ``DELAY`` seconds of wall clock."""
+
+    def _dispatch(self, header):
+        if header.get("op") == "read":
+            time.sleep(DELAY)
+        return super()._dispatch(header)
+
+
+@pytest.fixture(scope="module")
+def slow_shard(tmp_path_factory, smooth_field_3d):
+    """One slow shard daemon plus a single-shard map routing everything to it."""
+    from repro.core.mr_compressor import MultiResolutionCompressor
+    from repro.store import Store
+
+    root = tmp_path_factory.mktemp("pool-shard")
+    store = Store(root / "s0", MultiResolutionCompressor(unit_size=8))
+    store.append("density", 0, smooth_field_3d, 0.05)
+    daemon = SlowReadDaemon(store)
+    address = daemon.start()
+    shard_map = ShardMap([ShardSpec("s0", address, store=str(root / "s0"))])
+    yield SimpleNamespace(store=store, daemon=daemon, shard_map=shard_map)
+    daemon.stop()
+
+
+@pytest.fixture()
+def fast_daemon(serve_daemon):
+    """The shared session daemon (no artificial delay), for lease tests."""
+    return serve_daemon
+
+
+class TestConnectSpec:
+    def test_address_normalizes(self):
+        spec = ConnectSpec("localhost:4815")
+        assert spec.address == "localhost:4815"
+        with pytest.raises(ValueError):
+            ConnectSpec("no-port-here")
+
+    def test_no_retry_fails_fast_on_refused(self):
+        # Grab a port the OS just released: connecting to it is refused.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        spec = ConnectSpec(f"127.0.0.1:{port}", retries=0)
+        with pytest.raises(ConnectionRefusedError):
+            spec.open_socket()
+
+    def test_retry_rides_out_late_binding(self):
+        """The retry loop connects once a listener appears mid-backoff."""
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        listener = socket.socket()
+
+        def bind_late():
+            time.sleep(0.1)
+            listener.bind(("127.0.0.1", port))
+            listener.listen(1)
+
+        thread = threading.Thread(target=bind_late)
+        thread.start()
+        try:
+            spec = ConnectSpec(f"127.0.0.1:{port}", retries=10, backoff=0.02)
+            sock = spec.open_socket()
+            sock.close()
+        finally:
+            thread.join()
+            listener.close()
+
+    def test_spec_connect_builds_a_live_store(self, serve_daemon):
+        with ConnectSpec(serve_daemon.address).connect() as remote:
+            assert remote.fields()
+
+
+class TestLease:
+    def test_sequential_leases_reuse_one_connection(self, fast_daemon):
+        with ConnectionPool(fast_daemon.address, size=4) as pool:
+            with pool.lease() as first:
+                first.describe()
+            with pool.lease() as second:
+                second.describe()
+            assert first is second
+            stats = pool.stats()
+            assert stats["created"] == 1
+            assert stats["leases"] == 2
+            assert stats["open"] == 1 and stats["idle"] == 1
+
+    def test_exhausted_pool_queues_until_checkin(self, fast_daemon):
+        pool = ConnectionPool(fast_daemon.address, size=1)
+        holding = threading.Event()
+        release = threading.Event()
+        order = []
+
+        def holder():
+            with pool.lease():
+                holding.set()
+                release.wait(timeout=5)
+            order.append("released")
+
+        def waiter():
+            holding.wait(timeout=5)
+            with pool.lease():
+                order.append("acquired")
+
+        threads = [threading.Thread(target=holder), threading.Thread(target=waiter)]
+        for thread in threads:
+            thread.start()
+        assert holding.wait(timeout=5)
+        time.sleep(0.05)  # give the waiter time to reach the blocked wait
+        release.set()
+        for thread in threads:
+            thread.join(timeout=5)
+        # The waiter could only proceed after the holder's checkin.
+        assert order == ["released", "acquired"]
+        assert pool.stats()["waits"] >= 1
+        assert pool.stats()["open"] == 1  # never grew past size
+        pool.close()
+
+    def test_poisoned_connection_is_replaced(self, fast_daemon):
+        pool = ConnectionPool(fast_daemon.address, size=1)
+        with pool.lease() as conn:
+            conn.describe()
+            # Kill the transport under the lease; the next exchange dies and
+            # poisons the connection (RemoteStore marks itself closed).
+            conn._sock.shutdown(socket.SHUT_RDWR)
+            with pytest.raises((OSError, ProtocolError)):
+                conn.describe()
+            assert conn.closed
+        stats = pool.stats()
+        assert stats["poisoned"] == 1
+        assert stats["open"] == 0  # the slot was freed, not leaked
+        # The freed slot redials transparently on the next checkout.
+        with pool.lease() as fresh:
+            assert fresh is not conn
+            fresh.describe()
+        assert pool.stats()["created"] == 2
+        pool.close()
+
+    def test_close_drains_idle_and_inflight(self, fast_daemon):
+        pool = ConnectionPool(fast_daemon.address, size=2)
+        with pool.lease() as conn:
+            pool.close()
+            # The in-flight lease finishes its exchange undisturbed...
+            conn.describe()
+        # ...but checkin discards it instead of recycling.
+        assert conn.closed
+        assert pool.stats()["open"] == 0
+        with pytest.raises(ProtocolError, match="closed"):
+            pool.warm()
+
+    def test_checkout_after_close_raises(self, fast_daemon):
+        pool = ConnectionPool(fast_daemon.address)
+        pool.warm()
+        pool.close()
+        with pytest.raises(ProtocolError, match="closed"):
+            with pool.lease():
+                pass
+
+    def test_waiters_released_by_close(self, fast_daemon):
+        pool = ConnectionPool(fast_daemon.address, size=1)
+        holding = threading.Event()
+        outcome = []
+
+        def holder():
+            with pool.lease():
+                holding.set()
+                time.sleep(0.2)
+
+        def waiter():
+            holding.wait(timeout=5)
+            try:
+                with pool.lease():
+                    outcome.append("leased")
+            except ProtocolError:
+                outcome.append("closed")
+
+        threads = [threading.Thread(target=holder), threading.Thread(target=waiter)]
+        for thread in threads:
+            thread.start()
+        holding.wait(timeout=5)
+        time.sleep(0.05)
+        pool.close()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert outcome == ["closed"]
+
+
+def _parallel_reads(router_address, n_threads):
+    """N concurrent same-shard reads through one router; returns wall seconds."""
+    barrier = threading.Barrier(n_threads)
+    errors = []
+
+    def worker():
+        try:
+            with RemoteStore(router_address) as remote:
+                arr = remote["density", 0]
+                barrier.wait(timeout=10)
+                arr[0:4, 0:4, 0:4]
+        except Exception as exc:  # noqa: BLE001 - surfaced via the errors list
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    elapsed = time.perf_counter() - started
+    assert not errors, errors
+    return elapsed
+
+
+class TestRouterConcurrency:
+    """The regression the pool fixes: same-shard requests must overlap."""
+
+    def test_pooled_router_overlaps_same_shard_reads(self, slow_shard):
+        router = RouterDaemon(slow_shard.shard_map, pool_size=N_THREADS)
+        router.start()
+        try:
+            elapsed = _parallel_reads(router.address, N_THREADS)
+            # Serialized would take >= N * DELAY of pure sleep; the pool must
+            # beat half of that (parallel ideal is ~1 * DELAY).
+            assert elapsed < 0.5 * N_THREADS * DELAY, (
+                f"{N_THREADS} pooled same-shard reads took {elapsed:.3f}s; "
+                f"bound {0.5 * N_THREADS * DELAY:.3f}s — pool is serializing"
+            )
+            pool_stats = router.stats()["pools"]["s0"]
+            assert pool_stats["open"] >= 2  # the fan-out actually happened
+        finally:
+            router.stop()
+
+    def test_pool_size_one_serializes(self, slow_shard):
+        """The legacy shape (one connection per shard) really does queue."""
+        router = RouterDaemon(slow_shard.shard_map, pool_size=1)
+        router.start()
+        try:
+            elapsed = _parallel_reads(router.address, N_THREADS)
+            # Each read sleeps DELAY on the shard and they all share one
+            # backend connection, so the sleeps cannot overlap.
+            assert elapsed >= 0.9 * N_THREADS * DELAY
+            assert router.stats()["pools"]["s0"]["open"] <= 1
+        finally:
+            router.stop()
+
+    def test_router_stats_surface_pool_counters(self, slow_shard):
+        router = RouterDaemon(slow_shard.shard_map, pool_size=2)
+        router.start()
+        try:
+            with RemoteStore(router.address) as remote:
+                remote.entries()
+            pools = router.stats()["pools"]
+            assert set(pools) == {"s0"}
+            for key in ("created", "leases", "waits", "poisoned", "open", "idle"):
+                assert key in pools["s0"]
+        finally:
+            router.stop()

@@ -1,4 +1,4 @@
-"""Shard fuzz: router reads ≡ single store ≡ NumPy, across a live rebalance.
+"""Shard fuzz: gateway ≡ router reads ≡ single store ≡ NumPy, live rebalance.
 
 Reuses the seeded index-expression machinery from ``test_array_fuzz`` and
 replays it through a three-shard router.  The centrepiece test replays the
@@ -6,6 +6,12 @@ matrix, grows the topology to four shards with the copy → switch → prune
 live-rebalance sequence mid-run, and keeps replaying through the *same*
 client connection — proving reads stay bit-for-bit through a topology
 change.
+
+The parity test replays every draw twice per case: once through the router's
+socket client, once through the HTTP gateway mounted on that router — so one
+seed matrix holds all three remote hops (daemon, router, gateway) bit-for-bit
+equal to NumPy, *including* error-type and error-message parity through the
+gateway's JSON error envelope.
 
 Entry keys are fixed (field ``fz``, steps ``0..N``) so placement and the
 move list are identical for every ``REPRO_FUZZ_SEED``: the seed varies
@@ -28,6 +34,7 @@ from test_array_fuzz import (
     random_index,
 )
 
+from repro.gateway import GatewayDaemon, HTTPStore
 from repro.serve import ReadDaemon, RemoteStore
 from repro.shard import RouterDaemon, ShardMap, ShardSpec, plan_for_stores, execute_plan, split_store
 from repro.store import Store
@@ -77,6 +84,8 @@ def cluster(tmp_path_factory):
     )
     router = RouterDaemon(shard_map)
     router.start()
+    gateway = GatewayDaemon(router.address)
+    gateway.start()
     cluster = SimpleNamespace(
         root=root,
         single=single,
@@ -85,8 +94,10 @@ def cluster(tmp_path_factory):
         daemons=daemons,
         shard_map=shard_map,
         router=router,
+        gateway=gateway,
     )
     yield cluster
+    gateway.stop()
     router.stop()
     for daemon in cluster.daemons.values():
         daemon.stop()
@@ -94,18 +105,29 @@ def cluster(tmp_path_factory):
 
 @pytest.mark.parametrize("case", range(N_CASES))
 def test_router_fuzz_parity(case, cluster):
-    """Random index draws: local view ≡ NumPy ≡ the routed remote view."""
+    """Random draws: local view ≡ NumPy ≡ routed remote ≡ HTTP gateway.
+
+    Each drawn index replays through both remote hops, so the gateway's
+    extra layer (query-string encoding, octet framing, JSON error
+    envelopes) is held to the same oracle — values bit-for-bit, errors
+    type- and message-identical.
+    """
     reference = cluster.references[case]
     local = cluster.single.array(FIELD, case)
     rng = default_rng(f"{FUZZ_SEED}:shard-replay:{case}")
     label = f"seed={FUZZ_SEED} shard case={case} shape={reference.shape}"
-    with RemoteStore(cluster.router.address) as client:
+    with RemoteStore(cluster.router.address) as client, HTTPStore(
+        cluster.gateway.address
+    ) as http_client:
         remote = client.array(FIELD, case)
+        via_gateway = http_client.array(FIELD, case)
         assert remote.shape == reference.shape
+        assert via_gateway.shape == reference.shape
         for _ in range(INDICES_PER_CASE):
+            index = random_index(rng, reference.shape)
+            check_against_numpy(local, reference, index, label, remote=remote)
             check_against_numpy(
-                local, reference, random_index(rng, reference.shape), label,
-                remote=remote,
+                local, reference, index, f"{label} [gateway]", remote=via_gateway
             )
 
 

@@ -277,11 +277,11 @@ def test_set_map_closes_backends_of_removed_shards(cluster, tmp_path):
     router = RouterDaemon(shard_map)
     router.start()
     try:
-        assert set(router._backends) == {"a", "b"}
-        dropped = router._backends["b"]
+        assert set(router._pools) == {"a", "b"}
+        dropped = router._pools["b"]
         router.set_map(ShardMap([shard_map.spec("a")]))
         assert dropped.closed
-        assert "b" not in router._backends
+        assert "b" not in router._pools
         with RemoteStore(router.address) as client:
             np.asarray(client[entry.field, entry.step][...])  # still serves
     finally:
