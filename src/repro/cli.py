@@ -340,6 +340,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="pooled connections per shard backend; bounds how many routed "
         "requests one shard serves concurrently (default 4)",
     )
+    shard_serve.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        help="override the topology's replication factor: each entry is "
+        "owned by this many distinct shards, and reads fail over between "
+        "them (default: what the topology JSON says, usually 1)",
+    )
+    shard_serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        help="consecutive transport failures before a shard's circuit "
+        "breaker opens (default 3)",
+    )
+    shard_serve.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=1.0,
+        help="seconds an open breaker waits before admitting a half-open "
+        "probe (default 1.0)",
+    )
+    shard_serve.add_argument(
+        "--probe-interval",
+        type=float,
+        default=0.25,
+        help="seconds between background health probes of tripped shards; "
+        "0 disables the prober (default 0.25)",
+    )
 
     gateway = sub.add_parser(
         "gateway",
@@ -419,6 +448,52 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="record gateway exchange traces (backend spans grafted in) into "
         "the in-memory trace ring",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injecting TCP proxy in front of one daemon (repro.chaos)",
+    )
+    chaos.add_argument(
+        "listen",
+        help="host:port to listen on (port 0 picks a free port, printed on startup)",
+    )
+    chaos.add_argument("upstream", help="host:port of the daemon to front")
+    chaos.add_argument(
+        "--seed",
+        default="chaos-0",
+        help="schedule seed; the fault a connection suffers is a pure "
+        "function of (seed, connection index), so a run replays exactly "
+        "(default chaos-0)",
+    )
+    chaos.add_argument(
+        "--script",
+        default=None,
+        metavar="FAULTS",
+        help="comma-separated fault cycle applied per connection, e.g. "
+        "pass,pass,disconnect (faults: pass, refuse, hang, disconnect, "
+        "corrupt, delay)",
+    )
+    chaos.add_argument(
+        "--weights",
+        default=None,
+        metavar="F=W,...",
+        help="seeded weighted draw per connection instead of a cycle, e.g. "
+        "pass=6,corrupt=1,disconnect=1 (default when no --script: "
+        "pass=4,corrupt=1,disconnect=1)",
+    )
+    chaos.add_argument(
+        "--seconds",
+        type=float,
+        default=None,
+        help="run for this many seconds then exit cleanly (default: until ctrl-c)",
+    )
+    chaos.add_argument(
+        "--hang-timeout",
+        type=float,
+        default=30.0,
+        help="seconds a hung connection is held before the proxy drops it "
+        "(default 30)",
     )
 
     lint = sub.add_parser(
@@ -888,18 +963,29 @@ def _cmd_shard_rebalance(args: argparse.Namespace) -> int:
 def _cmd_shard_serve(args: argparse.Namespace) -> int:
     from repro.obs import TRACER, configure_logging
     from repro.serve import parse_address
-    from repro.shard import RouterDaemon, ShardError
+    from repro.shard import RouterDaemon, ShardError, ShardMap
 
     try:
         host, port = parse_address(args.addr)
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
     shard_map = _load_shard_map(args.topology)
+    if args.replicas is not None:
+        try:
+            shard_map = ShardMap(
+                shard_map.shards,
+                virtual_nodes=shard_map.virtual_nodes,
+                replicas=args.replicas,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
     configure_logging(verbosity=args.verbose, json_lines=args.log_json)
     if args.trace:
         TRACER.enable()
     if args.pool_size < 1:
         raise SystemExit("error: --pool-size must be >= 1")
+    if args.breaker_threshold < 1:
+        raise SystemExit("error: --breaker-threshold must be >= 1")
     router = RouterDaemon(
         shard_map,
         host=host,
@@ -907,6 +993,9 @@ def _cmd_shard_serve(args: argparse.Namespace) -> int:
         slow_ms=args.slow_ms,
         retries=args.connect_retries,
         pool_size=args.pool_size,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        probe_interval=args.probe_interval,
     )
     # Same SIGTERM discipline as `repro serve`: installed before the banner,
     # so once the address is printed a TERM always exits cleanly.
@@ -921,7 +1010,9 @@ def _cmd_shard_serve(args: argparse.Namespace) -> int:
     print(
         f"routing {len(shard_map.shards)} shards "
         f"({', '.join(s.name + '=' + s.address for s in shard_map.shards)}) "
-        f"at {router.address} (ctrl-c to stop)",
+        f"at {router.address} "
+        f"(replicas {shard_map.replicas}, breaker threshold "
+        f"{args.breaker_threshold}; ctrl-c to stop)",
         flush=True,
     )
     try:
@@ -937,6 +1028,86 @@ def _cmd_shard_serve(args: argparse.Namespace) -> int:
         f"({stats['reads_forwarded']} reads forwarded, "
         f"{stats['relay_bytes']} B relayed, "
         f"{stats['backend_errors']} backend errors)"
+    )
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos LISTEN UPSTREAM``: a fault-injecting proxy for one daemon.
+
+    Point a router's topology at the proxy's address instead of the daemon's
+    and the scheduled faults exercise the failover path: refused dials trip
+    the circuit breaker, corrupted frames surface as checksum mismatches,
+    mid-frame disconnects as connection resets — all deterministically,
+    because the fault is a pure function of ``(seed, connection index)``.
+    """
+    from repro.chaos import FAULTS, ChaosProxy, ChaosSchedule
+    from repro.obs import configure_logging
+    from repro.serve import parse_address
+
+    try:
+        host, port = parse_address(args.listen)
+        up_host, up_port = parse_address(args.upstream)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.script is not None and args.weights is not None:
+        raise SystemExit("error: --script and --weights are mutually exclusive")
+    try:
+        if args.script is not None:
+            script = [part.strip() for part in args.script.split(",") if part.strip()]
+            if not script:
+                raise SystemExit("error: --script needs at least one fault")
+            schedule = ChaosSchedule(script, seed=args.seed)
+        elif args.weights is not None:
+            weights = {}
+            for part in args.weights.split(","):
+                fault, sep, weight = part.strip().partition("=")
+                if not sep or fault not in FAULTS:
+                    raise SystemExit(
+                        f"error: bad weight {part.strip()!r}; expected FAULT=N "
+                        f"with FAULT in {', '.join(FAULTS)}"
+                    )
+                weights[fault] = int(weight)
+            schedule = ChaosSchedule.random(args.seed, weights=weights)
+        else:
+            schedule = ChaosSchedule.random(args.seed)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    configure_logging(verbosity=getattr(args, "verbose", 0))
+    proxy = ChaosProxy(
+        (up_host, up_port),
+        schedule=schedule,
+        host=host,
+        port=port,
+        timeout=args.hang_timeout,
+    )
+    # Same SIGTERM discipline as `repro serve`: installed before the banner,
+    # so once the address is printed a TERM always exits cleanly.
+    import signal
+
+    previous = signal.signal(signal.SIGTERM, lambda signum, frame: proxy.request_stop())
+    try:
+        proxy.start()
+    except OSError as exc:
+        signal.signal(signal.SIGTERM, previous)
+        raise SystemExit(f"error: cannot start chaos proxy: {exc}")
+    print(
+        f"chaos proxy for {proxy.upstream} at {proxy.address} "
+        f"({schedule!r}; ctrl-c to stop)",
+        flush=True,
+    )
+    try:
+        proxy.serve_forever(timeout=args.seconds)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        stats = proxy.stats()
+        proxy.stop()
+    injected = {f: n for f, n in stats["faults"].items() if n and f != "pass"}
+    print(
+        f"chaos proxy stopped after {stats['connections']} connections "
+        f"(faults injected: {injected or 'none'})"
     )
     return 0
 
@@ -1099,6 +1270,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "store": _cmd_store,
         "serve": _cmd_serve,
         "shard": _cmd_shard,
+        "chaos": _cmd_chaos,
         "gateway": _cmd_gateway,
         "stats": _cmd_stats,
         "lint": _cmd_lint,

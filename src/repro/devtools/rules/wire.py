@@ -16,11 +16,19 @@ cross-checks three things no single-file linter can see:
    through ``register_error_type``.  Unregistered types degrade to the
    untyped ``RemoteError`` fallback client-side — legal, but never by
    accident.
+4. **Gateway status coverage** — every registered error type must have an
+   entry in the ``STATUS_BY_ERROR_TYPE`` table when the project declares
+   one.  A typed backend error the gateway cannot map degrades to a
+   generic 500, which hides client-vs-backend attribution from HTTP
+   callers; registering a new wire error (``@register_error_type``) and
+   forgetting the HTTP mapping is exactly the drift this catches.
 
-The rule finds ``WIRE_OPS`` / ``_ERROR_TYPES`` by assignment name, not by
-file path, so golden fixtures (and a future protocol v2 module) lint the
-same way the real tree does.  Projects without a ``WIRE_OPS`` declaration
-are out of scope and produce no findings.
+The rule finds ``WIRE_OPS`` / ``_ERROR_TYPES`` / ``STATUS_BY_ERROR_TYPE``
+by assignment name, not by file path, so golden fixtures (and a future
+protocol v2 module) lint the same way the real tree does.  Projects
+without a ``WIRE_OPS`` declaration are out of scope and produce no
+findings; the gateway check is likewise skipped when no status table
+exists.
 """
 
 from __future__ import annotations
@@ -56,7 +64,7 @@ class WireProtocolRule(Rule):
     id = "wire-protocol"
     help = (
         "every WIRE_OPS op needs a dispatch branch, a client request builder "
-        "and registered error types"
+        "and registered error types; registered errors need a gateway status"
     )
 
     def finish_project(self, ctx: Context) -> None:
@@ -107,6 +115,18 @@ class WireProtocolRule(Rule):
                 f"not declared in WIRE_OPS",
                 module=ops_module,
             )
+
+        status = self._status_map(ctx)
+        if status is not None:
+            status_module, status_node, statuses = status
+            for name in sorted(registered - statuses):
+                ctx.report(
+                    status_node,
+                    f"error type '{name}' is registered for typed wire "
+                    f"transport but has no STATUS_BY_ERROR_TYPE entry, so "
+                    f"the gateway degrades it to a generic 500",
+                    module=status_module,
+                )
 
     # -- discovery -------------------------------------------------------------
     def _declared_ops(
@@ -162,6 +182,29 @@ class WireProtocolRule(Rule):
                         if isinstance(arg, ast.Name):
                             names.add(arg.id)
         return names
+
+    def _status_map(
+        self, ctx: Context
+    ) -> Optional[Tuple[ModuleInfo, ast.AST, Set[str]]]:
+        """The gateway's error-type -> HTTP status table, if the project has one."""
+        for module in ctx.project:
+            for node in ast.walk(module.tree):
+                value = None
+                if isinstance(node, ast.Assign) and any(
+                    isinstance(t, ast.Name) and t.id == "STATUS_BY_ERROR_TYPE"
+                    for t in node.targets
+                ):
+                    value = node.value
+                elif (
+                    isinstance(node, ast.AnnAssign)
+                    and isinstance(node.target, ast.Name)
+                    and node.target.id == "STATUS_BY_ERROR_TYPE"
+                ):
+                    value = node.value
+                if isinstance(value, ast.Dict):
+                    keys = {s for s in map(_const_str, value.keys) if s is not None}
+                    return module, node, keys
+        return None
 
     def _client_ops(self, ctx: Context) -> Set[str]:
         ops: Set[str] = set()

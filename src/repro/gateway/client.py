@@ -144,7 +144,7 @@ class HTTPStore:
         return self.fetch_json(f"/fields/{field}", {"step": str(int(step))})
 
     def __len__(self) -> int:
-        return int(self.health().get("n_entries", 0))
+        return len(self.entries())
 
     def stats(self) -> Dict[str, Any]:
         return self.fetch_json("/stats")

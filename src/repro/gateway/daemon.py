@@ -5,7 +5,8 @@ The web-facing on-ramp: one gateway mounts on a single
 :class:`~repro.shard.RouterDaemon`, fronting the whole sharded cluster
 through one HTTP origin:
 
-* ``GET /health`` — backend liveness + entry count (503 when unreachable);
+* ``GET /health`` — backend health, degraded-shard aware (503 once any
+  replica set is entirely unreachable);
 * ``GET /catalog`` — the (merged) catalog as JSON;
 * ``GET /fields/{field}`` — steps and rows for one field;
   ``?step=N`` returns that container's describe (codec, level geometry);
@@ -78,6 +79,7 @@ STATUS_BY_ERROR_TYPE: Dict[str, int] = {
     "IndexError": 400,
     "KeyError": 404,
     "ShardError": 502,
+    "BreakerOpenError": 503,
     "ProtocolError": 502,
     "VersionMismatch": 502,
     "RemoteError": 502,
@@ -607,21 +609,34 @@ class GatewayDaemon:
 
     # -- route handlers --------------------------------------------------------
     async def _r_health(self, request: Request) -> Tuple[int, str, bytes, list]:
+        """Backend health, degraded-shard aware.
+
+        A router backend reports per-shard circuit-breaker state: 200 while
+        every entry is still reachable through some replica (the ``degraded``
+        list names shards currently failing over), 503 once any replica set
+        is entirely down.  A plain daemon backend reports 200 while it
+        answers at all.
+        """
         try:
-            resp, _ = await self._exchange({"op": "describe"})
+            resp, _ = await self._exchange({"op": "health"})
         except _BackendEnvelope as exc:
             raise HttpError(
                 503,
                 f"backend at {self.spec.address} is not healthy: "
                 f"{exc.resp.get('message', '')}",
             )
-        body = {
-            "status": "ok",
-            "backend": self.spec.address,
-            "root": resp.get("root"),
-            "n_entries": resp.get("n_entries"),
-            "fields": resp.get("fields"),
-        }
+        body = {k: v for k, v in resp.items() if k != "status"}
+        body["backend"] = self.spec.address
+        if not resp.get("ok", False):
+            body["status"] = "error"
+            body["error_type"] = "BreakerOpenError"
+            body["message"] = (
+                f"backend at {self.spec.address} has unreachable entries; "
+                f"shards down: {sorted(resp.get('degraded', []))}"
+            )
+            body["http_status"] = 503
+            return 503, "application/json", http.json_body(body), []
+        body["status"] = "ok"
         return 200, "application/json", http.json_body(body), []
 
     async def _r_catalog(self, request: Request) -> Tuple[int, str, bytes, list]:

@@ -38,7 +38,9 @@ from repro.serve.protocol import (
     raise_remote_error,
     read_frame,
     send_frame,
+    verify_payload,
 )
+from repro.utils.rng import default_rng
 
 __all__ = ["ConnectSpec", "RemoteStore", "RemoteArray", "connect"]
 
@@ -63,33 +65,56 @@ class ConnectSpec:
     Every surface that dials a daemon — :func:`connect`, the shard router's
     backends, the gateway's :class:`~repro.serve.pool.ConnectionPool` — goes
     through this spec, so retry/backoff semantics are declared once instead
-    of being re-plumbed per call site.  The policy itself is deliberately
-    narrow: bounded retry with exponential backoff on
-    ``ConnectionRefusedError`` *only*, because refusal means nothing is
-    bound yet (a daemon still launching), which waiting genuinely fixes;
-    every other connect failure (unreachable host, timeout) raises at once.
+    of being re-plumbed per call site.  The policy is bounded retry on the
+    connect failures that waiting genuinely fixes: ``ConnectionRefusedError``
+    (nothing bound yet — a daemon still launching) and
+    ``ConnectionResetError``/``BrokenPipeError`` (a listener dropping us
+    mid-handshake while it restarts).  Connecting is idempotent, so retrying
+    these is always safe; every other connect failure (unreachable host,
+    timeout) raises at once.
+
+    Backoff uses *full jitter*: each attempt sleeps a uniform draw from
+    ``[0, min(backoff · 2^attempt, 1.0)]``, so N pooled clients whose shard
+    restarted don't re-dial in lockstep.  ``rng`` injects the jitter source
+    (anything :func:`repro.utils.rng.default_rng` accepts — a seed makes the
+    schedule deterministic in tests); it is excluded from equality/hashing
+    so specs still compare by policy.
     """
 
     address: str
     timeout: float = 30.0
     retries: int = 0
     backoff: float = 0.05
+    rng: Any = dataclasses.field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         host, port = parse_address(self.address)
         object.__setattr__(self, "address", f"{host}:{port}")
 
+    def _jitter_rng(self):
+        # An uninjected spec draws from OS entropy — default_rng(None) would
+        # hand every process the package-wide *fixed* seed, putting all
+        # clients back in the lockstep jitter exists to break.
+        return np.random.default_rng() if self.rng is None else default_rng(self.rng)
+
+    def backoff_delay(self, attempt: int, rng=None) -> float:
+        """The full-jitter sleep before retry ``attempt`` (0-based)."""
+        ceiling = min(float(self.backoff) * (2 ** attempt), 1.0)
+        rng = self._jitter_rng() if rng is None else rng
+        return float(rng.uniform(0.0, ceiling))
+
     def open_socket(self) -> socket.socket:
         """Dial the address under this spec's retry policy."""
         host, port = parse_address(self.address)
+        rng = self._jitter_rng()
         attempt = 0
         while True:
             try:
                 return socket.create_connection((host, port), timeout=self.timeout)
-            except ConnectionRefusedError:
+            except (ConnectionRefusedError, ConnectionResetError, BrokenPipeError):
                 if attempt >= int(self.retries):
                     raise
-                time.sleep(min(float(self.backoff) * (2 ** attempt), 1.0))
+                time.sleep(self.backoff_delay(attempt, rng=rng))
                 attempt += 1
 
     def connect(self, tracer=None) -> "RemoteStore":
@@ -106,7 +131,7 @@ def connect(
     """Connect to a :class:`~repro.serve.daemon.ReadDaemon` at ``host:port``.
 
     ``retries``/``backoff`` configure the :class:`ConnectSpec` retry policy
-    (refused connections only).  Off by default; the shard router and the
+    (refused/reset connections only).  Off by default; the shard router and the
     HTTP gateway turn it on for their backend connections so startup never
     races a shard daemon's bind.
     """
@@ -188,6 +213,15 @@ class RemoteStore:
                 raise ProtocolError(
                     f"daemon at {self.address} closed the connection mid-request"
                 )
+            try:
+                # A checksum mismatch is transport-class corruption: the
+                # stream can no longer be trusted, so poison like any other
+                # mid-exchange failure.  The shard router exchanges on this
+                # same surface, so corruption is caught *before* relay.
+                verify_payload(*frame)
+            except ProtocolError:
+                self._teardown()
+                raise
         resp, resp_payload = frame
         _CLIENT_SECONDS.labels(op=op).observe(time.perf_counter() - start)
         _PAYLOAD_SENT.inc(len(payload))
@@ -271,6 +305,18 @@ class RemoteStore:
         exposition (that is all ``repro stats ADDR --prom`` does).
         """
         resp, _ = self.request({"op": "stats"})
+        resp.pop("status", None)
+        return resp
+
+    def health(self) -> Dict[str, Any]:
+        """The daemon's health verdict.
+
+        Against a single daemon: a cheap liveness echo.  Against a shard
+        router: breaker-derived cluster health — ``ok``, per-shard breaker
+        ``shards`` states, ``degraded`` shard names and the ``unreachable``
+        replica sets (entries placed there have no live replica).
+        """
+        resp, _ = self.request({"op": "health"})
         resp.pop("status", None)
         return resp
 

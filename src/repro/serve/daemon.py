@@ -59,6 +59,7 @@ from repro.serve.protocol import (
     encode_ndarray,
     error_header,
     index_from_wire,
+    payload_checksum,
     read_frame,
     send_frame,
 )
@@ -644,13 +645,25 @@ class ReadDaemon(WireDaemon):
                     **self.stats(),
                     "metrics": REGISTRY.snapshot(),
                 }, b""
+            if op == "health":
+                # A liveness answer from local state only: reaching this
+                # branch at all proves the daemon accepts and dispatches.
+                with self._lock:
+                    n_requests = self._counters["requests"]
+                return {
+                    "status": "ok",
+                    "ok": True,
+                    "kind": "daemon",
+                    "root": str(self.store.root),
+                    "requests": n_requests,
+                }, b""
             if op == "trace":
                 return self._op_trace(header), b""
             if op == "read":
                 return self._op_read(header)
             raise ValueError(
                 f"unknown operation {op!r}; the daemon serves describe, catalog, "
-                "read, stats and trace"
+                "read, stats, health and trace"
             )
         except Exception as exc:  # noqa: BLE001 - every failure becomes a response
             with self._lock:
@@ -813,7 +826,12 @@ class ReadDaemon(WireDaemon):
             self._counters["blocks_touched"] += source.touched
             self._counters["blocks_decoded"] += source.decoded
             self._counters["result_bytes_sent"] += len(payload)
-        return {"status": "ok", **meta, "accounting": accounting}, payload
+        return {
+            "status": "ok",
+            **meta,
+            "checksum": payload_checksum(payload),
+            "accounting": accounting,
+        }, payload
 
     # -- introspection ---------------------------------------------------------
     def stats(self) -> Dict[str, Any]:

@@ -33,6 +33,7 @@ re-raised client-side with the original exception type
 
 from __future__ import annotations
 
+import hashlib
 import json
 import operator
 import struct
@@ -54,6 +55,8 @@ __all__ = [
     "read_frame",
     "encode_ndarray",
     "decode_ndarray",
+    "payload_checksum",
+    "verify_payload",
     "index_to_wire",
     "index_from_wire",
     "error_header",
@@ -68,7 +71,7 @@ PROTOCOL_VERSION = 1
 #: rule checks every dispatcher and client against.  Adding an op here without
 #: a ``_dispatch`` branch in each daemon and a client request builder fails
 #: ``repro lint``.
-WIRE_OPS = ("catalog", "describe", "read", "stats", "trace")
+WIRE_OPS = ("catalog", "describe", "read", "stats", "health", "trace")
 
 #: Frame head: magic, protocol version, header length, payload length.
 _HEAD = struct.Struct("<4sBIQ")
@@ -77,10 +80,14 @@ _HEAD = struct.Struct("<4sBIQ")
 #: receiver allocate gigabytes before noticing the frame is garbage.
 MAX_HEADER_BYTES = 1 << 20
 
-#: Default cap on a frame payload (responses carry whole result arrays, so
+#: Absolute cap on a frame payload (responses carry whole result arrays, so
 #: it is generous); a daemon reads *requests* — which carry no payload in
 #: protocol v1 — under a much smaller cap, so a corrupt or hostile length
 #: field cannot park a worker waiting for terabytes that never arrive.
+#: ``read_frame(max_payload=None)`` lifts the per-receiver cap but still
+#: enforces this bound: a single flipped bit in the length field must
+#: surface as a typed :class:`ProtocolError` the failover path can absorb,
+#: never as an unbounded allocation.
 MAX_PAYLOAD_BYTES = 1 << 31
 
 
@@ -177,7 +184,15 @@ def _read_exact_into(fh: BinaryIO, n: int, what: str) -> memoryview:
     ``readinto`` (no per-chunk ``+=`` concatenation), and the returned
     ``memoryview`` is what :func:`decode_ndarray` wraps zero-copy.
     """
-    buf = bytearray(n)
+    try:
+        buf = bytearray(n)
+    except MemoryError as exc:
+        # A length field under the cap can still out-size this host (or be a
+        # corrupt frame's fiction); either way it is a transport-class frame
+        # problem, not a server fault to relay verbatim.
+        raise ProtocolError(
+            f"frame claims {n} bytes of {what}; allocation failed"
+        ) from exc
     view = memoryview(buf)
     readinto = getattr(fh, "readinto", None)
     got = 0
@@ -207,9 +222,10 @@ def read_frame(
     short payload) raises :class:`ProtocolError`; a frame head with the
     wrong version raises :class:`VersionMismatch` *before* the header is
     parsed, so any future header-schema change stays diagnosable.
-    ``max_payload=None`` lifts the payload cap (a client reading responses
-    that carry whole arrays); a daemon reading payload-less requests passes
-    a small cap instead.
+    ``max_payload=None`` lifts the payload cap to the absolute
+    :data:`MAX_PAYLOAD_BYTES` bound (a client reading responses that carry
+    whole arrays); a daemon reading payload-less requests passes a small
+    cap instead.
     """
     first = fh.read(1)
     if not first:
@@ -228,10 +244,11 @@ def read_frame(
             f"frame header claims {header_len} bytes; the protocol caps headers "
             f"at {MAX_HEADER_BYTES}"
         )
-    if max_payload is not None and payload_len > max_payload:
+    cap = MAX_PAYLOAD_BYTES if max_payload is None else max_payload
+    if payload_len > cap:
         raise ProtocolError(
             f"frame claims a {payload_len}-byte payload; this receiver caps "
-            f"payloads at {max_payload}"
+            f"payloads at {cap}"
         )
     blob = _read_exact(fh, header_len, "frame header")
     try:
@@ -290,6 +307,42 @@ def decode_ndarray(
     if arr.flags.writeable:
         arr.flags.writeable = False
     return arr
+
+
+# -- payload integrity ---------------------------------------------------------
+def payload_checksum(payload) -> str:
+    """Hex ``blake2b-64`` digest of a frame payload.
+
+    Carried as the optional ``"checksum"`` header key on responses with a
+    payload, so every hop that touches the bytes — the end client, and the
+    shard router before it relays — can tell a corrupted payload from a
+    correct one.  64 bits keeps the hash pass cheap next to the socket copy
+    while making silent corruption astronomically unlikely to slip through.
+    """
+    return hashlib.blake2b(
+        memoryview(payload).cast("B") if payload is not None else b"",
+        digest_size=8,
+    ).hexdigest()
+
+
+def verify_payload(header: Mapping[str, Any], payload) -> None:
+    """Check a response payload against its header checksum, if present.
+
+    Raises :class:`ProtocolError` on mismatch — a *transport*-class failure,
+    so callers poison the connection and (router-side) fail over to another
+    replica instead of serving corrupt bytes.  Headers without a
+    ``"checksum"`` key pass unchecked: the field is optional so v1 peers
+    that predate it stay compatible.
+    """
+    expected = header.get("checksum")
+    if expected is None:
+        return
+    actual = payload_checksum(payload)
+    if actual != str(expected):
+        raise ProtocolError(
+            f"payload checksum mismatch: header says {expected}, "
+            f"payload hashes to {actual} ({len(payload)} bytes)"
+        )
 
 
 # -- index expressions ---------------------------------------------------------

@@ -14,9 +14,15 @@ Topology is one JSON document::
      "shards": [{"name": "s0", "address": "127.0.0.1:4815", "store": "shards/s0"},
                 {"name": "s1", "address": "127.0.0.1:4816", "store": "shards/s1"}]}
 
+``replicas: R`` in the topology places every entry on R distinct shards;
+the router fails reads over between them behind per-shard
+:class:`CircuitBreaker`\\ s, so one dead shard degrades throughput instead
+of availability.
+
 ``repro shard split/plan/rebalance/serve`` are the operator verbs.
 """
 
+from repro.shard.breaker import BreakerOpenError, CircuitBreaker
 from repro.shard.rebalance import (
     execute_plan,
     plan_for_stores,
@@ -40,6 +46,8 @@ __all__ = [
     "entry_key",
     "RouterDaemon",
     "ShardError",
+    "BreakerOpenError",
+    "CircuitBreaker",
     "split_store",
     "plan_for_stores",
     "execute_plan",

@@ -1,0 +1,171 @@
+"""Per-backend circuit breakers: fail fast instead of hammering a dead shard.
+
+The classic three-state machine, tuned for the router's replica failover:
+
+* **closed** — traffic flows; ``threshold`` *consecutive* transport failures
+  trip the breaker (one flaky exchange among successes never does).
+* **open** — calls are rejected without touching the socket
+  (:class:`BreakerOpenError`), so a request's failover to the next replica
+  costs microseconds, not a connect timeout per retry.  After ``cooldown``
+  seconds the breaker lets exactly one caller through as a probe.
+* **half_open** — the probe is in flight.  Its success closes the breaker
+  (and resets the failure count); its failure re-opens it and restarts the
+  cooldown clock.
+
+The router keeps one breaker per shard next to that shard's
+:class:`~repro.serve.pool.ConnectionPool`, records every exchange outcome,
+and a background prober turns half-open probes into automatic recovery even
+when no client traffic is routed at the sick shard.  Counters (trips,
+rejections, state) ship as ``repro_router_breaker_*`` metric families.
+
+The decision is made entirely under the breaker's own lock with no I/O, so
+it composes with the lock-order checker; the clock is injectable so tests
+drive the cooldown deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict
+
+from repro.serve.protocol import register_error_type
+
+__all__ = ["BreakerOpenError", "CircuitBreaker", "BREAKER_STATES"]
+
+#: State name -> numeric code for the ``repro_router_breaker_state`` gauge.
+BREAKER_STATES = {"closed": 0, "half_open": 1, "open": 2}
+
+
+@register_error_type
+class BreakerOpenError(RuntimeError):
+    """A backend call was rejected because its circuit breaker is open.
+
+    Registered for typed transport (and mapped to HTTP 503 by the gateway):
+    a client that sees it knows the router refused to try a shard it
+    currently believes is down, rather than the shard failing mid-request.
+    """
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker around one backend.
+
+    Parameters
+    ----------
+    name:
+        Backend label, used in diagnostics only.
+    threshold:
+        Consecutive transport failures that trip a closed breaker.
+    cooldown:
+        Seconds an open breaker rejects before allowing a half-open probe.
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        threshold: int = 3,
+        cooldown: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.name = str(name)
+        self.threshold = max(1, int(threshold))
+        self.cooldown = float(cooldown)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"  # repro: guarded-by(_lock)
+        self._failures = 0  # repro: guarded-by(_lock)
+        self._opened_at = 0.0  # repro: guarded-by(_lock)
+        self._probing = False  # repro: guarded-by(_lock)
+        self._counters = {  # repro: guarded-by(_lock)
+            "trips": 0,
+            "rejections": 0,
+            "failures": 0,
+            "successes": 0,
+            "probes": 0,
+        }
+
+    # -- decisions ---------------------------------------------------------
+    def allow(self) -> bool:
+        """Whether a call may proceed now; the half-open slot goes to one caller.
+
+        Returns ``True`` from a closed breaker, and from an open one whose
+        cooldown has lapsed — that caller *is* the probe, and the breaker
+        moves to half-open until the caller reports back.  Everyone else is
+        rejected until the probe resolves.
+        """
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if (
+                self._state == "open"
+                and self._clock() - self._opened_at >= self.cooldown
+            ):
+                self._state = "half_open"
+            if self._state == "half_open" and not self._probing:
+                self._probing = True
+                self._counters["probes"] += 1
+                return True
+            self._counters["rejections"] += 1
+            return False
+
+    def record_success(self) -> None:
+        """An exchange completed over healthy transport; close the breaker."""
+        with self._lock:
+            self._failures = 0
+            self._probing = False
+            self._state = "closed"
+
+    def record_failure(self) -> bool:
+        """A transport-level failure; returns whether this call tripped open.
+
+        A half-open probe failing re-opens immediately; a closed breaker
+        opens on the ``threshold``-th consecutive failure.  Re-opening also
+        restarts the cooldown clock, so a backend that keeps failing probes
+        stays open instead of flapping.
+        """
+        with self._lock:
+            self._failures += 1
+            was_open = self._state == "open"
+            self._probing = False
+            if self._state == "half_open" or (
+                self._state == "closed" and self._failures >= self.threshold
+            ):
+                self._state = "open"
+            if self._state == "open":
+                self._opened_at = self._clock()
+            tripped = self._state == "open" and not was_open
+            if tripped:
+                self._counters["trips"] += 1
+            return tripped
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``closed`` / ``open`` / ``half_open`` (racy snapshot)."""
+        with self._lock:
+            if (
+                self._state == "open"
+                and self._clock() - self._opened_at >= self.cooldown
+            ):
+                return "half_open"  # next allow() will admit the probe
+            return self._state
+
+    @property
+    def state_code(self) -> int:
+        """Numeric state for the breaker-state gauge."""
+        return BREAKER_STATES[self.state]
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            out: Dict[str, Any] = dict(self._counters)
+            out["failures_consecutive"] = self._failures
+            out["state"] = self._state
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.name!r}, state={self.state}, "
+            f"threshold={self.threshold}, cooldown={self.cooldown})"
+        )

@@ -76,14 +76,14 @@ def split_store(
     targets = shard_stores(shard_map, stores)
     placed: Dict[str, List[str]] = {name: [] for name in shard_map.names()}
     for entry in source.entries():
-        name = shard_map.owner_name(entry.field, entry.step)
         container = source.root / entry.path
-        targets[name].adopt(entry.field, entry.step, container, overwrite=True)
-        placed[name].append(entry.key)
-        log.info(
-            "entry placed",
-            extra=access_extra(entry=entry.key, shard=name),
-        )
+        for name in shard_map.owner_names(entry.field, entry.step):
+            targets[name].adopt(entry.field, entry.step, container, overwrite=True)
+            placed[name].append(entry.key)
+            log.info(
+                "entry placed",
+                extra=access_extra(entry=entry.key, shard=name),
+            )
     return placed
 
 
@@ -128,7 +128,15 @@ def execute_plan(
             union_stores.update(shard_stores(ShardMap([spec]), stores))
     copied = pruned = 0
     if copy:
+        done = set()
         for move in plan:
+            # A dest already holding the entry under the old map (replica
+            # bookkeeping move, e.g. a pure prune) needs no copy.
+            if move.dest in old.owner_names(move.field, move.step):
+                continue
+            if (move.key, move.dest) in done:
+                continue
+            done.add((move.key, move.dest))
             source = union_stores[move.source]
             entry = source.entry(move.field, move.step)
             union_stores[move.dest].adopt(
@@ -144,7 +152,15 @@ def execute_plan(
     if router is not None:
         router.set_map(new)
     if prune:
+        dropped = set()
         for move in plan:
+            # Only shards leaving the entry's replica set are pruned; a
+            # source still in the new set keeps serving its copy.
+            if move.source in new.owner_names(move.field, move.step):
+                continue
+            if (move.key, move.source) in dropped:
+                continue
+            dropped.add((move.key, move.source))
             union_stores[move.source].drop(move.field, move.step)
             pruned += 1
             log.info(

@@ -22,13 +22,26 @@ parallel instead of serializing on one socket:
   grafted as responses relay through — holds the *complete* tree of every
   traced request: client root, router ``route`` span, shard fetch/decode.
 
+Fault tolerance (with ``replicas > 1`` in the map) is layered on the same
+relay: ``describe``/``read`` try the entry's replicas in ring order, failing
+over to the next on any *transport*-level failure — connect errors, torn
+frames, payload-checksum mismatches caught before relay — while application
+errors (a bad index, a missing entry) still relay verbatim on the first
+healthy exchange.  Each backend sits behind a
+:class:`~repro.shard.breaker.CircuitBreaker`: ``breaker_threshold``
+consecutive transport failures open it, after which calls fail over in
+microseconds (:class:`~repro.shard.breaker.BreakerOpenError`) instead of
+re-paying connect timeouts; a background prober re-dials sick shards every
+``probe_interval`` seconds so recovery needs no client traffic.  Breaker
+states, trips and failover counts ship as ``repro_router_*`` families and in
+``stats``; the ``health`` op answers from breaker state alone (no shard
+round trips), which is what the gateway's ``/health`` serves.
+
 Backend failures surface as typed :class:`ShardError` responses naming the
-shard and address; application errors from a shard (a bad index, a missing
-entry) relay verbatim so clients see exactly the error a single daemon
-would have sent.  Backend connections dial under one
-:class:`~repro.serve.client.ConnectSpec` (exponential backoff on refusal),
-so launching a router alongside its shard daemons never races their binds,
-and a poisoned pooled connection (shard restarted) is replaced
+shard and address.  Backend connections dial under one
+:class:`~repro.serve.client.ConnectSpec` (jittered exponential backoff on
+refusal), so launching a router alongside its shard daemons never races
+their binds, and a poisoned pooled connection (shard restarted) is replaced
 transparently on the next request that needs it.
 
 The shard map is swappable live (:meth:`RouterDaemon.set_map`): rebalancing
@@ -39,6 +52,7 @@ reads never observe a missing entry.
 from __future__ import annotations
 
 import logging
+import threading
 from numbers import Number
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -54,6 +68,7 @@ from repro.serve.protocol import (
     error_header,
     register_error_type,
 )
+from repro.shard.breaker import BreakerOpenError, CircuitBreaker
 from repro.shard.shardmap import ShardMap, entry_key
 
 __all__ = ["RouterDaemon", "ShardError"]
@@ -91,6 +106,14 @@ class RouterDaemon(WireDaemon):
         Backend connections per shard.  One connection serializes concurrent
         requests routed to the same shard; a handful lets them relay in
         parallel (``bench_shard.py`` prices this).
+    breaker_threshold / breaker_cooldown:
+        Per-shard circuit breaker policy: consecutive transport failures
+        that trip it open, and seconds before a half-open probe is allowed.
+    probe_interval:
+        Background health-prober period.  Every tick, shards whose breaker
+        is not closed get one probe ``describe`` (through the breaker's
+        half-open gate), so a restarted shard re-enters rotation without
+        waiting for client traffic.  ``0`` disables the prober.
     """
 
     _accept_thread_name = "repro-shard-router-accept"
@@ -107,6 +130,9 @@ class RouterDaemon(WireDaemon):
         retries: int = 8,
         backoff: float = 0.05,
         pool_size: int = 4,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 1.0,
+        probe_interval: float = 0.25,
     ) -> None:
         super().__init__(
             host=host, port=port, backlog=backlog, tracer=tracer, slow_ms=slow_ms
@@ -116,12 +142,19 @@ class RouterDaemon(WireDaemon):
         self.retries = int(retries)
         self.backoff = float(backoff)
         self.pool_size = max(1, int(pool_size))
+        self.breaker_threshold = max(1, int(breaker_threshold))
+        self.breaker_cooldown = float(breaker_cooldown)
+        self.probe_interval = float(probe_interval)
         self._pools: Dict[str, ConnectionPool] = {}  # repro: guarded-by(_lock)
+        self._breakers: Dict[str, CircuitBreaker] = {}  # repro: guarded-by(_lock)
+        self._probe_thread: Optional[threading.Thread] = None
         self._counters.update(
             {
                 "reads_forwarded": 0,
                 "relay_bytes": 0,
                 "backend_errors": 0,
+                "failovers": 0,
+                "breaker_rejections": 0,
             }
         )
 
@@ -129,18 +162,43 @@ class RouterDaemon(WireDaemon):
     def start(self) -> str:
         if self._listener is not None:
             return self.address
-        # Dial one connection per shard before accepting clients: a
-        # misconfigured topology fails here, loudly, not on the first
-        # routed request.  The rest of each pool fills on demand.
+        # Dial one connection per shard before accepting clients.  Without
+        # replicas a dead backend fails here, loudly — a misconfigured
+        # topology should not serve.  With replicas the router *can* serve
+        # around a dead shard, so a warm failure records a breaker strike
+        # and startup proceeds; the prober keeps retrying it.
         for spec in self.shard_map.shards:
-            self._pool(spec.name).warm()
-        return super().start()
+            # Eager breaker creation: the breaker-state gauge and health()
+            # report every shard from the first scrape, not only the ones
+            # traffic has reached.
+            self._breaker(spec.name)
+            try:
+                self._pool(spec.name).warm()
+            except (OSError, ProtocolError) as exc:
+                if self.shard_map.replicas <= 1:
+                    raise
+                self._breaker(spec.name).record_failure()
+                log.warning(
+                    "shard unreachable at startup",
+                    extra=access_extra(shard=spec.name, error=str(exc)),
+                )
+        address = super().start()
+        if self.probe_interval > 0:
+            self._probe_thread = threading.Thread(
+                target=self._probe_loop, name="repro-shard-router-prober", daemon=True
+            )
+            self._probe_thread.start()
+        return address
 
     def stop(self, timeout: float = 5.0) -> None:
         super().stop(timeout)
+        if self._probe_thread is not None:
+            self._probe_thread.join(timeout)
+            self._probe_thread = None
         with self._lock:
             pools = list(self._pools.values())
             self._pools.clear()
+            self._breakers.clear()
         for pool in pools:
             pool.close()
 
@@ -161,8 +219,17 @@ class RouterDaemon(WireDaemon):
                 spec = live.get(name)
                 if spec is None or pool.address != _normalize(spec.address):
                     to_close.append(self._pools.pop(name))
+                    # A departed (or re-addressed) shard's breaker history is
+                    # about the old backend; a future same-named shard starts
+                    # clean.
+                    self._breakers.pop(name, None)
+            for name in list(self._breakers):
+                if name not in live:
+                    del self._breakers[name]
         for pool in to_close:
             pool.close()
+        for name in live:
+            self._breaker(name)
         log.info(
             "shard map installed",
             extra=access_extra(shards=shard_map.names()),
@@ -194,6 +261,44 @@ class RouterDaemon(WireDaemon):
             self._pools[name] = fresh
         return fresh
 
+    def _breaker(self, name: str) -> CircuitBreaker:
+        """The circuit breaker guarding one shard's backend."""
+        with self._lock:
+            breaker = self._breakers.get(name)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    name,
+                    threshold=self.breaker_threshold,
+                    cooldown=self.breaker_cooldown,
+                )
+                self._breakers[name] = breaker
+        return breaker
+
+    def _probe_loop(self) -> None:
+        """Background recovery: probe every shard whose breaker is not closed.
+
+        The probe is an ordinary ``describe`` relay through :meth:`_forward`,
+        so it runs the same breaker gate as client traffic — an open breaker
+        inside its cooldown rejects the probe for free, one past it admits
+        exactly one half-open attempt whose success closes the breaker.
+        """
+        while not self._stop.wait(self.probe_interval):
+            with self._lock:
+                sick = [
+                    s.name
+                    for s in self.shard_map.shards
+                    if s.name in self._breakers
+                    and self._breakers[s.name].state != "closed"
+                ]
+            for name in sick:
+                if self._stop.is_set():
+                    return
+                try:
+                    self._forward(name, {"op": "describe"})
+                except (ShardError, BreakerOpenError):
+                    continue
+                log.info("shard recovered", extra=access_extra(shard=name))
+
     def __repr__(self) -> str:
         bound = f"at {self._host}:{self._port}" if self._listener else "(not started)"
         return f"RouterDaemon({', '.join(self.shard_map.names())} {bound})"
@@ -218,11 +323,13 @@ class RouterDaemon(WireDaemon):
                 return resp, payload
             if op == "stats":
                 return self._op_stats(), b""
+            if op == "health":
+                return {"status": "ok", **self.health()}, b""
             if op == "trace":
                 return self._op_trace(header), b""
             raise ValueError(
                 f"unknown operation {op!r}; the router serves describe, catalog, "
-                "read, stats and trace"
+                "read, stats, health and trace"
             )
         except Exception as exc:  # noqa: BLE001 - every failure becomes a response
             with self._lock:
@@ -230,13 +337,61 @@ class RouterDaemon(WireDaemon):
             return error_header(exc), b""
 
     def _forward_to_owner(self, header: Dict) -> Tuple[Dict, bytes]:
-        name = self.shard_map.owner_name(
-            str(header["field"]), int(header.get("step", 0))
+        """Relay to the entry's replicas in ring order, failing over on transport.
+
+        Only *transport*-class failures advance to the next replica — a
+        connect/exchange failure (:class:`ShardError`) or a breaker
+        rejection (:class:`BreakerOpenError`).  An application error from a
+        healthy shard (bad bbox, missing entry) is a complete answer every
+        replica would repeat, so it relays immediately.  When every replica
+        fails, the caller gets the breaker error if all were rejected
+        breaker-fast, else a :class:`ShardError` summarizing each attempt.
+        """
+        field = str(header["field"])
+        step = int(header.get("step", 0))
+        names = self.shard_map.owner_names(field, step)
+        failures: List[Exception] = []
+        for attempt, name in enumerate(names):
+            try:
+                resp, payload = self._forward(name, header)
+            except (ShardError, BreakerOpenError) as exc:
+                failures.append(exc)
+                if attempt + 1 < len(names):
+                    with self._lock:
+                        self._counters["failovers"] += 1
+                    log.warning(
+                        "replica failover",
+                        extra=access_extra(
+                            entry=entry_key(field, step),
+                            shard=name,
+                            next=names[attempt + 1],
+                            error=str(exc),
+                        ),
+                    )
+                continue
+            return resp, payload
+        if len(failures) == 1:
+            raise failures[0]
+        detail = "; ".join(str(exc) for exc in failures)
+        if all(isinstance(exc, BreakerOpenError) for exc in failures):
+            raise BreakerOpenError(
+                f"all {len(names)} replicas of {entry_key(field, step)} have "
+                f"open circuit breakers: {detail}"
+            )
+        raise ShardError(
+            f"all {len(names)} replicas of {entry_key(field, step)} failed: {detail}"
         )
-        return self._forward(name, header)
 
     def _forward(self, name: str, header: Dict, payload: bytes = b"") -> Tuple[Dict, bytes]:
         """Relay one request to a shard; the response passes through zero-copy.
+
+        The shard's breaker gates the call: an open breaker rejects in
+        microseconds (no socket touched) so failover is cheap, and every
+        outcome is recorded — transport failures count toward tripping it,
+        any completed exchange (application errors included: they arrive on
+        a healthy stream) closes it.  The backend client verifies the
+        response payload checksum before this returns, so a corrupting
+        shard is a transport failure here, never relayed bytes.
 
         Inside the ``route`` span the ambient trace points at *us*, so the
         forwarded header's ``trace`` is rewritten and the shard's request
@@ -246,6 +401,13 @@ class RouterDaemon(WireDaemon):
         """
         op = header.get("op")
         spec = self.shard_map.spec(name)
+        breaker = self._breaker(name)
+        if not breaker.allow():
+            with self._lock:
+                self._counters["breaker_rejections"] += 1
+            raise BreakerOpenError(
+                f"shard {name!r} at {spec.address}: circuit breaker is open"
+            )
         with obs_span("route", shard=name, op=op):
             forwarded = header
             wire_trace = current_trace()
@@ -255,11 +417,18 @@ class RouterDaemon(WireDaemon):
                 with self._pool(name).lease() as backend:
                     resp, resp_payload = backend.exchange(forwarded, payload)
             except (OSError, ProtocolError) as exc:
+                tripped = breaker.record_failure()
                 with self._lock:
                     self._counters["backend_errors"] += 1
+                if tripped:
+                    log.warning(
+                        "circuit breaker opened",
+                        extra=access_extra(shard=name, error=str(exc)),
+                    )
                 raise ShardError(
                     f"shard {name!r} at {spec.address} failed during {op!r}: {exc}"
                 ) from exc
+        breaker.record_success()
         spans = resp.pop("spans", None)
         if spans:
             if self.tracer.enabled:
@@ -287,13 +456,26 @@ class RouterDaemon(WireDaemon):
         Mid-rebalance an entry legitimately exists on two shards (copied to
         the destination, not yet pruned from the source); the merge keeps the
         row from the shard the current map routes reads to.
+
+        With replication, up to ``replicas - 1`` unreachable shards are
+        tolerated: every entry a dead shard held also lives on its other
+        replicas, whose catalogs list it, so the merge stays complete.  One
+        more failure than that could silently hide entries, so it raises.
         """
+        shard_map = self.shard_map
         merged: Dict[str, Dict[str, Any]] = {}
-        for spec in self.shard_map.shards:
-            resp = self._shard_request(spec.name, {"op": "catalog"})
+        failed: List[Exception] = []
+        for spec in shard_map.shards:
+            try:
+                resp = self._shard_request(spec.name, {"op": "catalog"})
+            except (ShardError, BreakerOpenError) as exc:
+                failed.append(exc)
+                if len(failed) >= shard_map.replicas:
+                    raise
+                continue
             for row in resp.get("entries", ()):
                 key = entry_key(str(row["field"]), int(row["step"]))
-                owner = self.shard_map.owner_name(str(row["field"]), int(row["step"]))
+                owner = shard_map.owner_name(str(row["field"]), int(row["step"]))
                 if key not in merged or owner == spec.name:
                     merged[key] = dict(row)
         return [merged[key] for key in sorted(merged)]
@@ -321,7 +503,13 @@ class RouterDaemon(WireDaemon):
         shards: Dict[str, Any] = {}
         snapshots = [label_snapshot(self._own_snapshot(), {"shard": "router"})]
         for spec in self.shard_map.shards:
-            resp = self._shard_request(spec.name, {"op": "stats"})
+            try:
+                resp = self._shard_request(spec.name, {"op": "stats"})
+            except (ShardError, BreakerOpenError) as exc:
+                # Observability must not die with a shard: a fleet scrape
+                # with one dead backend reports the death instead of failing.
+                shards[spec.name] = {"error": str(exc)}
+                continue
             resp.pop("status", None)
             metrics = resp.pop("metrics", None)
             if metrics:
@@ -338,6 +526,43 @@ class RouterDaemon(WireDaemon):
             "metrics": merge_snapshots(*snapshots),
         }
 
+    def health(self) -> Dict[str, Any]:
+        """Cluster health from breaker state alone — no shard round trips.
+
+        A shard is *degraded* when its breaker is not closed.  The cluster
+        is unhealthy (``ok: False``) when some replica set on the ring is
+        entirely degraded — i.e. an entry placed there would be unreachable
+        via every replica.  With all breakers closed it is trivially
+        healthy; the answer is computed from local state, so health polls
+        stay cheap no matter how sick the fleet is.
+        """
+        with self._lock:
+            shard_map = self.shard_map
+            states = {
+                s.name: (
+                    self._breakers[s.name].state
+                    if s.name in self._breakers
+                    else "closed"
+                )
+                for s in shard_map.shards
+            }
+        degraded = sorted(n for n, state in states.items() if state != "closed")
+        unreachable: List[List[str]] = []
+        if degraded:
+            dead = set(degraded)
+            unreachable = [
+                sorted(group)
+                for group in shard_map.replica_sets()
+                if group <= dead
+            ]
+        return {
+            "ok": not unreachable,
+            "replicas": shard_map.replicas,
+            "shards": states,
+            "degraded": degraded,
+            "unreachable": unreachable,
+        }
+
     def _own_snapshot(self) -> List[Dict[str, Any]]:
         from repro.obs import REGISTRY
 
@@ -352,7 +577,10 @@ class RouterDaemon(WireDaemon):
             counters = dict(self._counters)
             active = len(self._connections)
             pools = list(self._pools.values())
+            breakers = dict(self._breakers)
         backends = sum(p.stats()["open"] for p in pools if not p.closed)
+        breaker_states = {name: b.state_code for name, b in breakers.items()}
+        breaker_trips = {name: b.stats()["trips"] for name, b in breakers.items()}
         return [
             counter_family("repro_router_requests_total",
                            "Requests dispatched by the shard router.",
@@ -378,6 +606,33 @@ class RouterDaemon(WireDaemon):
             gauge_family("repro_router_backends_connected",
                          "Shard backend connections currently live.",
                          backends),
+            counter_family("repro_router_failovers_total",
+                           "Requests retried on another replica after a "
+                           "transport failure.",
+                           counters["failovers"]),
+            counter_family("repro_router_breaker_rejections_total",
+                           "Backend calls rejected by an open circuit breaker.",
+                           counters["breaker_rejections"]),
+            {
+                "name": "repro_router_breaker_state",
+                "type": "gauge",
+                "help": "Circuit breaker state per shard "
+                        "(0=closed, 1=half_open, 2=open).",
+                "samples": [
+                    {"labels": {"shard": name}, "value": float(code)}
+                    for name, code in sorted(breaker_states.items())
+                ],
+            },
+            {
+                "name": "repro_router_breaker_trips_total",
+                "type": "counter",
+                "help": "Circuit breaker closed/half-open -> open transitions "
+                        "per shard.",
+                "samples": [
+                    {"labels": {"shard": name}, "value": float(trips)}
+                    for name, trips in sorted(breaker_trips.items())
+                ],
+            },
         ]
 
     def stats(self) -> Dict[str, Any]:
@@ -385,7 +640,10 @@ class RouterDaemon(WireDaemon):
         out["shards"] = self.shard_map.names()
         with self._lock:
             pools = dict(self._pools)
+            breakers = dict(self._breakers)
         out["pools"] = {name: pool.stats() for name, pool in pools.items()}
+        out["breakers"] = {name: b.stats() for name, b in breakers.items()}
+        out["health"] = self.health()
         return out
 
 

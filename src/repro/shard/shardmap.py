@@ -16,6 +16,11 @@ right placement function for a routed store:
   shard; removing one scatters only its own entries.  :func:`plan_rebalance`
   turns that difference into the literal list of entry moves.
 
+Replication rides the same ring: with ``replicas=R`` an entry lives on the
+R *distinct* ring successors of its hash point (:meth:`ShardMap.owners`),
+so the replica set needs no extra metadata either and shifts minimally
+when the topology changes.  ``owner()`` stays the first (primary) replica.
+
 The hash is ``blake2b`` (stdlib, keyed by nothing) truncated to 64 bits —
 stable across processes, platforms and Python versions, unlike ``hash()``
 which is salted per process.  Serialization follows the :mod:`repro.api`
@@ -97,12 +102,17 @@ class ShardMap:
         Ring points per shard.  More points smooth the load split at the
         cost of a longer (still tiny) sorted ring; 64 keeps the imbalance
         across shards within a few percent for realistic catalogs.
+    replicas:
+        Copies per entry.  Each entry lives on the ``replicas`` distinct
+        ring successors of its hash point; 1 (the default) reproduces the
+        unreplicated PR 7 behaviour exactly.
     """
 
     def __init__(
         self,
         shards: Sequence[Union[ShardSpec, Mapping[str, Any]]],
         virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
+        replicas: int = 1,
     ) -> None:
         specs = [
             s if isinstance(s, ShardSpec) else ShardSpec.from_dict(s) for s in shards
@@ -116,6 +126,13 @@ class ShardMap:
         self.virtual_nodes = int(virtual_nodes)
         if self.virtual_nodes < 1:
             raise ValueError("virtual_nodes must be >= 1")
+        self.replicas = int(replicas)
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if self.replicas > len(specs):
+            raise ValueError(
+                f"replicas={self.replicas} exceeds shard count {len(specs)}"
+            )
         ring: List[Tuple[int, str]] = []
         for spec in self.shards:
             for i in range(self.virtual_nodes):
@@ -129,15 +146,58 @@ class ShardMap:
 
     # -- placement -------------------------------------------------------------
     def owner(self, field: str, step: int) -> ShardSpec:
-        """The shard an entry lives on."""
+        """The primary shard an entry lives on (first of :meth:`owners`)."""
         return self._by_name[self.owner_name(field, step)]
 
     def owner_name(self, field: str, step: int) -> str:
+        return self.owner_names(field, step)[0]
+
+    def owners(self, field: str, step: int) -> List[ShardSpec]:
+        """Every replica holding an entry, primary first."""
+        return [self._by_name[n] for n in self.owner_names(field, step)]
+
+    def owner_names(self, field: str, step: int) -> List[str]:
+        """The ``replicas`` distinct ring successors of the entry's point.
+
+        Walking the ring past the primary and keeping the first R *distinct*
+        shard names is what makes the replica set stable: removing one shard
+        promotes the next successor, everything else stays put.
+        """
         point = _point(entry_key(field, step))
-        i = bisect_left(self._ring_points, point)
-        if i == len(self._ring_points):  # wrap past the last ring point
-            i = 0
-        return self._ring_names[i]
+        start = bisect_left(self._ring_points, point)
+        if start == len(self._ring_points):  # wrap past the last ring point
+            start = 0
+        names: List[str] = []
+        n_points = len(self._ring_points)
+        for offset in range(n_points):
+            name = self._ring_names[(start + offset) % n_points]
+            if name not in names:
+                names.append(name)
+                if len(names) == self.replicas:
+                    break
+        return names
+
+    def replica_sets(self) -> List[frozenset]:
+        """Every distinct replica set the ring can place an entry on.
+
+        Walking the successor list from each ring point enumerates all the
+        shard groups any key can hash to — the exhaustive answer to "which
+        combinations of shard failures lose data": an entry is unreachable
+        iff one of these sets is entirely down.  The router's health check
+        uses exactly that test.
+        """
+        out = set()
+        n_points = len(self._ring_points)
+        for start in range(n_points):
+            names: List[str] = []
+            for offset in range(n_points):
+                name = self._ring_names[(start + offset) % n_points]
+                if name not in names:
+                    names.append(name)
+                    if len(names) == self.replicas:
+                        break
+            out.add(frozenset(names))
+        return sorted(out, key=sorted)
 
     def spec(self, name: str) -> ShardSpec:
         try:
@@ -164,6 +224,7 @@ class ShardMap:
         return {
             "type": "shardmap",
             "virtual_nodes": self.virtual_nodes,
+            "replicas": self.replicas,
             "shards": [s.to_dict() for s in self.shards],
         }
 
@@ -173,12 +234,13 @@ class ShardMap:
         kind = data.pop("type", "shardmap")
         if kind != "shardmap":
             raise ValueError(f"not a shard map (type={kind!r})")
-        unknown = set(data) - {"virtual_nodes", "shards"}
+        unknown = set(data) - {"virtual_nodes", "replicas", "shards"}
         if unknown:
             raise ValueError(f"unknown ShardMap keys: {sorted(unknown)}")
         return cls(
             shards=[ShardSpec.from_dict(s) for s in data.get("shards", [])],
             virtual_nodes=int(data.get("virtual_nodes", DEFAULT_VIRTUAL_NODES)),
+            replicas=int(data.get("replicas", 1)),
         )
 
     def save(self, path: Union[str, Path]) -> None:
@@ -197,16 +259,18 @@ class ShardMap:
         if not isinstance(other, ShardMap):
             return NotImplemented
         return (
-            self.shards == other.shards and self.virtual_nodes == other.virtual_nodes
+            self.shards == other.shards
+            and self.virtual_nodes == other.virtual_nodes
+            and self.replicas == other.replicas
         )
 
     def __hash__(self) -> int:
-        return hash((self.shards, self.virtual_nodes))
+        return hash((self.shards, self.virtual_nodes, self.replicas))
 
     def __repr__(self) -> str:
         return (
             f"ShardMap([{', '.join(self.names())}], "
-            f"virtual_nodes={self.virtual_nodes})"
+            f"virtual_nodes={self.virtual_nodes}, replicas={self.replicas})"
         )
 
 
@@ -249,19 +313,32 @@ def plan_rebalance(
 ) -> List[RebalanceMove]:
     """The minimal move list taking ``entries`` from ``old`` to ``new``.
 
-    Minimal by construction: an entry appears iff its owner differs between
-    the maps, which consistent hashing keeps to ≈ |changed shards| / N of
-    the catalog.  Moves are sorted (by key) so plans are deterministic and
-    diffable; a shard present in ``old`` but not ``new`` contributes all its
-    entries, one present only in ``new`` only receives.
+    Minimal by construction: an entry appears iff its *replica set* differs
+    between the maps, which consistent hashing keeps to ≈ |changed shards|
+    / N of the catalog.  Each move's ``source`` is a shard that holds the
+    entry under ``old``; ``dest`` is a shard that must hold it under
+    ``new``.  Shards leaving an entry's replica set are paired as sources
+    (so :func:`repro.shard.rebalance.execute_plan` can prune them after the
+    copy); when more shards join than leave, the remaining copies come from
+    the old primary.  With ``replicas=1`` on both maps this degenerates to
+    exactly the PR 7 owner-differs move list.  Moves are sorted (by key) so
+    plans are deterministic and diffable.
     """
     moves: List[RebalanceMove] = []
     for field, step in entries:
-        src = old.owner_name(field, step)
-        dst = new.owner_name(field, step)
-        if src != dst:
+        old_set = old.owner_names(field, step)
+        new_set = new.owner_names(field, step)
+        gained = [name for name in new_set if name not in old_set]
+        lost = [name for name in old_set if name not in new_set]
+        if not gained and not lost:
+            continue
+        for i in range(max(len(gained), len(lost))):
+            dest = gained[i] if i < len(gained) else new_set[0]
+            source = lost[i] if i < len(lost) else old_set[0]
             moves.append(
-                RebalanceMove(field=str(field), step=int(step), source=src, dest=dst)
+                RebalanceMove(
+                    field=str(field), step=int(step), source=source, dest=dest
+                )
             )
     moves.sort(key=lambda m: (m.key, m.source, m.dest))
     return moves

@@ -1,0 +1,10 @@
+"""Fixture gateway: the status table misses registered error types.
+
+``KeyError`` comes from the ``_ERROR_TYPES`` table and ``Overloaded`` from a
+``register_error_type`` decorator; neither has an HTTP mapping here, so both
+would degrade to a generic 500 at the gateway.
+"""
+
+STATUS_BY_ERROR_TYPE = {
+    "ValueError": 400,
+}

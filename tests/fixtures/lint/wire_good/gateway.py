@@ -1,0 +1,7 @@
+"""Fixture gateway: every registered error type has an HTTP mapping."""
+
+STATUS_BY_ERROR_TYPE = {
+    "ValueError": 400,
+    "KeyError": 404,
+    "RemoteError": 502,
+}

@@ -1,0 +1,339 @@
+"""Chaos tier: the fuzz matrix through a replicated cluster under injected faults.
+
+A three-shard cluster with ``replicas=2`` — every entry lives on two shards —
+where each shard daemon sits behind a :class:`~repro.chaos.ChaosProxy`.  The
+proxies inject transport faults (refused dials, mid-frame disconnects, byte
+corruption, hangs) from schedules seeded off ``REPRO_FUZZ_SEED``, so a
+failing run replays exactly by exporting the same seed.
+
+The invariant under test is absolute, not probabilistic: **every read is
+bit-identical to the NumPy oracle or a typed error, and every call returns
+within a bounded wall clock — never a hang, never silently wrong data.**
+Corruption in particular must *never* reach a client: the payload checksum
+turns a corrupting shard into a transport failure the router fails over.
+
+Entry keys are fixed (field ``cz``, steps ``0..N``) so placement is the same
+for every seed: shard ``s2`` sits in **every** replica set (and is primary
+for two entries), which makes it the designated victim — killing it
+exercises failover on all four entries while the cluster stays available.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+from test_array_fuzz import (
+    FUZZ_SEED,
+    INDICES_PER_CASE,
+    build_fuzz_container,
+    random_index,
+)
+
+from repro.chaos import ChaosProxy, ChaosSchedule
+from repro.serve import ReadDaemon, RemoteStore
+from repro.serve.protocol import ProtocolError
+from repro.shard import (
+    BreakerOpenError,
+    RouterDaemon,
+    ShardError,
+    ShardMap,
+    ShardSpec,
+    split_store,
+)
+from repro.store import Store
+from repro.utils.rng import default_rng
+
+N_CASES = 4
+FIELD = "cz"
+SHARDS = ("s0", "s1", "s2")
+VICTIM = "s2"  # in every replica set for field "cz" steps 0..3 (see docstring)
+
+#: Transport-class errors the router may type a faulted read with.  Anything
+#: else escaping a read under chaos is a bug.
+TYPED_TRANSPORT = (ShardError, BreakerOpenError, ProtocolError)
+
+#: Per-call wall-clock ceiling.  The router's backend timeout below is 1.5 s,
+#: so even a read that rides out a hung replica and fails over stays well
+#: under this; hitting it means something genuinely hung.
+DEADLINE = 10.0
+
+
+def _fuzz_shape(rng):
+    ndim = int(rng.integers(2, 4))
+    unit = int(rng.integers(3, 7))
+    shape = [int(rng.integers(max(2, unit - 1), 4 * unit)) for _ in range(ndim)]
+    forced = int(rng.integers(0, ndim))
+    if shape[forced] % unit == 0:
+        shape[forced] += 1
+    return tuple(shape), unit
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    """Reference store + an R=2 split of it across three shard stores on disk."""
+    root = tmp_path_factory.mktemp("chaos-fuzz")
+    single = Store(root / "single")
+    references = {}
+    for case in range(N_CASES):
+        rng = default_rng(f"{FUZZ_SEED}:chaos:{case}")
+        shape, unit = _fuzz_shape(rng)
+        path = root / f"cz{case}.rps2"
+        references[case] = build_fuzz_container(path, rng, shape, unit)
+        single.adopt(FIELD, case, path)
+
+    roots = {name: root / name for name in SHARDS}
+    stores = {name: Store(roots[name]) for name in SHARDS}
+    placement = ShardMap(
+        [ShardSpec(name, "0:0", store=str(roots[name])) for name in SHARDS],
+        replicas=2,
+    )
+    split_store(single, placement, stores=stores)
+    # The fixture's premise: with keys fixed, the victim is in every replica
+    # set, so every entry's failover path is exercised when it dies.
+    for case in range(N_CASES):
+        assert VICTIM in placement.owner_names(FIELD, case)
+    return SimpleNamespace(
+        single=single, references=references, roots=roots, placement=placement
+    )
+
+
+@contextlib.contextmanager
+def serving(corpus, schedules=None, breaker_threshold=2):
+    """Daemons behind chaos proxies behind one replicated router.
+
+    ``schedules`` maps shard name -> :class:`ChaosSchedule` (missing shards
+    pass traffic through).  The router is tuned for bounded failure: 1.5 s
+    backend timeout (a hung replica costs that, not 30 s), no connect
+    retries (a dead proxy fails over immediately), 0.2 s breaker cooldown
+    and a 0.1 s prober so recovery happens within a test's patience.
+    """
+    schedules = schedules or {}
+    daemons, proxies = {}, {}
+    router = None
+    try:
+        for name in SHARDS:
+            daemons[name] = ReadDaemon(Store(corpus.roots[name]))
+            proxies[name] = ChaosProxy(
+                daemons[name].start(), schedule=schedules.get(name), timeout=1.5
+            )
+            proxies[name].start()
+        shard_map = ShardMap(
+            [
+                ShardSpec(name, proxies[name].address, store=str(corpus.roots[name]))
+                for name in SHARDS
+            ],
+            replicas=2,
+        )
+        router = RouterDaemon(
+            shard_map,
+            timeout=1.5,
+            retries=0,
+            backoff=0.01,
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown=0.2,
+            probe_interval=0.1,
+        )
+        router.start()
+        yield SimpleNamespace(
+            daemons=daemons, proxies=proxies, router=router, shard_map=shard_map
+        )
+    finally:
+        if router is not None:
+            router.stop()
+        for proxy in proxies.values():
+            proxy.stop()
+        for daemon in daemons.values():
+            daemon.stop()
+
+
+def chaos_check(remote, reference, index, label, strict=False):
+    """One draw: bit-identical, expected app error, or typed transport error.
+
+    Returns ``"value"`` / ``"app"`` / ``"transport"``.  ``strict`` forbids
+    the transport outcome (for phases where the cluster should mask every
+    fault).  Any outcome past :data:`DEADLINE` fails — that is the hang the
+    chaos tier exists to rule out.
+    """
+    expected_error = None
+    try:
+        expected = reference[index]
+        if np.asarray(expected).size == 0:
+            expected_error = ValueError
+    except IndexError:
+        expected_error = IndexError
+    started = time.perf_counter()
+    try:
+        got = np.asarray(remote[index])
+        outcome, payload = "value", got
+    except TYPED_TRANSPORT as exc:
+        outcome, payload = "transport", exc
+    except (IndexError, ValueError) as exc:
+        outcome, payload = "app", type(exc)
+    elapsed = time.perf_counter() - started
+    assert elapsed < DEADLINE, f"{label}: {index!r} took {elapsed:.1f}s — a hang"
+    if outcome == "value":
+        assert expected_error is None, (
+            f"{label}: expected {expected_error.__name__} for {index!r}, got data"
+        )
+        want = np.asarray(expected)
+        assert payload.shape == want.shape, f"{label}: shape for {index!r}"
+        assert np.array_equal(payload, want), (
+            f"{label}: values diverged for {index!r} — a fault leaked "
+            "corrupt data past the checksum"
+        )
+    elif outcome == "app":
+        assert payload is expected_error, f"{label}: wrong error for {index!r}"
+    elif strict:
+        pytest.fail(f"{label}: unexpected transport error for {index!r}: {payload}")
+    return outcome
+
+
+def replay_matrix(cluster, corpus, tag, strict=False, draws=INDICES_PER_CASE):
+    """Replay the seeded index matrix once; returns outcome counts."""
+    outcomes = {"value": 0, "app": 0, "transport": 0}
+    with RemoteStore(cluster.router.address, timeout=30.0) as client:
+        for case in range(N_CASES):
+            reference = corpus.references[case]
+            rng = default_rng(f"{FUZZ_SEED}:chaos-replay:{tag}:{case}")
+            label = f"seed={FUZZ_SEED} chaos[{tag}] case={case}"
+            try:
+                remote = client.array(FIELD, case)
+            except TYPED_TRANSPORT:
+                if strict:
+                    raise
+                outcomes["transport"] += draws
+                continue
+            for _ in range(draws):
+                index = random_index(rng, reference.shape)
+                outcomes[chaos_check(remote, reference, index, label, strict)] += 1
+    return outcomes
+
+
+def test_steady_state_replica_parity(corpus):
+    """No faults: an R=2 cluster behind pass-through proxies is bit-exact."""
+    with serving(corpus) as cluster:
+        outcomes = replay_matrix(cluster, corpus, "steady", strict=True)
+        assert outcomes["transport"] == 0
+        assert outcomes["value"] > 0
+        health = cluster.router.health()
+        assert health["ok"] and health["degraded"] == []
+
+
+def test_fuzz_matrix_through_scripted_faults(corpus):
+    """The centrepiece: scripted disconnect/corrupt/refuse on the victim.
+
+    The victim's proxy cycles through a fault script while the full matrix
+    replays twice.  Every draw must come back bit-identical or typed within
+    the deadline; the router's failover/backend-error counters prove the
+    faults really fired rather than the schedule missing traffic.
+    """
+    # Pooled backend connections are long-lived, so each *fault* kills one
+    # connection and the redial draws the next script entry; leading with
+    # faults guarantees the cycle advances (an all-pass prefix would park the
+    # pool on one healthy connection forever).
+    schedule = ChaosSchedule(
+        ["disconnect", "corrupt", "refuse", "pass", "corrupt", "delay"],
+        seed=f"{FUZZ_SEED}:chaos-script",
+        max_offset=256,
+    )
+    with serving(corpus, schedules={VICTIM: schedule}) as cluster:
+        for round_ in range(2):
+            replay_matrix(cluster, corpus, f"script:{round_}")
+        stats = cluster.router.stats()
+        faults = cluster.proxies[VICTIM].stats()["faults"]
+        assert sum(n for f, n in faults.items() if f != "pass") >= 1, faults
+        assert stats["failovers"] + stats["backend_errors"] >= 1
+        # The survivors never tripped: fault injection stayed on the victim.
+        for name in SHARDS:
+            if name != VICTIM:
+                assert stats["breakers"][name]["trips"] == 0
+
+
+def test_mid_run_kill_failover_and_recovery(corpus):
+    """Kill the victim's proxy mid-replay; reads keep answering; it recovers.
+
+    With R=2 and one dead shard the kill must be *invisible* to clients
+    (strict parity, no typed errors) — failover masks it.  The breaker
+    trips, health degrades without going unhealthy, and once the proxy
+    rebinds the prober closes the breaker again with no client traffic
+    required.
+    """
+    with serving(corpus) as cluster:
+        replay_matrix(cluster, corpus, "before-kill", strict=True)
+
+        victim_port = int(cluster.proxies[VICTIM].address.rsplit(":", 1)[1])
+        upstream = cluster.proxies[VICTIM].upstream
+        cluster.proxies[VICTIM].stop()
+
+        outcomes = replay_matrix(cluster, corpus, "after-kill", strict=True)
+        assert outcomes["value"] > 0
+        stats = cluster.router.stats()
+        assert stats["failovers"] >= 1
+        assert stats["breakers"][VICTIM]["state"] in ("open", "half_open")
+        assert stats["breakers"][VICTIM]["trips"] >= 1
+        health = cluster.router.health()
+        assert health["ok"], "one dead shard of an R=2 pair must not kill entries"
+        assert health["degraded"] == [VICTIM]
+        assert health["unreachable"] == []
+
+        # Rebind on the same port; the background prober notices within its
+        # 0.1 s interval + 0.2 s cooldown, no reads needed.
+        revived = ChaosProxy(upstream, port=victim_port, timeout=1.5)
+        cluster.proxies[VICTIM] = revived  # the context manager stops it
+        revived.start()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if cluster.router.health()["degraded"] == []:
+                break
+            time.sleep(0.05)
+        health = cluster.router.health()
+        assert health["degraded"] == [], "prober never recovered the revived shard"
+
+        replay_matrix(cluster, corpus, "after-recovery", strict=True)
+
+
+def test_corrupting_shard_never_serves_corrupt_data(corpus):
+    """Every byte the victim relays is corrupted; clients still read clean.
+
+    The payload checksum turns corruption into a typed transport failure at
+    the router's backend client, so the only outcomes are failover (clean
+    data from the replica) or a typed error — ``chaos_check`` fails the run
+    on the first silently-wrong array.
+    """
+    schedule = ChaosSchedule(
+        ["corrupt"], seed=f"{FUZZ_SEED}:chaos-corrupt", max_offset=128
+    )
+    with serving(corpus, schedules={VICTIM: schedule}) as cluster:
+        outcomes = replay_matrix(cluster, corpus, "corrupt")
+        assert outcomes["value"] > 0, "failover should still produce data"
+        stats = cluster.router.stats()
+        assert stats["backend_errors"] >= 1, "corruption never surfaced?"
+        corrupted = cluster.proxies[VICTIM].stats()["faults"]["corrupt"]
+        assert corrupted >= 1
+
+
+def test_hung_replica_is_bounded_by_the_backend_timeout(corpus):
+    """An accept-then-hang victim costs one backend timeout, not forever.
+
+    Step 1's primary is the victim, so the read *must* ride out the hung
+    exchange (1.5 s backend timeout) before failing over — the wall clock
+    proves the hang was bounded and the data still arrives bit-exact.
+    """
+    schedule = ChaosSchedule(["hang"], seed=f"{FUZZ_SEED}:chaos-hang")
+    with serving(corpus, schedules={VICTIM: schedule}, breaker_threshold=1) as cluster:
+        step = next(
+            case
+            for case in range(N_CASES)
+            if cluster.shard_map.owner_name(FIELD, case) == VICTIM
+        )
+        with RemoteStore(cluster.router.address, timeout=30.0) as client:
+            started = time.perf_counter()
+            got = np.asarray(client[FIELD, step][...])
+            elapsed = time.perf_counter() - started
+        assert elapsed < DEADLINE, f"hung read took {elapsed:.1f}s"
+        assert np.array_equal(got, corpus.references[step])
+        assert cluster.router.stats()["failovers"] >= 1

@@ -44,7 +44,7 @@ def test_lock_guard_honors_with_holds_and_unlocked():
 # -- wire-protocol ---------------------------------------------------------------
 def test_wire_rule_reports_all_three_sides():
     findings = lint_paths([FIXTURES / "wire_bad"])
-    assert _rule_ids(findings) == ["wire-protocol"] * 7
+    assert _rule_ids(findings) == ["wire-protocol"] * 9
     messages = "\n".join(f.message for f in findings)
     # dispatch coverage, both directions
     assert "'fetch' is declared in WIRE_OPS but BadDaemon._dispatch" in messages
@@ -56,6 +56,10 @@ def test_wire_rule_reports_all_three_sides():
     assert "'rogue' is not declared in WIRE_OPS" in messages
     # error registration
     assert "raises UnknownBoom, which is not registered" in messages
+    # gateway status coverage: both registration styles are cross-checked
+    assert "'KeyError' is registered for typed wire transport" in messages
+    assert "'Overloaded' is registered for typed wire transport" in messages
+    assert messages.count("no STATUS_BY_ERROR_TYPE entry") == 2
 
 
 def test_wire_rule_silent_on_covered_protocol():

@@ -184,7 +184,7 @@ class TestRoutes:
         payload = json.loads(body)
         assert payload["status"] == "ok"
         assert payload["backend"] == gateway.spec.address
-        assert payload["n_entries"] >= 1
+        assert payload["ok"] is True
 
     def test_content_length_is_exact(self, gateway):
         status, headers, body = parse_response(get(gateway.address, "/catalog"))

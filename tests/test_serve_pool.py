@@ -103,6 +103,63 @@ class TestConnectSpec:
         with ConnectSpec(serve_daemon.address).connect() as remote:
             assert remote.fields()
 
+    def test_backoff_is_full_jitter_within_the_exponential_ceiling(self):
+        spec = ConnectSpec("127.0.0.1:1", backoff=0.05, rng="jitter-seed")
+        for attempt in range(8):
+            delay = spec.backoff_delay(attempt)
+            assert 0.0 <= delay <= min(0.05 * 2 ** attempt, 1.0)
+
+    def test_injected_seed_makes_the_schedule_deterministic(self):
+        a = ConnectSpec("127.0.0.1:1", backoff=0.05, rng="seed-a")
+        b = ConnectSpec("127.0.0.1:1", backoff=0.05, rng="seed-a")
+        rng_a, rng_b = a._jitter_rng(), b._jitter_rng()
+        seq_a = [a.backoff_delay(i, rng=rng_a) for i in range(6)]
+        seq_b = [b.backoff_delay(i, rng=rng_b) for i in range(6)]
+        assert seq_a == seq_b
+        other = ConnectSpec("127.0.0.1:1", backoff=0.05, rng="seed-z")
+        rng_o = other._jitter_rng()
+        assert [other.backoff_delay(i, rng=rng_o) for i in range(6)] != seq_a
+        # The jitter source is policy-irrelevant: specs still compare equal.
+        assert a == ConnectSpec("127.0.0.1:1", backoff=0.05)
+
+    def test_uninjected_specs_do_not_share_a_jitter_stream(self):
+        # Two plain specs must NOT draw identical jitter — that lockstep
+        # (every pooled client re-dialing a restarted shard in sync) is the
+        # thundering herd full jitter exists to break.
+        a, b = ConnectSpec("127.0.0.1:1"), ConnectSpec("127.0.0.1:1")
+        assert [a.backoff_delay(i) for i in range(6)] != [
+            b.backoff_delay(i) for i in range(6)
+        ]
+
+    def test_retry_covers_reset_and_broken_pipe(self, monkeypatch):
+        """A listener dropping us mid-handshake is retried like a refusal."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        fails = [ConnectionResetError("mid-handshake"), BrokenPipeError("gone")]
+        real = socket.create_connection
+
+        def flaky(addr, timeout=None):
+            if fails:
+                raise fails.pop(0)
+            return real(addr, timeout=timeout)
+
+        monkeypatch.setattr(socket, "create_connection", flaky)
+        try:
+            spec = ConnectSpec(
+                f"127.0.0.1:{port}", retries=3, backoff=0.001, rng="reset-retry"
+            )
+            sock = spec.open_socket()
+            sock.close()
+            assert not fails, "both transient failures should have been retried"
+            # With retries exhausted the typed error surfaces as-is.
+            fails.append(ConnectionResetError("mid-handshake"))
+            with pytest.raises(ConnectionResetError):
+                ConnectSpec(f"127.0.0.1:{port}", retries=0).open_socket()
+        finally:
+            listener.close()
+
 
 class TestLease:
     def test_sequential_leases_reuse_one_connection(self, fast_daemon):
@@ -215,6 +272,47 @@ class TestLease:
         for thread in threads:
             thread.join(timeout=5)
         assert outcome == ["closed"]
+
+    @pytest.mark.parametrize("close_after", [0.0, 0.01, 0.05])
+    def test_close_races_concurrent_leases_without_hanging(
+        self, fast_daemon, close_after
+    ):
+        """``close()`` landing mid-lease-storm: typed error or success, never a hang.
+
+        Four workers hammer lease/describe in a loop while the main thread
+        closes the pool at a varying offset — before any lease, mid-storm,
+        and late.  Every worker must end in exactly one way (the typed
+        ``ProtocolError`` from a closed pool); a worker stuck in checkout or
+        an untyped error fails the assertions below.
+        """
+        pool = ConnectionPool(fast_daemon.address, size=2)
+        outcomes = []
+        outcomes_lock = threading.Lock()
+
+        def worker():
+            try:
+                while True:
+                    with pool.lease() as conn:
+                        conn.describe()
+            except ProtocolError:
+                with outcomes_lock:
+                    outcomes.append("closed")
+            except Exception as exc:  # noqa: BLE001 - the assertion wants the type
+                with outcomes_lock:
+                    outcomes.append(repr(exc))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        time.sleep(close_after)
+        pool.close()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not any(thread.is_alive() for thread in threads), (
+            "a lease or checkout hung through pool.close()"
+        )
+        assert outcomes == ["closed"] * 4
+        assert pool.stats()["open"] == 0
 
 
 def _parallel_reads(router_address, n_threads):

@@ -30,8 +30,10 @@ from repro.serve.protocol import (
     index_from_wire,
     index_to_wire,
     pack_frame,
+    payload_checksum,
     raise_remote_error,
     read_frame,
+    verify_payload,
 )
 
 
@@ -82,6 +84,18 @@ class TestFrameCodec:
         with pytest.raises(ProtocolError, match="caps headers"):
             read_frame(io.BytesIO(head))
 
+    def test_lifted_payload_cap_is_still_bounded(self):
+        # A response reader passes max_payload=None, but one flipped bit in
+        # the length field must be a typed ProtocolError the failover path
+        # can absorb — never an unbounded allocation (MemoryError reached
+        # the chaos corruption tier as an unfailoverable router envelope).
+        body = b"{}"
+        blob = struct.pack(
+            "<4sBIQ", PROTOCOL_MAGIC, PROTOCOL_VERSION, len(body), 1 << 56
+        ) + body
+        with pytest.raises(ProtocolError, match="caps payloads"):
+            read_frame(io.BytesIO(blob), max_payload=None)
+
     def test_corrupt_header_json(self):
         blob = struct.pack("<4sBIQ", PROTOCOL_MAGIC, PROTOCOL_VERSION, 4, 0) + b"{{{{"
         with pytest.raises(ProtocolError, match="corrupt frame header"):
@@ -92,6 +106,41 @@ class TestFrameCodec:
         blob = struct.pack("<4sBIQ", PROTOCOL_MAGIC, PROTOCOL_VERSION, len(body), 0) + body
         with pytest.raises(ProtocolError, match="JSON object"):
             read_frame(io.BytesIO(blob))
+
+
+class TestPayloadChecksum:
+    def test_checksum_is_stable_and_accepts_memoryviews(self):
+        blob = bytes(range(256))
+        digest = payload_checksum(blob)
+        assert digest == payload_checksum(memoryview(blob))
+        assert digest == payload_checksum(np.frombuffer(blob, dtype=np.uint8))
+        assert len(digest) == 16  # blake2b digest_size=8, hex
+
+    def test_verify_passes_on_match_and_on_absent_header(self):
+        blob = b"payload bytes"
+        verify_payload({"status": "ok", "checksum": payload_checksum(blob)}, blob)
+        verify_payload({"status": "ok"}, blob)  # pre-checksum daemons
+        verify_payload({"status": "ok", "checksum": payload_checksum(b"")}, b"")
+
+    def test_single_flipped_bit_is_a_typed_mismatch(self):
+        blob = bytearray(bytes(range(256)))
+        header = {"checksum": payload_checksum(bytes(blob))}
+        blob[97] ^= 0x01
+        with pytest.raises(ProtocolError, match="checksum mismatch"):
+            verify_payload(header, bytes(blob))
+
+    def test_read_responses_carry_a_verifiable_checksum(self, serve_daemon):
+        with RemoteStore(serve_daemon.address) as client:
+            entry = client.entries()[0]
+            resp, payload = client.exchange(
+                {
+                    "op": "read",
+                    "field": entry["field"],
+                    "step": entry["step"],
+                    "index": index_to_wire((Ellipsis,)),
+                }
+            )
+        assert resp["checksum"] == payload_checksum(payload)
 
 
 class TestNdarrayCodec:

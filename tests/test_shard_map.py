@@ -164,3 +164,92 @@ def test_load_rejects_garbage_file(tmp_path):
     bad.write_text("{not json", "utf-8")
     with pytest.raises(ValueError, match="cannot read shard map"):
         ShardMap.load(bad)
+
+
+# -- replication ---------------------------------------------------------------
+
+
+def replicated(replicas: int = 2) -> ShardMap:
+    return ShardMap([s for s in three_shards().shards], replicas=replicas)
+
+
+def test_owners_are_distinct_and_lead_with_the_primary():
+    m = replicated(2)
+    for field, step in corpus():
+        owners = m.owner_names(field, step)
+        assert len(owners) == 2
+        assert len(set(owners)) == 2, "replicas must live on distinct shards"
+        assert owners[0] == m.owner_name(field, step), (
+            "the primary (first ring successor) must not move when "
+            "replication is enabled"
+        )
+
+
+def test_replication_does_not_move_primaries():
+    base, extra = three_shards(), replicated(2)
+    for field, step in corpus():
+        assert extra.owner_name(field, step) == base.owner_name(field, step)
+
+
+def test_replicas_survive_json_round_trip(tmp_path):
+    m = replicated(2)
+    again = ShardMap.from_dict(json.loads(json.dumps(m.to_dict())))
+    assert again == m
+    assert again.replicas == 2
+    for field, step in corpus():
+        assert again.owner_names(field, step) == m.owner_names(field, step)
+    # Topologies written before replication default to one owner per entry.
+    legacy = dict(m.to_dict())
+    legacy.pop("replicas")
+    assert ShardMap.from_dict(legacy).replicas == 1
+
+
+def test_replica_validation():
+    with pytest.raises(ValueError, match="replicas"):
+        replicated(0)
+    with pytest.raises(ValueError, match="exceeds shard count"):
+        replicated(4)
+    assert replicated(3).replicas == 3
+
+
+def test_replica_sets_cover_every_owner_set():
+    m = replicated(2)
+    sets = m.replica_sets()
+    assert all(len(group) == 2 for group in sets)
+    for field, step in corpus():
+        assert frozenset(m.owner_names(field, step)) in sets
+
+
+def test_replica_plan_moves_only_what_ownership_changed():
+    old = replicated(2)
+    new = ShardMap([*old.shards, ShardSpec("s3", "127.0.0.1:7104")], replicas=2)
+    entries = corpus()
+    moves = plan_rebalance(old, new, entries)
+    assert moves, "a new shard must take over some arc of the ring"
+    # Every move lands on a shard that actually owns the key under the new
+    # map, and untouched entries kept their whole replica set.
+    moved = {m.key for m in moves}
+    for field, step in entries:
+        key = entry_key(field, step)
+        new_owners = set(new.owner_names(field, step))
+        if key in moved:
+            assert all(
+                m.dest in new_owners for m in moves if m.key == key
+            )
+        else:
+            assert set(old.owner_names(field, step)) == new_owners
+    # The movement bound still holds per replica: adding one shard to three
+    # moves O(R/N) of the corpus, nowhere near half of it.
+    assert len(moves) < 0.5 * 2 * len(entries)
+
+
+def test_replica_change_alone_plans_copies_without_prunes():
+    old, new = replicated(1), replicated(2)
+    entries = corpus()
+    moves = plan_rebalance(old, new, entries)
+    # Raising R only *adds* owners: every entry whose set grew gets a copy
+    # move whose dest is the new secondary, and nothing is lost anywhere.
+    assert moves
+    for move in moves:
+        assert move.dest in new.owner_names(move.field, move.step)
+        assert move.dest not in old.owner_names(move.field, move.step)

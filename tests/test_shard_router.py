@@ -17,7 +17,15 @@ import numpy as np
 import pytest
 
 from repro.serve import ReadDaemon, RemoteStore, connect
-from repro.shard import RouterDaemon, ShardError, ShardMap, ShardSpec, split_store
+from repro.shard import (
+    BreakerOpenError,
+    CircuitBreaker,
+    RouterDaemon,
+    ShardError,
+    ShardMap,
+    ShardSpec,
+    split_store,
+)
 
 
 @pytest.fixture(scope="module")
@@ -259,6 +267,182 @@ def test_connect_retry_rides_out_late_bind():
     finally:
         binder.join()
         listener.close()
+
+
+class _FakeClock:
+    """A hand-cranked monotonic clock so cooldown tests never sleep."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def test_trips_only_on_consecutive_failures(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker("s0", threshold=3, cooldown=1.0, clock=clock)
+        assert breaker.allow()
+        assert not breaker.record_failure()
+        assert not breaker.record_failure()
+        breaker.record_success()  # one good exchange resets the streak
+        assert not breaker.record_failure()
+        assert not breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.record_failure()  # third consecutive: trips
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.stats()["trips"] == 1
+        assert breaker.stats()["rejections"] == 1
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker("s0", threshold=1, cooldown=2.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(1.9)
+        assert not breaker.allow(), "cooldown has not lapsed yet"
+        clock.advance(0.2)
+        assert breaker.state == "half_open"
+        assert breaker.allow(), "the first caller past cooldown is the probe"
+        assert not breaker.allow(), "the half-open slot holds one probe"
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        assert breaker.stats()["probes"] == 1
+
+    def test_failed_probe_reopens_and_restarts_the_cooldown(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker("s0", threshold=1, cooldown=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()  # the probe
+        assert breaker.record_failure()  # probe failed: snap back open
+        assert breaker.state == "open"
+        clock.advance(0.5)
+        assert not breaker.allow(), "cooldown restarted at the failed probe"
+        clock.advance(0.6)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.stats()["failures_consecutive"] == 0
+
+
+@pytest.fixture()
+def replicated_pair(cluster, tmp_path):
+    """Two shards that both hold every entry (R=2), behind one router.
+
+    The breaker threshold is 1 and the prober is off, so a single kill
+    deterministically trips the dead shard's breaker on first contact.
+    """
+    from repro.store import Store
+
+    roots = {name: tmp_path / name for name in ("a", "b")}
+    stores = {name: Store(root) for name, root in roots.items()}
+    entry = cluster.single.entries()[0]
+    for store in stores.values():
+        store.adopt(entry.field, entry.step, cluster.single.root / entry.path)
+    daemons = {name: ReadDaemon(store) for name, store in stores.items()}
+    shard_map = ShardMap(
+        [ShardSpec(n, daemons[n].start(), store=str(roots[n])) for n in daemons],
+        replicas=2,
+    )
+    router = RouterDaemon(
+        shard_map, retries=0, breaker_threshold=1, probe_interval=0.0
+    )
+    router.start()
+    yield SimpleNamespace(
+        entry=entry, daemons=daemons, router=router, shard_map=shard_map
+    )
+    router.stop()
+    for daemon in daemons.values():
+        daemon.stop()
+
+
+class TestReplicaFailover:
+    def test_read_survives_one_dead_shard(self, replicated_pair):
+        entry = replicated_pair.entry
+        with RemoteStore(replicated_pair.router.address) as client:
+            reference = np.asarray(client[entry.field, entry.step][...])
+            # Kill the primary (first owner) of this entry specifically.
+            primary = replicated_pair.shard_map.owner_name(entry.field, entry.step)
+            replicated_pair.daemons[primary].stop()
+            survived = np.asarray(client[entry.field, entry.step][...])
+            np.testing.assert_array_equal(reference, survived)
+            stats = replicated_pair.router.stats()
+            assert stats["failovers"] >= 1
+            assert stats["breakers"][primary]["state"] == "open"
+            health = replicated_pair.router.health()
+            assert health["ok"], "one dead replica must not take entries down"
+            assert primary in health["degraded"]
+            assert health["unreachable"] == []
+
+    def test_open_breaker_short_circuits_without_dialing(self, replicated_pair):
+        entry = replicated_pair.entry
+        with RemoteStore(replicated_pair.router.address) as client:
+            primary = replicated_pair.shard_map.owner_name(entry.field, entry.step)
+            replicated_pair.daemons[primary].stop()
+            client[entry.field, entry.step][...]  # trips the breaker
+            rejections_before = replicated_pair.router.stats()["breakers"][
+                primary
+            ]["rejections"]
+            started = time.perf_counter()
+            client[entry.field, entry.step][...]  # breaker path, no dial
+            assert time.perf_counter() - started < 1.0
+            assert (
+                replicated_pair.router.stats()["breakers"][primary]["rejections"]
+                > rejections_before
+            )
+
+    def test_all_replicas_dead_is_a_typed_error_and_503_health(
+        self, replicated_pair
+    ):
+        entry = replicated_pair.entry
+        with RemoteStore(replicated_pair.router.address) as client:
+            client.describe()  # warm
+            for daemon in replicated_pair.daemons.values():
+                daemon.stop()
+            with pytest.raises((ShardError, BreakerOpenError)):
+                client[entry.field, entry.step][...]
+            # Both breakers are now open: health reports unreachable entries.
+            with pytest.raises((ShardError, BreakerOpenError)):
+                client[entry.field, entry.step][...]
+            health = replicated_pair.router.health()
+            assert not health["ok"]
+            assert sorted(health["degraded"]) == ["a", "b"]
+            assert health["unreachable"], "every replica set is fully down"
+
+    def test_health_op_reports_over_the_wire(self, replicated_pair):
+        with RemoteStore(replicated_pair.router.address) as client:
+            health = client.health()
+            assert health["ok"] is True
+            assert health["replicas"] == 2
+            assert set(health["shards"]) == {"a", "b"}
+            assert all(state == "closed" for state in health["shards"].values())
+
+
+def test_single_daemon_answers_the_health_op(cluster):
+    with RemoteStore(cluster.single_daemon.address) as client:
+        health = client.health()
+        assert health["ok"] is True
+        assert health["kind"] == "daemon"
+
+
+def test_breaker_metrics_appear_in_router_stats(cluster):
+    """The existing (healthy) cluster exports breaker families and health."""
+    with RemoteStore(cluster.router.address) as client:
+        stats = client.stats()
+    names = {family["name"] for family in stats["metrics"]}
+    assert "repro_router_breaker_state" in names
+    assert "repro_router_breaker_trips_total" in names
+    assert "repro_router_failovers_total" in names
+    assert "repro_router_breaker_rejections_total" in names
+    assert stats["router"]["health"]["ok"] is True
+    assert set(stats["router"]["breakers"]) == set(cluster.shard_map.names())
 
 
 def test_set_map_closes_backends_of_removed_shards(cluster, tmp_path):
